@@ -1,0 +1,105 @@
+"""E10 — signature scheme ablation (DESIGN.md design-choice ablation).
+
+Two facts worth measuring:
+
+1. message/round counts are *scheme-independent* — the protocol logic
+   never branches on the scheme, which justifies running the large count
+   sweeps on the cheap HMAC simulation scheme;
+2. wall-clock is scheme-dominated — RSA vs Schnorr vs HMAC differ by
+   orders of magnitude, with the protocol simulation itself almost free.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+import time
+
+from repro.analysis import check_mark, render_table
+from repro.crypto import available_schemes
+from repro.harness import LOCAL, run_fd_scenario
+
+SCHEMES = ["rsa-512", "schnorr-512", "simulated-hmac"]
+
+
+def test_e10_counts_are_scheme_independent(report, benchmark):
+    def sweep():
+        n, t = 8, 2
+        rows = []
+        counts = set()
+        for scheme in SCHEMES:
+            outcome = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=5
+            )
+            assert outcome.fd.ok
+            triple = (
+                outcome.kd.messages,
+                outcome.run.metrics.messages_total,
+                outcome.run.metrics.rounds_used,
+            )
+            counts.add(triple)
+            rows.append([scheme, *triple])
+        rows.append(["(all equal)", "", "", check_mark(len(counts) == 1)])
+        assert len(counts) == 1
+        report(
+            render_table(
+                ["scheme", "keydist msgs", "FD msgs", "FD rounds"],
+                rows,
+                title=f"E10  scheme independence of counts, n={n}, t={t}",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e10_wallclock_per_scheme(report, benchmark):
+    """Coarse single-shot wall-clock comparison (the precise numbers are
+    in the pytest-benchmark table below)."""
+    def sweep():
+        n, t = 8, 2
+        rows = []
+        for scheme in SCHEMES:
+            assert scheme in available_schemes()
+            start = time.perf_counter()
+            outcome = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=6
+            )
+            elapsed = time.perf_counter() - start
+            assert outcome.fd.ok
+            rows.append([scheme, f"{elapsed * 1000:.1f} ms"])
+        report(
+            render_table(
+                ["scheme", "keydist + FD wall-clock"],
+                rows,
+                title="E10b  end-to-end wall-clock by scheme (single shot)",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e10_rsa_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            6, 1, "v", protocol="chain", auth=LOCAL, scheme="rsa-512", seed=1
+        )
+    )
+    assert outcome.fd.ok
+
+
+def test_e10_schnorr_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            6, 1, "v", protocol="chain", auth=LOCAL, scheme="schnorr-512", seed=1
+        )
+    )
+    assert outcome.fd.ok
+
+
+def test_e10_simulated_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            6, 1, "v", protocol="chain", auth=LOCAL, scheme="simulated-hmac", seed=1
+        )
+    )
+    assert outcome.fd.ok

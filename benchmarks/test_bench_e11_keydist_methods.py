@@ -1,0 +1,111 @@
+"""E11 — the three key-distribution roads (paper section 3, prose claims).
+
+The paper motivates local authentication by eliminating the two classical
+options: a trusted dealer ("contradicts the underlying model") and
+non-authenticated agreement per key ("may not work because of too many
+faulty nodes" + cost).  This bench puts numbers on that paragraph:
+
+* messages and rounds for each method;
+* the feasibility boundary: agreement-based distribution refuses
+  ``n <= 3t`` while local authentication runs with a faulty majority;
+* what each method buys (G3 or not, trust assumption or not).
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import keydist_messages, render_table
+from repro.auth import (
+    agreement_keydist_envelopes,
+    run_agreement_key_distribution,
+    run_key_distribution,
+    trusted_dealer_setup,
+)
+from repro.errors import ConfigurationError
+from repro.faults import SilentProtocol
+
+
+def test_e11_method_comparison(report, benchmark):
+    def sweep():
+        rows = []
+        # (13, 4) and beyond are omitted: the n*OM(t) report payloads grow
+        # factorially and one data point costs tens of seconds — the
+        # blow-up itself is the measurement.
+        for n, t in [(4, 1), (7, 2), (10, 3)]:
+            local = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
+            agreement = run_agreement_key_distribution(
+                n, t, scheme=SWEEP_SCHEME, seed=n
+            )
+            rows.append(
+                [
+                    n,
+                    t,
+                    0,
+                    local.messages,
+                    agreement.messages,
+                    local.rounds,
+                    agreement.rounds,
+                ]
+            )
+            assert local.messages == keydist_messages(n)
+            assert agreement.messages == agreement_keydist_envelopes(n, t)
+            assert agreement.messages > local.messages
+        report(
+            render_table(
+                [
+                    "n", "t",
+                    "dealer msgs", "local auth msgs", "agreement msgs",
+                    "local rounds", "agreement rounds",
+                ],
+                rows,
+                title="E11  key distribution: dealer vs local auth vs n*OM(t)",
+            )
+        )
+
+    once(benchmark, sweep)
+
+
+def test_e11_feasibility_boundary(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t in [(6, 2), (9, 3), (12, 4)]:
+            try:
+                run_agreement_key_distribution(n, t, scheme=SWEEP_SCHEME)
+                agreement_status = "ran (unexpected)"
+            except ConfigurationError:
+                agreement_status = "infeasible (n <= 3t)"
+            # Local authentication at the same shape, with every node
+            # beyond the first two Byzantine-silent: still authenticates.
+            adversaries = {node: SilentProtocol() for node in range(2, n)}
+            local = run_key_distribution(
+                n, scheme=SWEEP_SCHEME, adversaries=adversaries, seed=n
+            )
+            pair_ok = local.directories[0].predicates_for(1) == (
+                local.keypairs[1].predicate,
+            )
+            rows.append(
+                [
+                    n,
+                    t,
+                    agreement_status,
+                    f"ok, {n - 2}/{n} nodes faulty" if pair_ok else "FAILED",
+                ]
+            )
+            assert pair_ok
+        report(
+            render_table(
+                ["n", "t", "agreement-based", "local authentication"],
+                rows,
+                title="E11b  feasibility: the oral bound vs arbitrary faults",
+            )
+        )
+
+    once(benchmark, sweep)
+
+
+def test_e11_agreement_keydist_wallclock(benchmark):
+    result = benchmark(
+        lambda: run_agreement_key_distribution(7, 2, scheme=SWEEP_SCHEME, seed=1)
+    )
+    assert result.messages == agreement_keydist_envelopes(7, 2)

@@ -1,0 +1,56 @@
+"""E1 — key distribution cost (paper Fig. 1 + section 3.1).
+
+Claim: "The message complexity of the protocol is 3·n·(n−1) ... It takes
+3 rounds of communication."
+
+Regenerates the (n, messages, rounds) series and checks the measured
+counts against the closed form exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import check_mark, keydist_messages, keydist_rounds, render_table
+from repro.auth import run_key_distribution
+from repro.harness import standard_sizes
+
+
+def test_e1_keydist_series(report, benchmark):
+    def sweep():
+        rows = []
+        for n in standard_sizes():
+            result = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
+            predicted = keydist_messages(n)
+            rows.append(
+                [
+                    n,
+                    predicted,
+                    result.messages,
+                    keydist_rounds(),
+                    result.rounds,
+                    check_mark(
+                        result.messages == predicted
+                        and result.rounds == keydist_rounds()
+                    ),
+                ]
+            )
+            assert result.messages == predicted
+            assert result.rounds == keydist_rounds()
+        report(
+            render_table(
+                ["n", "3n(n-1) paper", "measured", "rounds paper", "measured", "verdict"],
+                rows,
+                title="E1  key distribution protocol cost (paper section 3.1)",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e1_keydist_wallclock(benchmark):
+    """Wall-clock of one full key distribution run at n=16."""
+    result = benchmark(
+        lambda: run_key_distribution(16, scheme=SWEEP_SCHEME, seed=0)
+    )
+    assert result.messages == keydist_messages(16)

@@ -1,0 +1,80 @@
+"""E2 — authenticated chain FD cost (paper Fig. 2 + section 5).
+
+Claim: "This protocol works with the minimal number of messages of n−1"
+in t+1 rounds, under global *or* local authentication.
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import check_mark, fd_auth_messages, fd_auth_rounds, render_table
+from repro.harness import GLOBAL, LOCAL, run_fd_scenario, sizes_with_budgets, standard_sizes
+
+
+def test_e2_chain_fd_series(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t in sizes_with_budgets(standard_sizes()):
+            outcome = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
+            )
+            assert outcome.fd.ok
+            messages = outcome.run.metrics.messages_total
+            rounds = outcome.run.metrics.rounds_used
+            rows.append(
+                [
+                    n,
+                    t,
+                    fd_auth_messages(n),
+                    messages,
+                    fd_auth_rounds(t),
+                    rounds,
+                    check_mark(
+                        messages == fd_auth_messages(n) and rounds == fd_auth_rounds(t)
+                    ),
+                ]
+            )
+            assert messages == fd_auth_messages(n)
+            assert rounds == fd_auth_rounds(t)
+        report(
+            render_table(
+                ["n", "t", "n-1 paper", "measured", "t+1 paper", "measured", "verdict"],
+                rows,
+                title="E2  authenticated FD, failure-free cost (paper Fig. 2)",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e2_local_auth_same_cost(report, benchmark):
+    """The headline theorem: identical FD cost under local authentication."""
+    def sweep():
+        rows = []
+        for n, t in sizes_with_budgets(standard_sizes(small=True)):
+            outcome = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=LOCAL, scheme=SWEEP_SCHEME, seed=n
+            )
+            assert outcome.fd.ok
+            messages = outcome.run.metrics.messages_total
+            rows.append([n, t, n - 1, messages, check_mark(messages == n - 1)])
+            assert messages == n - 1
+        report(
+            render_table(
+                ["n", "t", "n-1 paper", "measured (local auth)", "verdict"],
+                rows,
+                title="E2b  chain FD under LOCAL authentication — same n-1 cost",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e2_chain_fd_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            16, 5, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=1
+        )
+    )
+    assert outcome.fd.ok

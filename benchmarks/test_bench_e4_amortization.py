@@ -1,0 +1,84 @@
+"""E4 — amortization of the key distribution cost (paper Summary).
+
+Claim: "the effort of establishing local authentication once results in a
+substantial reduction of messages in subsequent failure-discovery
+protocols."
+
+Regenerates the cumulative cost curves (keydist + k chain runs vs k echo
+runs), the measured crossover per network size, and checks it against the
+closed form k > 3n/t.
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import (
+    amortization_curve,
+    check_mark,
+    crossover_runs,
+    render_table,
+)
+from repro.harness import LOCAL, AmortizedSession, sizes_with_budgets
+
+
+def test_e4_measured_crossover(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t in sizes_with_budgets([8, 16, 32]):
+            predicted = crossover_runs(n, t)
+            session = AmortizedSession(n=n, t=t, auth=LOCAL, scheme=SWEEP_SCHEME, seed=n)
+            for k in range(predicted + 2):
+                outcome = session.run(value=("run", k), seed=k)
+                assert outcome.fd.ok
+            measured = session.crossover_run()
+            rows.append(
+                [n, t, predicted, measured, check_mark(measured == predicted)]
+            )
+            assert measured == predicted
+        report(
+            render_table(
+                ["n", "t", "crossover k > 3n/t", "measured", "verdict"],
+                rows,
+                title="E4  amortization crossover: runs until local auth wins",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e4_cumulative_curves(report, benchmark):
+    """The figure-shaped series for n=16: both cumulative curves."""
+    def sweep():
+        n, t = 16, 5
+        curve = amortization_curve(n, t, 16)
+        rows = [
+            [
+                point.runs,
+                point.local_auth_total,
+                point.nonauth_total,
+                "local" if point.local_wins else "non-auth",
+            ]
+            for point in curve.points
+        ]
+        report(
+            render_table(
+                ["runs k", "keydist + k·(n-1)", "k·(t+1)(n-1)", "cheaper"],
+                rows,
+                title=f"E4b  cumulative message cost, n={n}, t={t}",
+            )
+        )
+        assert curve.crossover() == crossover_runs(n, t)
+
+
+    once(benchmark, sweep)
+
+def test_e4_session_wallclock(benchmark):
+    def one_session():
+        session = AmortizedSession(n=8, t=2, auth=LOCAL, scheme=SWEEP_SCHEME, seed=0)
+        for k in range(5):
+            session.run(value=k, seed=k)
+        return session
+
+    session = benchmark(one_session)
+    assert len(session.ledger) == 5

@@ -1,0 +1,103 @@
+"""E5 — small value range: assigning values to missing messages (§5).
+
+Claim: "If the value range is known a priori and small compared to n,
+solutions with fewer messages are possible by assigning values to missing
+messages."
+
+Regenerates the per-value message counts of the binary variants and
+documents (as an executable fact) the soundness boundary our DESIGN.md
+substitution note describes: the zero-message value-0 run, and the F2
+break of the optimistic variant under selective withholding.
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import check_mark, render_table, smallrange_messages
+from repro.faults.behaviors import TamperingProtocol
+from repro.fd.smallrange import OptimisticBinaryChainProtocol
+from repro.harness import run_fd_scenario, standard_sizes
+
+
+def test_e5_binary_message_counts(report, benchmark):
+    def sweep():
+        rows = []
+        for n in standard_sizes(small=True):
+            for value in (0, 1):
+                outcome = run_fd_scenario(
+                    n, 0, value, protocol="smallrange", scheme=SWEEP_SCHEME, seed=n
+                )
+                assert outcome.fd.ok
+                messages = outcome.run.metrics.messages_total
+                predicted = smallrange_messages(n, value)
+                rows.append(
+                    [n, value, predicted, messages, n - 1, check_mark(messages == predicted)]
+                )
+                assert messages == predicted
+        report(
+            render_table(
+                ["n", "value", "predicted", "measured", "arbitrary-range (n-1)", "verdict"],
+                rows,
+                title="E5  binary FD (t=0): silence carries the 0",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e5_optimistic_counts_and_boundary(report, benchmark):
+    def sweep():
+        n, t = 16, 5
+        rows = []
+        for value in (0, 1):
+            outcome = run_fd_scenario(
+                n, t, value, protocol="smallrange-optimistic",
+                scheme=SWEEP_SCHEME, seed=3,
+            )
+            assert outcome.fd.ok
+            rows.append([value, outcome.run.metrics.messages_total, "holds (failure-free)"])
+
+        # The documented negative result, measured: selective withholding by
+        # the disseminator breaks weak agreement with zero discoveries.
+        def factory(keypairs, directories):
+            disseminator = TamperingProtocol(
+                OptimisticBinaryChainProtocol(n, t, keypairs[t], directories[t]),
+                should_send=lambda rnd, to, payload: to < t + 3,
+            )
+            return {t: disseminator}
+
+        attacked = run_fd_scenario(
+            n, t, 1, protocol="smallrange-optimistic", scheme=SWEEP_SCHEME,
+            seed=3, fd_adversary_factory=factory,
+        )
+        rows.append(
+            [
+                "1 (withheld)",
+                attacked.run.metrics.messages_total,
+                "F2 BROKEN, undiscovered" if not attacked.fd.weak_agreement else "holds",
+            ]
+        )
+        assert not attacked.fd.weak_agreement
+        assert not attacked.fd.any_discovery
+        report(
+            render_table(
+                ["value", "messages", "F1-F3"],
+                rows,
+                title=(
+                    f"E5b  optimistic binary chain, n={n}, t={t} — the saving and "
+                    "its documented soundness boundary"
+                ),
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e5_smallrange_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            16, 0, 1, protocol="smallrange", scheme=SWEEP_SCHEME, seed=1
+        )
+    )
+    assert outcome.fd.ok

@@ -1,0 +1,129 @@
+"""E7 — FD→BA extension vs direct agreement (paper section 4 + [2]).
+
+Claim: "the extended protocol requires in its failure-free runs the same
+number of messages as the underlying Failure Discovery protocol" — so
+authenticated BA costs n−1 failure-free, versus Θ(n²) for SM(t) run
+directly and worse for oral OM(t).
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.agreement import evaluate_ba, make_oral_agreement_protocols
+from repro.analysis import (
+    check_mark,
+    extension_messages,
+    om_envelopes,
+    om_reports,
+    render_table,
+    sm_messages,
+)
+from repro.faults import SilentProtocol
+from repro.harness import GLOBAL, run_ba_scenario, sizes_with_budgets
+from repro.sim import run_protocols
+
+
+def test_e7_failure_free_comparison(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t in sizes_with_budgets([8, 16, 32]):
+            ext = run_ba_scenario(
+                n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
+            )
+            sm = run_ba_scenario(
+                n, t, "v", protocol="signed", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
+            )
+            assert ext.ba.ok and sm.ba.ok
+            ext_measured = ext.run.metrics.messages_total
+            sm_measured = sm.run.metrics.messages_total
+            rows.append(
+                [
+                    n,
+                    t,
+                    extension_messages(n),
+                    ext_measured,
+                    sm_messages(n, t),
+                    sm_measured,
+                    check_mark(
+                        ext_measured == extension_messages(n)
+                        and sm_measured == sm_messages(n, t)
+                        and ext_measured < sm_measured
+                    ),
+                ]
+            )
+            assert ext_measured == extension_messages(n) == n - 1
+            assert sm_measured == sm_messages(n, t)
+        report(
+            render_table(
+                ["n", "t", "ext n-1", "measured", "SM(t) formula", "measured", "verdict"],
+                rows,
+                title="E7  failure-free BA: extension (FD cost) vs direct SM(t)",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e7_oral_baseline(report, benchmark):
+    """The oral-messages column of the comparison (envelopes + classical
+    exponential report count)."""
+    def sweep():
+        rows = []
+        for n, t in [(4, 1), (7, 2), (10, 3), (13, 4)]:
+            protocols = make_oral_agreement_protocols(n, t, "v")
+            result = run_protocols(protocols, seed=n)
+            assert evaluate_ba(result, set(range(n)), 0, "v").ok
+            envelopes = result.metrics.messages_total
+            rows.append(
+                [n, t, n - 1, envelopes, om_reports(n, t), result.metrics.bytes_total]
+            )
+            assert envelopes == om_envelopes(n, t)
+        report(
+            render_table(
+                ["n", "t", "ext (n-1)", "OM envelopes", "OM path-reports", "OM bytes"],
+                rows,
+                title="E7b  oral agreement baseline: the non-authenticated price",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e7_fallback_cost(report, benchmark):
+    """With a fault the extension pays the alarm + SM fallback — bounded,
+    and only in runs that are not failure-free."""
+    def sweep():
+        n, t = 8, 2
+        clean = run_ba_scenario(
+            n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=0
+        )
+        faulty = run_ba_scenario(
+            n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=0,
+            ba_adversary_factory=lambda kp, dirs: {1: SilentProtocol()},
+        )
+        assert clean.ba.ok and faulty.ba.ok
+        rows = [
+            ["failure-free", clean.run.metrics.messages_total, clean.run.metrics.rounds_used],
+            ["chain node crashed", faulty.run.metrics.messages_total, faulty.run.metrics.rounds_used],
+        ]
+        report(
+            render_table(
+                ["run", "messages", "rounds"],
+                rows,
+                title=f"E7c  extension cost profile, n={n}, t={t}",
+            )
+        )
+        assert clean.run.metrics.messages_total == n - 1
+        assert faulty.run.metrics.messages_total > n - 1
+
+
+    once(benchmark, sweep)
+
+def test_e7_extension_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_ba_scenario(
+            16, 5, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=1
+        )
+    )
+    assert outcome.ba.ok

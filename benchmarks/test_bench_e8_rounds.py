@@ -1,0 +1,96 @@
+"""E8 — round complexity trade-off (paper sections 3.1 and 5).
+
+Claims folded into one table: key distribution takes 3 rounds; chain FD
+takes t+1 rounds; the echo baseline takes 2 rounds.  The trade the paper
+buys: more rounds per run (t+1 > 2) in exchange for ~t× fewer messages —
+an explicit latency/bandwidth trade-off this bench makes visible.
+"""
+
+from __future__ import annotations
+
+from conftest import SWEEP_SCHEME, once
+
+from repro.analysis import (
+    check_mark,
+    fd_auth_rounds,
+    fd_nonauth_rounds,
+    keydist_rounds,
+    render_table,
+)
+from repro.auth import run_key_distribution
+from repro.harness import GLOBAL, run_fd_scenario, sizes_with_budgets, standard_sizes
+
+
+def test_e8_round_table(report, benchmark):
+    def sweep():
+        rows = []
+        for n, t in sizes_with_budgets(standard_sizes()):
+            kd = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
+            chain = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
+            )
+            echo = run_fd_scenario(n, t, "v", protocol="echo", seed=n)
+            measured = (
+                kd.rounds,
+                chain.run.metrics.rounds_used,
+                echo.run.metrics.rounds_used,
+            )
+            predicted = (keydist_rounds(), fd_auth_rounds(t), fd_nonauth_rounds())
+            rows.append([n, t, *predicted, *measured, check_mark(measured == predicted)])
+            assert measured == predicted
+        report(
+            render_table(
+                [
+                    "n", "t",
+                    "keydist paper", "chain paper", "echo paper",
+                    "keydist", "chain", "echo",
+                    "verdict",
+                ],
+                rows,
+                title="E8  round complexity: predicted vs measured",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e8_latency_bandwidth_tradeoff(report, benchmark):
+    """The chain protocol trades rounds for messages: rounds grow with t,
+    messages do not; the echo protocol is the mirror image."""
+    def sweep():
+        n = 16
+        rows = []
+        for t in (1, 2, 3, 5):
+            chain = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=t
+            )
+            echo = run_fd_scenario(n, t, "v", protocol="echo", seed=t)
+            rows.append(
+                [
+                    t,
+                    chain.run.metrics.rounds_used,
+                    chain.run.metrics.messages_total,
+                    echo.run.metrics.rounds_used,
+                    echo.run.metrics.messages_total,
+                ]
+            )
+            assert chain.run.metrics.messages_total == n - 1
+            assert echo.run.metrics.rounds_used == 2
+        report(
+            render_table(
+                ["t", "chain rounds", "chain msgs", "echo rounds", "echo msgs"],
+                rows,
+                title=f"E8b  latency/bandwidth trade-off at n={n}",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e8_rounds_wallclock(benchmark):
+    result = benchmark(
+        lambda: run_fd_scenario(
+            32, 10, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=1
+        )
+    )
+    assert result.run.metrics.rounds_used == 11

@@ -1,0 +1,105 @@
+"""E9 — bytes on the wire: the hidden cost of chain signatures.
+
+The paper's message-count optimum (n−1) is bought with *nested* chain
+signatures: the payload P_t disseminates carries t+1 signatures, so byte
+complexity grows with the chain depth even though the message count does
+not.  This bench quantifies that — with real Schnorr signatures, not the
+HMAC simulation — and contrasts the per-message byte profiles of the
+three FD protocols.  (Not a claim the paper makes numerically; it is the
+ablation DESIGN.md calls out for the chain-depth design choice.)
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.harness import GLOBAL, run_fd_scenario
+
+SCHEME = "schnorr-512"  # real signatures: sizes are meaningful
+
+
+def test_e9_bytes_grow_with_chain_depth(report, benchmark):
+    def sweep():
+        from repro.analysis import render_table
+
+        n = 16
+        rows = []
+        previous_max = 0
+        for t in (0, 1, 2, 4, 8):
+            outcome = run_fd_scenario(
+                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=t
+            )
+            assert outcome.fd.ok
+            metrics = outcome.run.metrics
+            # The dissemination round carries the deepest chains.
+            last_round = max(metrics.bytes_per_round)
+            dissemination_msg_bytes = (
+                metrics.bytes_per_round[last_round]
+                / metrics.messages_per_round[last_round]
+            )
+            rows.append(
+                [
+                    t,
+                    metrics.messages_total,
+                    metrics.bytes_total,
+                    f"{metrics.bytes_total / metrics.messages_total:.0f}",
+                    f"{dissemination_msg_bytes:.0f}",
+                ]
+            )
+            assert dissemination_msg_bytes > previous_max  # deeper chain, bigger msg
+            previous_max = dissemination_msg_bytes
+        report(
+            render_table(
+                ["t", "messages", "bytes total", "bytes/msg avg", "bytes/dissem. msg"],
+                rows,
+                title=f"E9  chain-depth byte cost, n={n}, Schnorr signatures",
+            )
+        )
+
+
+    once(benchmark, sweep)
+
+def test_e9_protocol_byte_profiles(report, benchmark):
+    def sweep():
+        from repro.analysis import render_table
+
+        n, t = 16, 5
+        rows = []
+        chain = run_fd_scenario(
+            n, t, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=1
+        )
+        echo = run_fd_scenario(n, t, "v", protocol="echo", seed=1)
+        for name, outcome in (("chain (signed)", chain), ("echo (unsigned)", echo)):
+            metrics = outcome.run.metrics
+            rows.append(
+                [
+                    name,
+                    metrics.messages_total,
+                    metrics.bytes_total,
+                    f"{metrics.bytes_total / metrics.messages_total:.0f}",
+                ]
+            )
+        report(
+            render_table(
+                ["protocol", "messages", "bytes", "bytes/msg"],
+                rows,
+                title=f"E9b  byte profiles, n={n}, t={t}: fewer but fatter messages",
+            )
+        )
+        # The chain sends ~t+1 times fewer messages...
+        assert chain.run.metrics.messages_total * (t + 1) == echo.run.metrics.messages_total
+        # ...but each carries signatures, so per-message bytes are much larger.
+        chain_per = chain.run.metrics.bytes_total / chain.run.metrics.messages_total
+        echo_per = echo.run.metrics.bytes_total / echo.run.metrics.messages_total
+        assert chain_per > 5 * echo_per
+
+
+    once(benchmark, sweep)
+
+def test_e9_bytes_wallclock(benchmark):
+    outcome = benchmark(
+        lambda: run_fd_scenario(
+            16, 5, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=1
+        )
+    )
+    assert outcome.fd.ok

@@ -1,0 +1,6 @@
+"""Legacy build shim: this environment has no `wheel` package, so PEP 517
+editable installs are unavailable; setuptools reads all metadata from
+pyproject.toml."""
+from setuptools import setup
+
+setup()

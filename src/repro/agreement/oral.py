@@ -1,0 +1,219 @@
+"""OM(t): non-authenticated Byzantine Agreement via an EIG tree.
+
+The paper's complexity comparison rests on the classical gap between
+authenticated and oral-message agreement.  This module provides the oral
+side: the Exponential Information Gathering formulation of Lamport,
+Shostak and Pease's OM(t), which requires **n > 3t** and t+1 rounds.
+
+Protocol
+--------
+Nodes maintain a tree of *paths* — sequences of distinct node ids starting
+with the sender.  ``tree[(0,)]`` is the value received from the sender in
+round 1; in each later round every node reports, to everyone, the values
+it holds for all paths that do not contain itself, and a receiver files a
+report relayed by ``q`` about path ``σ`` under ``σ + (q,)``.  After
+``t + 1`` rounds each node resolves the tree bottom-up by recursive
+majority (missing values become the default) and decides ``resolve((0,))``.
+
+Message accounting
+------------------
+The simulator counts *envelopes*: one per (sender, recipient, round), with
+all of a round's path reports batched inside.  The classical "message"
+count of OM(t) refers to individual path reports, which grow as
+``(n-1)(n-2)...(n-k)``; :func:`repro.analysis.complexity.om_reports`
+gives that closed form, and the metrics' byte counters show the blow-up
+empirically (the envelope payloads grow exponentially with ``t``).
+
+This protocol is the "may not work because of too many faulty nodes"
+option for key distribution the paper mentions: to authentically agree on
+n public keys without signatures one would run n instances of this — and
+only if ``n > 3t`` holds at all.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..sim import Envelope, NodeContext, Protocol
+from ..types import NodeId, validate_fault_budget
+from .problem import DEFAULT_VALUE
+
+OM_VALUE = "om-value"
+OM_REPORT = "om-report"
+
+#: The distinguished sender is node 0.
+SENDER: NodeId = 0
+
+Path = tuple[NodeId, ...]
+
+
+class OralAgreementProtocol(Protocol):
+    """One node's behaviour in OM(t) / EIG.
+
+    :raises ConfigurationError: if ``n <= 3t`` (the oral bound) — this is
+        the impossibility the paper leans on when it says agreement-based
+        key distribution "may not be feasible because of an insufficient
+        number of correct nodes".
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        value: Any = None,
+        default: Any = DEFAULT_VALUE,
+        sender: NodeId = SENDER,
+    ) -> None:
+        validate_fault_budget(t, n)
+        if n <= 3 * t:
+            raise ConfigurationError(
+                f"oral agreement requires n > 3t, got n={n}, t={t}"
+            )
+        self._n = n
+        self._t = t
+        self._value = value
+        self._default = default
+        self._sender = sender
+        self._tree: dict[Path, Any] = {}
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        round_ = ctx.round
+        if round_ == 0:
+            if ctx.node == self._sender:
+                ctx.broadcast((OM_VALUE, self._value))
+                self._tree[(self._sender,)] = self._value
+            return
+
+        self._ingest(ctx, inbox, round_)
+
+        if round_ <= self._t:
+            self._report(ctx, round_)
+        if round_ >= self._t + 1:
+            if ctx.node == self._sender:
+                # The sender knows its value; every tree path contains its
+                # own id, so it does not gather and simply decides.
+                ctx.decide(self._value)
+            else:
+                ctx.decide(self._resolve((self._sender,), ctx.node))
+            ctx.halt()
+
+    def _ingest(self, ctx: NodeContext, inbox: list[Envelope], round_: int) -> None:
+        """File this round's values/reports into the EIG tree."""
+        for env in inbox:
+            payload = env.payload
+            if (
+                round_ == 1
+                and env.sender == self._sender
+                and isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == OM_VALUE
+            ):
+                self._tree[(self._sender,)] = payload[1]
+            elif (
+                round_ >= 2
+                and isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == OM_REPORT
+                and isinstance(payload[1], (tuple, list))
+            ):
+                for item in payload[1]:
+                    self._file_report(ctx, env.sender, item, round_)
+
+    def _file_report(
+        self, ctx: NodeContext, relayer: NodeId, item: Any, round_: int
+    ) -> None:
+        if not (isinstance(item, (tuple, list)) and len(item) == 2):
+            return
+        raw_path, value = item
+        if not isinstance(raw_path, (tuple, list)):
+            return
+        path: Path = tuple(raw_path)
+        # Valid reports extend a length-(round-1) path by the relayer, with
+        # all ids distinct and starting at the sender; anything else is
+        # Byzantine noise and is simply not filed (missing -> default).
+        if (
+            len(path) == round_ - 1
+            and path
+            and path[0] == self._sender
+            and relayer not in path
+            and ctx.node not in path
+            and len(set(path)) == len(path)
+            and all(isinstance(p, int) and 0 <= p < self._n for p in path)
+        ):
+            self._tree.setdefault(path + (relayer,), value)
+
+    def _report(self, ctx: NodeContext, round_: int) -> None:
+        """Relay every known path of length ``round_`` not containing us."""
+        items = [
+            (path, self._tree.get(path, self._default))
+            for path in self._paths_of_length(round_)
+            if ctx.node not in path
+        ]
+        if items:
+            ctx.broadcast((OM_REPORT, tuple(items)))
+
+    def _paths_of_length(self, length: int) -> list[Path]:
+        """All structurally valid paths of the given length, in canonical
+        order (deterministic across nodes)."""
+        paths: list[Path] = [(self._sender,)]
+        for _ in range(length - 1):
+            paths = [
+                path + (node,)
+                for path in paths
+                for node in range(self._n)
+                if node not in path
+            ]
+        return paths
+
+    def _resolve(self, path: Path, me: NodeId) -> Any:
+        """Recursive majority over the EIG subtree rooted at ``path``.
+
+        A node holds no stored values for paths containing itself (it never
+        receives its own relays), so the subtree through ``me`` is replaced
+        by the value ``me`` itself relayed about ``path``.
+        """
+        if len(path) == self._t + 1:
+            return self._tree.get(path, self._default)
+        children = []
+        for node in range(self._n):
+            if node in path:
+                continue
+            if node == me:
+                # The subtree through myself echoes what I relayed about
+                # ``path`` — I know that value directly (classical EIG's
+                # "own value" substitution, needed for the n > 3t margin).
+                children.append(self._tree.get(path, self._default))
+            else:
+                children.append(self._resolve(path + (node,), me))
+        if not children:
+            return self._tree.get(path, self._default)
+        counts = Counter(repr(value) for value in children)
+        best, best_count = counts.most_common(1)[0]
+        # Strict majority decides; ties and pluralities fall to default.
+        if best_count * 2 > len(children):
+            for value in children:
+                if repr(value) == best:
+                    return value
+        return self._default
+
+
+def make_oral_agreement_protocols(
+    n: int,
+    t: int,
+    value: Any,
+    adversaries: dict[NodeId, Protocol] | None = None,
+    default: Any = DEFAULT_VALUE,
+) -> list[Protocol]:
+    """Assemble the per-node protocol list for one OM(t) run."""
+    adversaries = adversaries or {}
+    return [
+        adversaries.get(
+            node,
+            OralAgreementProtocol(
+                n, t, value=value if node == SENDER else None, default=default
+            ),
+        )
+        for node in range(n)
+    ]

@@ -1,0 +1,78 @@
+"""Byzantine Agreement: the conditions and their checkers.
+
+From the paper (after Lamport, Shostak and Pease):
+
+    "Byzantine Agreement requires all correct nodes in the system to agree
+    on the same value, which must be the value of a distinguished sender
+    if the sender is correct."
+
+Formally, over a finished run:
+
+* BA-Termination — every correct node decides;
+* BA-Agreement — all correct nodes decide the same value;
+* BA-Validity — if the sender is correct, that value is its initial one.
+
+Failure Discovery weakens all three with the escape hatch "unless a
+failure is discovered"; these checkers are the strong versions used to
+validate the agreement substrate and the FD→BA extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim import RunResult
+from ..types import NodeId
+
+#: The sentinel value correct nodes fall back to when the sender is
+#: exposed.  A plain string keeps it wire-encodable and unambiguous (it is
+#: compared with ``is``-free equality everywhere).
+DEFAULT_VALUE = "⊥-default"
+
+
+@dataclass(frozen=True)
+class BAEvaluation:
+    """Verdict of the Byzantine Agreement checkers over one run."""
+
+    termination: bool
+    agreement: bool
+    validity: bool
+    detail: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.termination and self.agreement and self.validity
+
+
+def evaluate_ba(
+    result: RunResult,
+    correct: set[NodeId],
+    sender: NodeId,
+    sender_value: Any,
+) -> BAEvaluation:
+    """Check BA-Termination / Agreement / Validity over ``result``."""
+    states = [state for state in result.states if state.node in correct]
+    undecided = [state.node for state in states if not state.decided]
+    decisions = {state.node: state.decision for state in states if state.decided}
+    distinct = {repr(value) for value in decisions.values()}
+    agreement = len(distinct) <= 1
+    validity = True
+    if sender in correct and decisions:
+        validity = all(value == sender_value for value in decisions.values())
+    detail = None
+    if undecided:
+        detail = f"termination violated: {undecided} did not decide"
+    elif not agreement:
+        detail = f"agreement violated: decisions {decisions}"
+    elif not validity:
+        detail = (
+            f"validity violated: correct sender {sender} proposed "
+            f"{sender_value!r}, decisions {decisions}"
+        )
+    return BAEvaluation(
+        termination=not undecided,
+        agreement=agreement,
+        validity=validity,
+        detail=detail,
+    )

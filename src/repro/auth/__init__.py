@@ -1,0 +1,51 @@
+"""Authentication layer: key directories, local and global authentication.
+
+The paper's contribution lives here: :mod:`repro.auth.local` implements the
+key distribution protocol of paper Fig. 1 that establishes *local
+authentication* with no trusted dealer and under any number of Byzantine
+faults; :mod:`repro.auth.global_` provides the trusted-dealer baseline;
+:mod:`repro.auth.properties` checks the assignment properties G1-G3 that
+distinguish the two.
+"""
+
+from .agreement_based import (
+    AgreementKeyDistributionProtocol,
+    AgreementKeyDistributionResult,
+    agreement_keydist_envelopes,
+    run_agreement_key_distribution,
+)
+from .directory import KeyDirectory
+from .global_ import trusted_dealer_setup
+from .local import (
+    KEY_DISTRIBUTION_ROUNDS,
+    KeyDistributionProtocol,
+    KeyDistributionResult,
+    challenge_body,
+    run_key_distribution,
+)
+from .properties import (
+    G3Report,
+    PropertyViolation,
+    check_g1,
+    check_g2,
+    check_g3,
+)
+
+__all__ = [
+    "AgreementKeyDistributionProtocol",
+    "AgreementKeyDistributionResult",
+    "G3Report",
+    "agreement_keydist_envelopes",
+    "run_agreement_key_distribution",
+    "KEY_DISTRIBUTION_ROUNDS",
+    "KeyDirectory",
+    "KeyDistributionProtocol",
+    "KeyDistributionResult",
+    "PropertyViolation",
+    "challenge_body",
+    "check_g1",
+    "check_g2",
+    "check_g3",
+    "run_key_distribution",
+    "trusted_dealer_setup",
+]

@@ -1,0 +1,238 @@
+"""Agreement-based key distribution: the option the paper argues against.
+
+Section 3 of the paper lists the classical ways to reach globally
+authentic key bindings without a dealer:
+
+    "one can either use non-authenticated agreement protocols, which may
+    not work because of too many faulty nodes, or assume some reliable
+    key server ..."
+
+This module implements the first option concretely so its cost and its
+failure boundary can be *measured* rather than asserted: every node
+distributes its test predicate through one instance of non-authenticated
+Byzantine Agreement (OM(t)/EIG, :mod:`repro.agreement.oral`), giving all
+correct nodes identical directories — property G3 included, which local
+authentication cannot offer.
+
+The two drawbacks the paper names, reproduced:
+
+* **feasibility** — OM(t) requires ``n > 3t``; construction fails
+  outright at ``n <= 3t`` (:class:`repro.errors.ConfigurationError`),
+  whereas local authentication works under *any* number of faults;
+* **cost** — n agreement instances cost ``n · [(n-1) + t(n-1)²]``
+  envelopes (and exponentially many path reports), versus ``3n(n-1)``
+  for local authentication.  Benchmark E11 prints the comparison.
+
+The n agreement instances run *concurrently* in one simulated execution
+(each tagged with its sender), which is the charitable reading — serial
+execution would also multiply the round count by n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..agreement.oral import OralAgreementProtocol
+from ..crypto import DEFAULT_SCHEME
+from ..crypto.keys import KeyPair, TestPredicate, get_scheme
+from ..errors import ConfigurationError
+from ..sim import Envelope, NodeContext, Protocol, RunResult, run_protocols
+from ..sim.compose import PhaseHost
+from ..types import NodeId, validate_fault_budget
+from .directory import KeyDirectory
+
+
+class _TaggedOralHost:
+    """One OM instance, demultiplexed by a sender tag on every payload."""
+
+    def __init__(self, tag: NodeId, inner: OralAgreementProtocol) -> None:
+        self.tag = tag
+        self.host = PhaseHost(inner, offset=0)
+
+
+class AgreementKeyDistributionProtocol(Protocol):
+    """One node's side of n concurrent OM instances, one per key.
+
+    Instance ``i`` has node ``i`` as sender, broadcasting its own test
+    predicate.  All instances share the rounds; payloads are wrapped as
+    ``("akd", instance, inner_payload)`` and demultiplexed per instance.
+
+    Output: ``outputs["directory"]`` — bindings for every node whose
+    instance decided a predicate value; ``outputs["keypair"]``.
+    """
+
+    def __init__(self, n: int, t: int, scheme: str = DEFAULT_SCHEME) -> None:
+        validate_fault_budget(t, n)
+        if n <= 3 * t:
+            raise ConfigurationError(
+                f"agreement-based key distribution inherits the oral bound "
+                f"n > 3t; got n={n}, t={t} — this is exactly the paper's "
+                "'may not work because of too many faulty nodes'"
+            )
+        self._n = n
+        self._t = t
+        self._scheme_name = scheme
+        self._keypair: KeyPair | None = None
+        self._instances: dict[NodeId, _TaggedOralHost] = {}
+
+    def setup(self, ctx: NodeContext) -> None:
+        scheme = get_scheme(self._scheme_name)
+        self._keypair = scheme.generate_keypair(ctx.rng)
+        for instance in range(self._n):
+            value = self._keypair.predicate if instance == ctx.node else None
+            inner = OralAgreementProtocol(
+                self._n, self._t, value=value, default=None, sender=instance
+            )
+            self._instances[instance] = _TaggedOralHost(
+                instance, _InstanceFacade(inner, instance)
+            )
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        per_instance: dict[NodeId, list[Envelope]] = {
+            instance: [] for instance in self._instances
+        }
+        for env in inbox:
+            payload = env.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == "akd"
+                and isinstance(payload[1], int)
+                and payload[1] in per_instance
+            ):
+                per_instance[payload[1]].append(
+                    Envelope(
+                        sender=env.sender,
+                        recipient=env.recipient,
+                        payload=payload[2],
+                        round_sent=env.round_sent,
+                    )
+                )
+        for instance, tagged in self._instances.items():
+            tagged.host.step(ctx, per_instance[instance])
+
+        if all(t.host.outcome.halted for t in self._instances.values()):
+            directory = KeyDirectory(owner=ctx.node)
+            directory.accept(ctx.node, self._keypair.predicate)
+            for instance, tagged in self._instances.items():
+                decided = tagged.host.outcome.decision
+                if isinstance(decided, TestPredicate):
+                    directory.accept(instance, decided)
+            ctx.state.outputs["directory"] = directory
+            ctx.state.outputs["keypair"] = self._keypair
+            ctx.halt()
+
+
+class _InstanceFacade(Protocol):
+    """Wraps an OM protocol so its sends are tagged with the instance id."""
+
+    def __init__(self, inner: OralAgreementProtocol, tag: int) -> None:
+        self.inner = inner
+        self.tag = tag
+
+    def setup(self, ctx) -> None:
+        self.inner.setup(ctx)
+
+    def on_round(self, ctx, inbox) -> None:
+        facade = _TaggingContext(ctx, self.tag)
+        self.inner.on_round(facade, inbox)  # type: ignore[arg-type]
+
+
+class _TaggingContext:
+    def __init__(self, ctx, tag: int) -> None:
+        self._ctx = ctx
+        self._tag = tag
+
+    def __getattr__(self, item):
+        return getattr(self._ctx, item)
+
+    @property
+    def round(self):
+        return self._ctx.round
+
+    @property
+    def node(self):
+        return self._ctx.node
+
+    @property
+    def n(self):
+        return self._ctx.n
+
+    def others(self):
+        return self._ctx.others()
+
+    def send(self, to, payload) -> None:
+        self._ctx.send(to, ("akd", self._tag, payload))
+
+    def broadcast(self, payload, to=None) -> None:
+        for recipient in (self._ctx.others() if to is None else to):
+            self.send(recipient, payload)
+
+    def decide(self, value) -> None:
+        self._ctx.decide(value)
+
+    def discover_failure(self, reason) -> None:
+        self._ctx.discover_failure(reason)
+
+    def halt(self) -> None:
+        self._ctx.halt()
+
+
+@dataclass
+class AgreementKeyDistributionResult:
+    """Outputs of agreement-based key distribution."""
+
+    run: RunResult
+    directories: dict[NodeId, KeyDirectory]
+    keypairs: dict[NodeId, KeyPair]
+
+    @property
+    def messages(self) -> int:
+        return self.run.metrics.messages_total
+
+    @property
+    def rounds(self) -> int:
+        return self.run.metrics.rounds_used
+
+
+def run_agreement_key_distribution(
+    n: int,
+    t: int,
+    scheme: str = DEFAULT_SCHEME,
+    adversaries: dict[NodeId, Protocol] | None = None,
+    seed: int | str = 0,
+) -> AgreementKeyDistributionResult:
+    """Distribute all n public keys via n concurrent OM(t) instances.
+
+    :raises ConfigurationError: when ``n <= 3t`` — the feasibility boundary
+        the paper contrasts local authentication against.
+    """
+    adversaries = adversaries or {}
+    protocols: list[Protocol] = [
+        adversaries.get(node, AgreementKeyDistributionProtocol(n, t, scheme))
+        for node in range(n)
+    ]
+    run = run_protocols(protocols, seed=seed)
+    result = AgreementKeyDistributionResult(run=run, directories={}, keypairs={})
+    for state in run.states:
+        if "directory" in state.outputs:
+            result.directories[state.node] = state.outputs["directory"]
+        if "keypair" in state.outputs:
+            result.keypairs[state.node] = state.outputs["keypair"]
+    return result
+
+
+def agreement_keydist_envelopes(n: int, t: int) -> int:
+    """Closed-form envelope count: n concurrent OM(t) instances.
+
+    Each instance costs (n-1) sender envelopes + t rounds of (n-1)
+    reporters broadcasting to (n-1) peers — but reporters with nothing to
+    say (no stored paths) stay silent, which for the instance whose sender
+    is the reporter itself trims one report round participant.  The exact
+    measured count is asserted in the tests; this formula gives the
+    dominant term used in benchmark E11's comparison.
+    """
+    validate_fault_budget(t, n)
+    from ..analysis.complexity import om_envelopes
+
+    return n * om_envelopes(n, t)

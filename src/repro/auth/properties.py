@@ -1,0 +1,197 @@
+"""Checkers for the assignment properties G1-G3 (paper section 3.2).
+
+The paper compares local and global authentication through three
+properties of the assignment relation:
+
+G1. If a correct node assigns a signed message to a correct node P, then
+    P has signed the message.
+G2. A message signed by a correct node P is assigned to P by all correct
+    nodes.
+G3. Each correct node assigns a signed message to the same node.
+
+Theorem 2: after the key distribution protocol, G1 and G2 hold.  G3 can
+fail for messages signed with *faulty* nodes' keys (key sharing, mixed
+predicate distribution) — and Theorem 4 shows any G3 violation that
+matters is discovered during chain verification.
+
+These checkers work on the *directories* rather than on individual signed
+messages: under signature axioms S1-S3, assignment behaviour is fully
+determined by which predicates a directory accepted for which nodes, so
+checking bindings is equivalent to quantifying over all signable messages
+(and is what the property-based tests randomise over).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.keys import TestPredicate
+from ..types import NodeId
+from .directory import KeyDirectory
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One concrete violation of an assignment property.
+
+    :ivar prop: ``"G1"``, ``"G2"`` or ``"G3"``.
+    :ivar observer: correct node whose directory exhibits the violation
+        (for G3, the first of the two disagreeing observers).
+    :ivar subject: the node the assignment concerns.
+    :ivar detail: human-readable explanation.
+    """
+
+    prop: str
+    observer: NodeId
+    subject: NodeId
+    detail: str
+
+
+def check_g1(
+    directories: dict[NodeId, KeyDirectory],
+    genuine: dict[NodeId, TestPredicate],
+    correct: set[NodeId],
+) -> list[PropertyViolation]:
+    """G1 violations: a correct observer accepted, for a correct subject,
+    a predicate that is *not* the subject's genuine one.
+
+    Under S1-S3 that is exactly the condition allowing a message the
+    subject never signed to be assigned to it.
+    """
+    violations = []
+    for observer in sorted(correct):
+        directory = directories.get(observer)
+        if directory is None:
+            continue
+        for subject in sorted(correct):
+            for predicate in directory.predicates_for(subject):
+                if predicate != genuine[subject]:
+                    violations.append(
+                        PropertyViolation(
+                            prop="G1",
+                            observer=observer,
+                            subject=subject,
+                            detail=(
+                                f"correct node {observer} accepted a foreign "
+                                f"predicate for correct node {subject}"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def check_g2(
+    directories: dict[NodeId, KeyDirectory],
+    genuine: dict[NodeId, TestPredicate],
+    correct: set[NodeId],
+) -> list[PropertyViolation]:
+    """G2 violations: some correct observer failed to accept a correct
+    subject's genuine predicate — so a message the subject signs would not
+    be assigned to it by that observer."""
+    violations = []
+    for observer in sorted(correct):
+        directory = directories.get(observer)
+        if directory is None:
+            continue
+        for subject in sorted(correct):
+            if genuine[subject] not in directory.predicates_for(subject):
+                violations.append(
+                    PropertyViolation(
+                        prop="G2",
+                        observer=observer,
+                        subject=subject,
+                        detail=(
+                            f"correct node {observer} did not accept the genuine "
+                            f"predicate of correct node {subject}"
+                        ),
+                    )
+                )
+    return violations
+
+
+@dataclass
+class G3Report:
+    """Outcome of the G3 check.
+
+    :ivar conflicting: violations where two correct observers would assign
+        the same signature to *different* nodes.
+    :ivar partial: weaker anomalies where a signature is assignable by
+        some correct observers and unassignable by others — the "classes
+        of nodes" situation the paper describes ("the faulty node can
+        select the class of nodes which can assign the message at all").
+    """
+
+    conflicting: list[PropertyViolation] = field(default_factory=list)
+    partial: list[PropertyViolation] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """G3 in the strict sense: no conflicting assignments."""
+        return not self.conflicting
+
+
+def check_g3(
+    directories: dict[NodeId, KeyDirectory],
+    correct: set[NodeId],
+) -> G3Report:
+    """Check G3 across the correct nodes' directories.
+
+    Works on predicate fingerprints: two observers disagree in the G3
+    sense iff some predicate (hence every message signed with its key) is
+    bound to node ``a`` by one observer and to node ``b != a`` by another.
+    """
+    report = G3Report()
+    # fingerprint -> observer -> set of nodes it binds that predicate to.
+    bindings: dict[bytes, dict[NodeId, set[NodeId]]] = {}
+    for observer in sorted(correct):
+        directory = directories.get(observer)
+        if directory is None:
+            continue
+        for subject, fingerprints in directory.binding_fingerprints().items():
+            for fingerprint in fingerprints:
+                bindings.setdefault(fingerprint, {}).setdefault(
+                    observer, set()
+                ).add(subject)
+
+    observers_present = {
+        obs for obs in correct if directories.get(obs) is not None
+    }
+    for fingerprint, per_observer in sorted(bindings.items()):
+        assigned_sets = sorted(
+            (obs, tuple(sorted(nodes))) for obs, nodes in per_observer.items()
+        )
+        distinct = {nodes for _, nodes in assigned_sets}
+        if len(distinct) > 1:
+            first_obs, first_nodes = assigned_sets[0]
+            other_obs, other_nodes = next(
+                (obs, nodes)
+                for obs, nodes in assigned_sets
+                if nodes != first_nodes
+            )
+            report.conflicting.append(
+                PropertyViolation(
+                    prop="G3",
+                    observer=first_obs,
+                    subject=first_nodes[0],
+                    detail=(
+                        f"predicate {fingerprint.hex()[:8]} bound to nodes "
+                        f"{first_nodes} by {first_obs} but {other_nodes} by "
+                        f"{other_obs}"
+                    ),
+                )
+            )
+        missing = observers_present - set(per_observer)
+        if missing and per_observer:
+            some_obs = assigned_sets[0][0]
+            report.partial.append(
+                PropertyViolation(
+                    prop="G3",
+                    observer=min(missing),
+                    subject=assigned_sets[0][1][0],
+                    detail=(
+                        f"predicate {fingerprint.hex()[:8]} assignable by "
+                        f"{sorted(per_observer)} but not by {sorted(missing)}"
+                    ),
+                )
+            )
+    return report

@@ -1,0 +1,339 @@
+"""Command-line interface: run the paper's protocols from a shell.
+
+Installed as the ``repro-fd`` console script::
+
+    repro-fd keydist --n 8                      # paper Fig. 1
+    repro-fd fd --n 8 --t 2 --auth local        # paper Fig. 2 on local auth
+    repro-fd fd --n 8 --t 2 --protocol echo     # the O(n*t) baseline
+    repro-fd ba --n 8 --t 2                     # FD→BA extension
+    repro-fd amortize --n 16 --t 5 --runs 20    # the Summary's ledger
+    repro-fd attack --list                      # the §3.2 attack catalogue
+    repro-fd attack --name cross-claim-chain    # run one attack
+    repro-fd formulas --n 16 --t 5              # every complexity claim
+
+Every command prints the measured counts next to the paper's formula and
+exits non-zero if any FD/BA condition is violated, so the CLI can serve
+as a smoke-check in automation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    crossover_runs,
+    fd_auth_messages,
+    fd_auth_rounds,
+    fd_nonauth_messages,
+    keydist_messages,
+    keydist_rounds,
+    render_table,
+    sm_messages,
+)
+from .auth import run_key_distribution
+from .crypto import DEFAULT_SCHEME, available_schemes
+from .harness import (
+    GLOBAL,
+    LOCAL,
+    AmortizedSession,
+    attack_catalogue,
+    run_ba_scenario,
+    run_fd_scenario,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser, with_t: bool = True) -> None:
+    parser.add_argument("--n", type=int, default=8, help="network size (default 8)")
+    if with_t:
+        parser.add_argument(
+            "--t", type=int, default=2, help="fault budget (default 2)"
+        )
+    parser.add_argument("--seed", default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--scheme",
+        default=DEFAULT_SCHEME,
+        choices=available_schemes(),
+        help=f"signature scheme (default {DEFAULT_SCHEME})",
+    )
+
+
+def _cmd_keydist(args: argparse.Namespace) -> int:
+    result = run_key_distribution(args.n, scheme=args.scheme, seed=args.seed)
+    print(
+        render_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["messages", keydist_messages(args.n), result.messages],
+                ["rounds", keydist_rounds(), result.rounds],
+            ],
+            title=f"key distribution (paper Fig. 1), n={args.n}",
+        )
+    )
+    ok = (
+        result.messages == keydist_messages(args.n)
+        and result.rounds == keydist_rounds()
+    )
+    print(f"\npredicates accepted everywhere: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_fd(args: argparse.Namespace) -> int:
+    outcome = run_fd_scenario(
+        args.n,
+        args.t,
+        args.value,
+        protocol=args.protocol,
+        auth=args.auth,
+        scheme=args.scheme,
+        seed=args.seed,
+    )
+    metrics = outcome.run.metrics
+    expected = (
+        fd_auth_messages(args.n)
+        if args.protocol == "chain"
+        else fd_nonauth_messages(args.n, args.t)
+        if args.protocol == "echo"
+        else metrics.messages_total
+    )
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["protocol", args.protocol],
+                ["authentication", args.auth],
+                ["messages", metrics.messages_total],
+                ["paper formula", expected],
+                ["rounds", metrics.rounds_used],
+                ["keydist messages", outcome.kd.messages if outcome.kd else 0],
+                ["decisions", sorted(set(map(repr, outcome.run.decisions().values())))],
+                ["F1-F3", "ok" if outcome.fd.ok else outcome.fd.detail],
+            ],
+            title=f"failure discovery, n={args.n}, t={args.t}",
+        )
+    )
+    return 0 if outcome.fd.ok else 1
+
+
+def _cmd_ba(args: argparse.Namespace) -> int:
+    outcome = run_ba_scenario(
+        args.n,
+        args.t,
+        args.value,
+        protocol=args.protocol,
+        auth=args.auth,
+        scheme=args.scheme,
+        seed=args.seed,
+    )
+    metrics = outcome.run.metrics
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["protocol", args.protocol],
+                ["messages", metrics.messages_total],
+                ["SM(t) direct would cost", sm_messages(args.n, args.t)],
+                ["rounds", metrics.rounds_used],
+                ["agreement/validity", "ok" if outcome.ba.ok else outcome.ba.detail],
+            ],
+            title=f"byzantine agreement, n={args.n}, t={args.t}",
+        )
+    )
+    return 0 if outcome.ba.ok else 1
+
+
+def _cmd_amortize(args: argparse.Namespace) -> int:
+    session = AmortizedSession(
+        n=args.n, t=args.t, auth=LOCAL, scheme=args.scheme, seed=args.seed
+    )
+    rows = []
+    for k in range(args.runs):
+        outcome = session.run(value=("run", k), seed=k)
+        if not outcome.fd.ok:
+            print(f"run {k}: F1-F3 violated: {outcome.fd.detail}", file=sys.stderr)
+            return 1
+        entry = session.ledger[-1]
+        rows.append(
+            [
+                entry.runs,
+                entry.local_total,
+                entry.baseline_total,
+                "local" if entry.amortized else "non-auth",
+            ]
+        )
+    print(
+        render_table(
+            ["runs", "keydist + chain", "echo baseline", "cheaper"],
+            rows,
+            title=f"amortization ledger, n={args.n}, t={args.t}",
+        )
+    )
+    measured = session.crossover_run()
+    predicted = crossover_runs(args.n, args.t) if args.t else None
+    print(f"\ncrossover: measured {measured}, closed form {predicted}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    catalogue = attack_catalogue(args.n, args.t)
+    if args.list:
+        print(
+            render_table(
+                ["name", "faulty nodes", "expects discovery", "description"],
+                [
+                    [s.name, sorted(s.faulty), s.expects_discovery, s.description]
+                    for s in catalogue
+                ],
+                title="attack catalogue (paper section 3.2 + Fig. 2 checks)",
+            )
+        )
+        return 0
+    by_name = {s.name: s for s in catalogue}
+    if args.name not in by_name:
+        print(f"unknown attack {args.name!r}; try --list", file=sys.stderr)
+        return 2
+    scenario = by_name[args.name]
+    outcome = run_fd_scenario(
+        args.n,
+        args.t,
+        args.value,
+        auth=LOCAL,
+        scheme=args.scheme,
+        seed=args.seed,
+        kd_adversaries=scenario.kd_adversaries(),
+        fd_adversary_factory=lambda kp, dirs: scenario.fd_adversary_factory(
+            args.n, args.t, kp, dirs
+        ),
+        faulty=scenario.faulty,
+    )
+    discoverers = [
+        s.node for s in outcome.run.states
+        if s.node in outcome.correct and s.discovered_failure
+    ]
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["scenario", scenario.name],
+                ["faulty nodes", sorted(scenario.faulty)],
+                ["F1-F3", "ok" if outcome.fd.ok else outcome.fd.detail],
+                ["discovery", outcome.fd.any_discovery],
+                ["theorem predicts discovery", scenario.expects_discovery],
+                ["discoverers", discoverers],
+            ],
+            title=f"attack run, n={args.n}, t={args.t}",
+        )
+    )
+    ok = (
+        outcome.fd.ok
+        and outcome.fd.any_discovery == scenario.expects_discovery
+    )
+    return 0 if ok else 1
+
+
+def _cmd_formulas(args: argparse.Namespace) -> int:
+    n, t = args.n, args.t
+    rows = [
+        ["key distribution messages", "3n(n-1)", keydist_messages(n)],
+        ["key distribution rounds", "3", keydist_rounds()],
+        ["chain FD messages", "n-1", fd_auth_messages(n)],
+        ["chain FD rounds", "t+1", fd_auth_rounds(t)],
+        ["echo FD messages", "(t+1)(n-1)", fd_nonauth_messages(n, t)],
+        ["SM(t) messages (failure-free)", "(n-1)+(n-1)(n-2)", sm_messages(n, t)],
+    ]
+    if t >= 1:
+        rows.append(["amortization crossover", "k > 3n/t", crossover_runs(n, t)])
+    print(
+        render_table(
+            ["quantity", "formula", f"value at n={n}, t={t}"],
+            rows,
+            title="the paper's complexity claims",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import run_all_experiments
+
+    tables = run_all_experiments(quick=not args.full)
+    failures = []
+    for table in tables:
+        print(table.render())
+        print()
+        if not table.ok:
+            failures.append(table.experiment)
+    if failures:
+        print(f"DEVIATIONS in: {failures}", file=sys.stderr)
+        return 1
+    print(f"all {len(tables)} experiments match the paper's formulas.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fd",
+        description=(
+            "Reproduction of Borcherding (ICDCS 1995): Efficient Failure "
+            "Discovery with Limited Authentication"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("keydist", help="run the key distribution protocol (Fig. 1)")
+    _add_common(p, with_t=False)
+    p.set_defaults(func=_cmd_keydist)
+
+    p = sub.add_parser("fd", help="run a failure discovery protocol (Fig. 2)")
+    _add_common(p)
+    p.add_argument(
+        "--protocol",
+        default="chain",
+        choices=["chain", "echo", "smallrange", "smallrange-optimistic"],
+    )
+    p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
+    p.add_argument("--value", default="demo-value")
+    p.set_defaults(func=_cmd_fd)
+
+    p = sub.add_parser("ba", help="run a Byzantine agreement protocol")
+    _add_common(p)
+    p.add_argument("--protocol", default="extension", choices=["extension", "signed"])
+    p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
+    p.add_argument("--value", default="demo-value")
+    p.set_defaults(func=_cmd_ba)
+
+    p = sub.add_parser("amortize", help="repeated FD runs: the Summary's ledger")
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=20)
+    p.set_defaults(func=_cmd_amortize)
+
+    p = sub.add_parser("attack", help="run scenarios from the attack catalogue")
+    _add_common(p)
+    p.add_argument("--list", action="store_true", help="list scenarios")
+    p.add_argument("--name", default="cross-claim-chain")
+    p.add_argument("--value", default="demo-value")
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("formulas", help="print every complexity claim")
+    _add_common(p)
+    p.set_defaults(func=_cmd_formulas)
+
+    p = sub.add_parser(
+        "report", help="regenerate all count experiments (E1-E8, E11)"
+    )
+    p.add_argument("--full", action="store_true", help="full-size sweeps")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Canonical, deterministic byte encoding of structured wire values.
+
+Signatures operate on byte strings, but the paper's protocols sign
+*structured* values such as ``{P_i, P_j, r}`` (a challenge naming two nodes
+and a nonce) and nested chain-signed messages.  This module provides the
+bridge: a total, injective, deterministic mapping from a closed set of
+Python value shapes to bytes, with an exact inverse.
+
+Determinism matters twice over:
+
+* two nodes must derive byte-identical encodings for the same logical value,
+  otherwise signature verification would fail between correct nodes; and
+* dictionary encodings must not depend on insertion order, so keys are
+  sorted by their own encoding.
+
+Supported shapes
+----------------
+``None``, ``bool``, ``int`` (arbitrary precision, signed), ``bytes``,
+``str``, sequences (``list``/``tuple``, decoded as ``tuple``), ``dict`` with
+sorted keys, and *registered objects*: dataclass-like types registered via
+:func:`register_codec` travel as a tagged (type-name, payload) pair.
+
+The format is a compact tag-length-value scheme with unsigned LEB128
+varints for lengths.  It is a private wire format, not an interoperability
+standard; its only contracts are injectivity and round-tripping, which the
+property tests in ``tests/crypto/test_encoding.py`` enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import DecodingError, EncodingError
+
+# Wire tags.  One byte each.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_BYTES = b"B"
+_TAG_STR = b"S"
+_TAG_SEQ = b"L"
+_TAG_DICT = b"D"
+_TAG_OBJ = b"O"
+
+# Registered object codecs: type -> (name, to_payload); name -> (type, from_payload).
+_TO_WIRE: dict[type, tuple[str, Callable[[Any], Any]]] = {}
+_FROM_WIRE: dict[str, Callable[[Any], Any]] = {}
+
+
+def register_codec(
+    cls: type,
+    name: str,
+    to_payload: Callable[[Any], Any],
+    from_payload: Callable[[Any], Any],
+) -> None:
+    """Register a codec so instances of ``cls`` can travel on the wire.
+
+    :param cls: the Python type to encode.
+    :param name: a stable wire name; must be unique across the process.
+    :param to_payload: maps an instance to an encodable payload value.
+    :param from_payload: maps a decoded payload back to an instance.
+    :raises EncodingError: if ``name`` or ``cls`` is already registered
+        with a different codec.
+    """
+    if name in _FROM_WIRE and _TO_WIRE.get(cls, (None,))[0] != name:
+        raise EncodingError(f"wire name {name!r} already registered")
+    if cls in _TO_WIRE and _TO_WIRE[cls][0] != name:
+        raise EncodingError(f"type {cls!r} already registered as {_TO_WIRE[cls][0]!r}")
+    _TO_WIRE[cls] = (name, to_payload)
+    _FROM_WIRE[name] = from_payload
+
+
+def _write_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint at ``pos``; return (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DecodingError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        # Arbitrary-precision ints are legitimate (RSA moduli are 512+
+        # bits); the bound only exists to stop a hostile peer streaming an
+        # unbounded varint.  16384 bits is far above any key material.
+        if shift > 16384:
+            raise DecodingError("varint too long")
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    # bool must be tested before int: bool is a subclass of int.
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        # Zig-zag map signed -> unsigned so varints stay compact.
+        zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
+        _write_uvarint(zigzag, out)
+    elif isinstance(value, bytes):
+        out += _TAG_BYTES
+        _write_uvarint(len(value), out)
+        out += value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        _write_uvarint(len(raw), out)
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_SEQ
+        _write_uvarint(len(value), out)
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        _write_uvarint(len(value), out)
+        encoded_items = []
+        for key, item in value.items():
+            key_buf = bytearray()
+            _encode_into(key, key_buf)
+            item_buf = bytearray()
+            _encode_into(item, item_buf)
+            encoded_items.append((bytes(key_buf), bytes(item_buf)))
+        encoded_items.sort(key=lambda pair: pair[0])
+        for index in range(1, len(encoded_items)):
+            if encoded_items[index][0] == encoded_items[index - 1][0]:
+                raise EncodingError("duplicate dict keys after canonicalisation")
+        for key_bytes, item_bytes in encoded_items:
+            out += key_bytes
+            out += item_bytes
+    elif type(value) in _TO_WIRE:
+        name, to_payload = _TO_WIRE[type(value)]
+        out += _TAG_OBJ
+        raw = name.encode("utf-8")
+        _write_uvarint(len(raw), out)
+        out += raw
+        _encode_into(to_payload(value), out)
+    else:
+        raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` canonically.
+
+    The encoding is deterministic: equal values (after tuple/list
+    normalisation) produce identical bytes, regardless of dict insertion
+    order or process state.
+
+    :raises EncodingError: for unsupported types or non-canonical dicts.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _decode_at(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise DecodingError("truncated value")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        zigzag, pos = _read_uvarint(data, pos)
+        value = (zigzag >> 1) if not zigzag & 1 else -((zigzag + 1) >> 1)
+        return value, pos
+    if tag == _TAG_BYTES:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise DecodingError("truncated bytes")
+        return data[pos : pos + length], pos + length
+    if tag == _TAG_STR:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise DecodingError("truncated string")
+        try:
+            return data[pos : pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise DecodingError("invalid utf-8 in string") from exc
+    if tag == _TAG_SEQ:
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_at(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _TAG_DICT:
+        count, pos = _read_uvarint(data, pos)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_at(data, pos)
+            item, pos = _decode_at(data, pos)
+            try:
+                if key in result:
+                    raise DecodingError("duplicate dict key")
+            except TypeError as exc:
+                raise DecodingError(f"unhashable dict key {key!r}") from exc
+            result[key] = item
+        return result, pos
+    if tag == _TAG_OBJ:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise DecodingError("truncated object name")
+        name = data[pos : pos + length].decode("utf-8", errors="replace")
+        pos += length
+        if name not in _FROM_WIRE:
+            raise DecodingError(f"unknown wire object type {name!r}")
+        payload, pos = _decode_at(data, pos)
+        try:
+            return _FROM_WIRE[name](payload), pos
+        except DecodingError:
+            raise
+        except Exception as exc:
+            raise DecodingError(f"payload rejected for {name!r}: {exc}") from exc
+    raise DecodingError(f"unknown tag {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`.
+
+    Sequences come back as tuples; all other shapes round-trip exactly.
+
+    :raises DecodingError: if ``data`` is not a complete canonical encoding.
+    """
+    value, pos = _decode_at(data, 0)
+    if pos != len(data):
+        raise DecodingError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def byte_size(value: Any) -> int:
+    """The canonical encoded size of ``value`` in bytes.
+
+    Used by the simulator's metrics to account bytes-on-wire (experiment E9).
+    """
+    return len(encode(value))

@@ -1,0 +1,153 @@
+"""Number-theoretic primitives for the from-scratch signature schemes.
+
+The paper cites RSA and DSA as example schemes satisfying its signature
+axioms S1-S3.  We implement both from first principles (no external crypto
+libraries are available offline), which requires primality testing, prime
+generation, modular inverses and subgroup parameter generation.
+
+Security disclaimer: key sizes default to research-grade small parameters
+(512-bit moduli) so that simulations with dozens of nodes stay fast.  This
+is a *reproduction substrate*, not a production cryptosystem.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import KeyGenerationError
+
+# Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+)
+
+# Deterministic Miller-Rabin witness sets.  Testing against these bases is
+# a *proof* of primality for n below the stated bounds (Sinclair/Jaeschke).
+_DETERMINISTIC_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 318_665_857_834_031_151_167_461  # ~3.3e23
+
+
+def _miller_rabin_round(n: int, base: int) -> bool:
+    """One Miller-Rabin round; True means 'probably prime' for this base."""
+    if base % n == 0:
+        return True
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(base, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 24) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (a proof, not a probability) for ``n`` below ~3.3e23;
+    above that, ``rounds`` random bases give error probability at most
+    ``4**-rounds``.
+
+    :param n: the candidate.
+    :param rng: randomness source for witness selection; a fresh unseeded
+        ``random.Random`` is used if omitted.
+    :param rounds: number of random witnesses for large ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return all(_miller_rabin_round(n, base) for base in _DETERMINISTIC_BASES)
+    if rng is None:
+        rng = random.Random()
+    for _ in range(rounds):
+        base = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, base):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random, max_attempts: int = 100_000) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    :param bits: bit length, at least 8.
+    :param rng: seeded randomness source (reproducibility contract: the
+        same rng state always yields the same prime).
+    :raises KeyGenerationError: if no prime is found within the attempt
+        budget (astronomically unlikely for sane ``bits``).
+    """
+    if bits < 8:
+        raise KeyGenerationError(f"prime bit length must be >= 8, got {bits}")
+    for _ in range(max_attempts):
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force exact bit length and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+    raise KeyGenerationError(f"no {bits}-bit prime found in {max_attempts} attempts")
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Modular inverse of ``a`` modulo ``modulus``.
+
+    :raises KeyGenerationError: if the inverse does not exist.
+    """
+    g, x, _ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise KeyGenerationError(f"{a} is not invertible modulo {modulus}")
+    return x % modulus
+
+
+def generate_schnorr_group(
+    p_bits: int, q_bits: int, rng: random.Random, max_attempts: int = 100_000
+) -> tuple[int, int, int]:
+    """Generate Schnorr/DSA-style group parameters ``(p, q, g)``.
+
+    ``q`` is a ``q_bits`` prime, ``p = q*k + 1`` is a ``p_bits`` prime, and
+    ``g`` generates the order-``q`` subgroup of ``Z_p^*``.
+
+    :raises KeyGenerationError: if parameters cannot be found in budget.
+    """
+    if q_bits >= p_bits:
+        raise KeyGenerationError(f"need q_bits < p_bits, got {q_bits} >= {p_bits}")
+    q = generate_prime(q_bits, rng)
+    for _ in range(max_attempts):
+        k = rng.getrandbits(p_bits - q_bits)
+        k |= 1 << (p_bits - q_bits - 1)
+        k &= ~1  # even k keeps p odd
+        p = q * k + 1
+        if p.bit_length() != p_bits or not is_probable_prime(p, rng):
+            continue
+        # Any h with h^((p-1)/q) != 1 yields a generator of the q-subgroup.
+        for _ in range(64):
+            h = rng.randrange(2, p - 1)
+            g = pow(h, (p - 1) // q, p)
+            if g != 1:
+                return p, q, g
+    raise KeyGenerationError(
+        f"no Schnorr group with p_bits={p_bits}, q_bits={q_bits} found"
+    )

@@ -1,0 +1,63 @@
+"""The signed-message value ``{m}_S`` and helpers to create and check it.
+
+A :class:`SignedMessage` bundles a structured body with the raw signature
+over the body's canonical encoding.  It is the unit the paper writes as
+``{m}_S``: test predicates consume it whole (``T_i({m}_S)``), and chain
+signatures nest it (:mod:`repro.crypto.chain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from . import encoding
+from .keys import SecretKey, TestPredicate
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """``{body}_S``: a body value plus a signature over its encoding.
+
+    Immutable and wire-encodable.  Equality is structural, which lets
+    protocol code deduplicate identical signed messages (used by the
+    signed-messages agreement protocol's relay filter).
+    """
+
+    body: Any
+    signature: bytes
+
+    def body_bytes(self) -> bytes:
+        """Canonical encoding of the body — the exact bytes that were signed."""
+        return encoding.encode(self.body)
+
+    def check(self, predicate: TestPredicate) -> bool:
+        """Evaluate the test predicate on this message: ``T({m}_S)``."""
+        return predicate(self.body_bytes(), self.signature)
+
+
+def sign_value(secret: SecretKey, body: Any) -> SignedMessage:
+    """Produce ``{body}_S`` — sign the canonical encoding of ``body``."""
+    return SignedMessage(body=body, signature=secret.sign(encoding.encode(body)))
+
+
+def garble_signature(signed: SignedMessage) -> SignedMessage:
+    """Return a copy with a corrupted signature (first byte flipped).
+
+    Fault-injection helper: models a Byzantine node forwarding a message
+    whose signature no longer verifies.  An empty signature becomes a
+    single null byte so the result is always distinct from the input.
+    """
+    if signed.signature:
+        corrupted = bytes([signed.signature[0] ^ 0xFF]) + signed.signature[1:]
+    else:
+        corrupted = b"\x00"
+    return SignedMessage(body=signed.body, signature=corrupted)
+
+
+encoding.register_codec(
+    SignedMessage,
+    "repro.SignedMessage",
+    lambda s: (s.body, s.signature),
+    lambda payload: SignedMessage(body=payload[0], signature=payload[1]),
+)

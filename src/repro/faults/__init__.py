@@ -1,0 +1,52 @@
+"""Byzantine fault library: generic behaviours and targeted attacks.
+
+* :mod:`repro.faults.behaviors` — crash, silence, drop, tamper, scripted;
+* :mod:`repro.faults.keyattacks` — the key-distribution attacks of the
+  paper's section 3.2 (key sharing, cross claiming, mixed predicates,
+  foreign claims);
+* :mod:`repro.faults.fdattacks` — attacks on the Failure Discovery
+  protocols (equivocation, fabrication, impersonation, withholding,
+  garbling, duplication).
+"""
+
+from .behaviors import (
+    CrashProtocol,
+    ScriptedProtocol,
+    SilentProtocol,
+    TamperingProtocol,
+)
+from .fdattacks import (
+    DelayedRelayChainNode,
+    EquivocatingSender,
+    FabricatingChainNode,
+    ImpersonatingChainNode,
+    duplicating_chain_node,
+    garbling_chain_node,
+    withholding_chain_node,
+)
+from .keyattacks import (
+    AdversaryCoordination,
+    ClaimForeignPredicateAttack,
+    CrossClaimAttack,
+    MixedPredicateAttack,
+    SharedKeyAttack,
+)
+
+__all__ = [
+    "AdversaryCoordination",
+    "ClaimForeignPredicateAttack",
+    "CrashProtocol",
+    "CrossClaimAttack",
+    "DelayedRelayChainNode",
+    "EquivocatingSender",
+    "FabricatingChainNode",
+    "ImpersonatingChainNode",
+    "MixedPredicateAttack",
+    "ScriptedProtocol",
+    "SharedKeyAttack",
+    "SilentProtocol",
+    "TamperingProtocol",
+    "duplicating_chain_node",
+    "garbling_chain_node",
+    "withholding_chain_node",
+]

@@ -1,0 +1,148 @@
+"""Generic Byzantine behaviours: crash, silence, drop, payload tampering.
+
+The model places no restriction on faulty nodes ("If a node is faulty it
+may behave in an arbitrary manner"), but every expressible behaviour still
+goes through the simulator's send/receive API — network properties N1/N2
+are *network* properties and hold regardless of who is sending.  These
+wrappers compose arbitrary misbehaviour out of an honest inner protocol:
+suppress some sends, rewrite some payloads, die at a chosen round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim import Envelope, NodeContext, Protocol
+from ..types import NodeId, Round
+
+# (round, recipient, payload) -> deliver?  Used by the drop filter.
+SendPredicate = Callable[[Round, NodeId, Any], bool]
+# (round, recipient, payload) -> replacement payload.
+PayloadTransform = Callable[[Round, NodeId, Any], Any]
+
+
+class SilentProtocol(Protocol):
+    """A node that never says anything (crashed before the run).
+
+    Note this is *not* a no-op for the system: peers expecting its
+    messages see deviations from failure-free views and discover failures.
+    """
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        ctx.halt()
+
+
+class CrashProtocol(Protocol):
+    """Behaves honestly, then crashes (halts silently) at ``crash_round``.
+
+    A crash at round ``r`` means the node performs rounds ``0 .. r-1``
+    honestly and sends nothing from round ``r`` on — the cleanest Byzantine
+    behaviour, and already enough to exercise missing-message discovery.
+    """
+
+    def __init__(self, inner: Protocol, crash_round: Round) -> None:
+        self.inner = inner
+        self.crash_round = crash_round
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.inner.setup(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if ctx.round >= self.crash_round:
+            ctx.halt()
+            return
+        self.inner.on_round(ctx, inbox)
+
+
+class _InterceptingContext:
+    """Context proxy that filters/rewrites outgoing messages.
+
+    Delegates everything to the wrapped context except ``send`` (and hence
+    ``broadcast``, which it reimplements on top of its own ``send`` so the
+    filter sees every individual message).
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        should_send: SendPredicate | None,
+        transform: PayloadTransform | None,
+    ) -> None:
+        self._ctx = ctx
+        self._should_send = should_send
+        self._transform = transform
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._ctx, item)
+
+    def send(self, to: NodeId, payload: Any) -> None:
+        if self._should_send is not None and not self._should_send(
+            self._ctx.round, to, payload
+        ):
+            return
+        if self._transform is not None:
+            payload = self._transform(self._ctx.round, to, payload)
+        self._ctx.send(to, payload)
+
+    def broadcast(self, payload: Any, to: list[NodeId] | None = None) -> None:
+        recipients = self._ctx.others() if to is None else to
+        for recipient in recipients:
+            self.send(recipient, payload)
+
+
+class TamperingProtocol(Protocol):
+    """Runs an honest protocol through a message-tampering lens.
+
+    :param inner: the honest behaviour to corrupt.
+    :param should_send: per-message drop filter (None = keep all).
+    :param transform: per-message payload rewrite (None = unchanged).
+
+    This is the workhorse for targeted attacks: selective withholding
+    (drop filter on specific recipients), signature garbling, value
+    substitution — each expressed as a small closure in the test or
+    scenario that builds it.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        should_send: SendPredicate | None = None,
+        transform: PayloadTransform | None = None,
+    ) -> None:
+        self.inner = inner
+        self._should_send = should_send
+        self._transform = transform
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.inner.setup(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        proxy = _InterceptingContext(ctx, self._should_send, self._transform)
+        self.inner.on_round(proxy, inbox)  # type: ignore[arg-type]
+
+
+class ScriptedProtocol(Protocol):
+    """Send an explicit script of messages; ignore everything received.
+
+    :param script: round -> list of (recipient, payload) to emit.
+    :param halt_after: round after which the node halts.
+
+    Maximal-control behaviour for constructing exact counterexample runs
+    (equivocation, fabricated chains, replayed messages).
+    """
+
+    def __init__(
+        self,
+        script: dict[Round, list[tuple[NodeId, Any]]],
+        halt_after: Round | None = None,
+    ) -> None:
+        self._script = {r: list(msgs) for r, msgs in script.items()}
+        if halt_after is None:
+            halt_after = max(self._script, default=0)
+        self._halt_after = halt_after
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        for recipient, payload in self._script.get(ctx.round, []):
+            ctx.send(recipient, payload)
+        if ctx.round >= self._halt_after:
+            ctx.halt()

@@ -1,0 +1,70 @@
+"""Failure Discovery: the problem (F1-F3) and three protocol families.
+
+* :mod:`repro.fd.authenticated` — the paper's Fig. 2 chain protocol,
+  ``n - 1`` messages, works under global *or* local authentication;
+* :mod:`repro.fd.nonauth` — the unauthenticated ``O(n·t)`` echo baseline;
+* :mod:`repro.fd.smallrange` — "assign values to missing messages"
+  variants for a known binary domain.
+"""
+
+from .authenticated import (
+    CHAIN_MSG,
+    SENDER,
+    ChainFDProtocol,
+    expected_signers_at,
+    make_chain_fd_protocols,
+)
+from .nonauth import (
+    ECHO_FD_ROUNDS,
+    ECHO_MSG,
+    VALUE_MSG,
+    EchoFDProtocol,
+    make_echo_fd_protocols,
+)
+from .oracle import (
+    OracleVerdict,
+    certify_protocol,
+    judge_run,
+    reference_views,
+)
+from .problem import (
+    FDEvaluation,
+    check_weak_agreement,
+    check_weak_termination,
+    check_weak_validity,
+    evaluate_fd,
+)
+from .smallrange import (
+    BINARY_DOMAIN,
+    DEFAULT_VALUE,
+    OptimisticBinaryChainProtocol,
+    SilentZeroBroadcastProtocol,
+    make_small_range_protocols,
+)
+
+__all__ = [
+    "BINARY_DOMAIN",
+    "CHAIN_MSG",
+    "DEFAULT_VALUE",
+    "ECHO_FD_ROUNDS",
+    "ECHO_MSG",
+    "SENDER",
+    "VALUE_MSG",
+    "ChainFDProtocol",
+    "EchoFDProtocol",
+    "FDEvaluation",
+    "OracleVerdict",
+    "OptimisticBinaryChainProtocol",
+    "SilentZeroBroadcastProtocol",
+    "certify_protocol",
+    "check_weak_agreement",
+    "check_weak_termination",
+    "check_weak_validity",
+    "evaluate_fd",
+    "expected_signers_at",
+    "judge_run",
+    "make_chain_fd_protocols",
+    "make_echo_fd_protocols",
+    "make_small_range_protocols",
+    "reference_views",
+]

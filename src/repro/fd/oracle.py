@@ -1,0 +1,118 @@
+"""The semantic failure-discovery oracle, from the paper's definition.
+
+    "A view of a node in round i of run r is the sequence of sets of
+    messages it has received in each round ... If a node's view of a run
+    differs from its views of all failure-free runs it discovers a
+    failure."
+
+Protocol implementations discover *operationally* (they check concrete
+expectations), which is efficient but raises a validation question: do
+the operational checks implement the semantic definition?  This oracle
+answers it for any protocol: build the failure-free reference views by
+running the honest protocol factory, then judge a (possibly faulty) run
+node by node against the definition.
+
+Used by the test suite to certify the chain and echo protocols
+(operational discovery fires exactly where views deviate) and available
+to users building new protocols on the simulator.
+
+Scope note: the oracle compares against the failure-free runs *for the
+same initial value*; a protocol whose failure-free runs vary with inputs
+other than the sender's value would need the reference set extended
+accordingly (none of this library's protocols do — their message pattern
+depends only on n, t and, for the small-range variants, the value, which
+the caller supplies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..sim import Protocol, RunResult, run_protocols
+from ..types import NodeId, Round
+
+# A factory producing the honest protocol list (used to build references).
+ProtocolFactory = Callable[[], Sequence[Protocol]]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Per-node comparison of a run against the failure-free reference.
+
+    :ivar semantic_discoverers: nodes whose views deviate from the
+        reference (the paper says these *must* discover).
+    :ivar operational_discoverers: nodes whose protocol actually flagged a
+        discovery.
+    :ivar first_deviation: node -> earliest deviating round.
+    """
+
+    semantic_discoverers: frozenset[NodeId]
+    operational_discoverers: frozenset[NodeId]
+    first_deviation: dict[NodeId, Round]
+
+    @property
+    def sound(self) -> bool:
+        """Operational discovery never fires without a semantic deviation
+        (no false positives)."""
+        return self.operational_discoverers <= self.semantic_discoverers
+
+    @property
+    def complete(self) -> bool:
+        """Every semantic deviation was operationally discovered
+        (no false negatives)."""
+        return self.semantic_discoverers <= self.operational_discoverers
+
+    @property
+    def exact(self) -> bool:
+        """Sound and complete: the implementation *is* the definition."""
+        return self.sound and self.complete
+
+
+def reference_views(factory: ProtocolFactory, seed: int | str = 0) -> RunResult:
+    """Run the honest protocols once, recording the failure-free views."""
+    return run_protocols(list(factory()), seed=seed, record_views=True)
+
+
+def judge_run(
+    reference: RunResult,
+    actual: RunResult,
+    correct: set[NodeId],
+) -> OracleVerdict:
+    """Apply the paper's discovery definition to ``actual``.
+
+    :param reference: a failure-free run with recorded views (from
+        :func:`reference_views`).
+    :param actual: the run under judgement, also with recorded views.
+    :param correct: nodes to judge (faulty nodes' discoveries carry no
+        meaning in the conditions F1-F3).
+    """
+    semantic: set[NodeId] = set()
+    deviations: dict[NodeId, Round] = {}
+    for node in sorted(correct):
+        deviation = actual.views[node].differs_from(reference.views[node])
+        if deviation is not None:
+            semantic.add(node)
+            deviations[node] = deviation
+    operational = {
+        state.node
+        for state in actual.states
+        if state.node in correct and state.discovered_failure
+    }
+    return OracleVerdict(
+        semantic_discoverers=frozenset(semantic),
+        operational_discoverers=frozenset(operational),
+        first_deviation=deviations,
+    )
+
+
+def certify_protocol(
+    honest_factory: ProtocolFactory,
+    faulty_factory: ProtocolFactory,
+    correct: set[NodeId],
+    seed: int | str = 0,
+) -> OracleVerdict:
+    """One-call certification: reference run, faulty run, judgement."""
+    reference = reference_views(honest_factory, seed=seed)
+    actual = run_protocols(list(faulty_factory()), seed=seed, record_views=True)
+    return judge_run(reference, actual, correct)

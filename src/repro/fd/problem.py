@@ -1,0 +1,147 @@
+"""The Failure Discovery problem: conditions F1-F3 and their checkers.
+
+From the paper (after Hadzilacos & Halpern):
+
+    "The problem is to devise an algorithm that will ensure the following
+    properties in the presence of up to t faulty nodes:
+
+    F1 (Weak Termination)  Each correct node eventually either chooses a
+        decision value or discovers a failure.
+    F2 (Weak Agreement)    If no correct node discovers a failure, then no
+        two correct nodes choose different decision values.
+    F3 (Weak Validity)     If no correct process discovers a failure and
+        the sender is correct, then no correct node chooses a value
+        different from the sender's initial value."
+
+If no failure is discovered this is Byzantine Agreement; a discovering
+node need not identify the faulty node, merely notice a failure exists.
+
+The checkers in this module evaluate F1-F3 over a finished simulator run.
+They are the oracle for every FD test and experiment: a protocol is
+correct iff no adversary within the fault budget can produce a run that
+fails any checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim import RunResult
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class FDEvaluation:
+    """Verdict of the F1-F3 checkers over one run.
+
+    :ivar weak_termination: F1 held.
+    :ivar weak_agreement: F2 held (vacuously true if any correct node
+        discovered a failure).
+    :ivar weak_validity: F3 held (vacuously true if any correct node
+        discovered, or the sender is faulty).
+    :ivar any_discovery: some correct node discovered a failure.
+    :ivar detail: human-readable description of the first violation, if any.
+    """
+
+    weak_termination: bool
+    weak_agreement: bool
+    weak_validity: bool
+    any_discovery: bool
+    detail: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """All three conditions hold."""
+        return self.weak_termination and self.weak_agreement and self.weak_validity
+
+
+def correct_states(result: RunResult, correct: set[NodeId]):
+    """The node states of the correct nodes, in id order."""
+    return [state for state in result.states if state.node in correct]
+
+
+def check_weak_termination(result: RunResult, correct: set[NodeId]) -> list[NodeId]:
+    """F1 violations: correct nodes that neither decided nor discovered."""
+    return [
+        state.node
+        for state in correct_states(result, correct)
+        if not state.decided and not state.discovered_failure
+    ]
+
+
+def check_weak_agreement(
+    result: RunResult, correct: set[NodeId]
+) -> tuple[NodeId, NodeId] | None:
+    """F2 violation: a pair of correct nodes with different decisions while
+    no correct node discovered a failure.  ``None`` when F2 holds.
+
+    Decision equality is structural equality of the decision values.
+    """
+    states = correct_states(result, correct)
+    if any(state.discovered_failure for state in states):
+        return None
+    decided = [state for state in states if state.decided]
+    for first in decided:
+        for second in decided:
+            if first.node < second.node and first.decision != second.decision:
+                return (first.node, second.node)
+    return None
+
+
+def check_weak_validity(
+    result: RunResult,
+    correct: set[NodeId],
+    sender: NodeId,
+    sender_value: Any,
+) -> list[NodeId] | None:
+    """F3 violation: correct nodes deciding a value other than the correct
+    sender's initial value, while no correct node discovered.  ``None``
+    when F3 holds (including vacuously, when the sender is faulty or a
+    discovery happened)."""
+    if sender not in correct:
+        return None
+    states = correct_states(result, correct)
+    if any(state.discovered_failure for state in states):
+        return None
+    offenders = [
+        state.node
+        for state in states
+        if state.decided and state.decision != sender_value
+    ]
+    return offenders or None
+
+
+def evaluate_fd(
+    result: RunResult,
+    correct: set[NodeId],
+    sender: NodeId,
+    sender_value: Any,
+) -> FDEvaluation:
+    """Run all three checkers and fold them into one verdict."""
+    unterminated = check_weak_termination(result, correct)
+    disagreement = check_weak_agreement(result, correct)
+    invalid = check_weak_validity(result, correct, sender, sender_value)
+    any_discovery = any(
+        state.discovered_failure for state in correct_states(result, correct)
+    )
+    detail = None
+    if unterminated:
+        detail = f"F1 violated: nodes {unterminated} neither decided nor discovered"
+    elif disagreement:
+        detail = (
+            f"F2 violated: nodes {disagreement[0]} and {disagreement[1]} "
+            "decided differently with no discovery"
+        )
+    elif invalid:
+        detail = (
+            f"F3 violated: nodes {invalid} decided against correct sender "
+            f"{sender}'s value {sender_value!r}"
+        )
+    return FDEvaluation(
+        weak_termination=not unterminated,
+        weak_agreement=disagreement is None,
+        weak_validity=invalid is None,
+        any_discovery=any_discovery,
+        detail=detail,
+    )

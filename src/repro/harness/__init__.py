@@ -1,0 +1,31 @@
+"""Experiment harness: scenario runner, attack catalogue, sweeps."""
+
+from .runner import (
+    GLOBAL,
+    LOCAL,
+    ScenarioOutcome,
+    run_ba_scenario,
+    run_fd_scenario,
+    setup_authentication,
+)
+from .scenarios import AttackScenario, attack_catalogue
+from .session import AmortizedSession, LedgerEntry
+from .sweep import SweepPoint, grid, sizes_with_budgets, standard_sizes, sweep
+
+__all__ = [
+    "AmortizedSession",
+    "AttackScenario",
+    "GLOBAL",
+    "LedgerEntry",
+    "LOCAL",
+    "ScenarioOutcome",
+    "SweepPoint",
+    "attack_catalogue",
+    "grid",
+    "run_ba_scenario",
+    "run_fd_scenario",
+    "setup_authentication",
+    "sizes_with_budgets",
+    "standard_sizes",
+    "sweep",
+]

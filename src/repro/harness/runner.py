@@ -1,0 +1,202 @@
+"""Scenario runner: authentication setup + protocol run + evaluation.
+
+One call = one experiment data point.  The runner wires together the
+layers in the order the paper prescribes: establish authentication (local
+key distribution or global trusted dealer), then run a Failure Discovery
+or agreement protocol on the resulting key material, then evaluate the
+F1-F3 / BA conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..agreement import (
+    BAEvaluation,
+    evaluate_ba,
+    make_extended_protocols,
+    make_signed_agreement_protocols,
+)
+from ..auth import (
+    KeyDirectory,
+    KeyDistributionResult,
+    run_key_distribution,
+    trusted_dealer_setup,
+)
+from ..crypto import DEFAULT_SCHEME
+from ..crypto.keys import KeyPair
+from ..errors import ConfigurationError
+from ..fd import (
+    FDEvaluation,
+    evaluate_fd,
+    make_chain_fd_protocols,
+    make_echo_fd_protocols,
+    make_small_range_protocols,
+)
+from ..sim import Protocol, RunResult, run_protocols
+from ..types import NodeId
+
+#: Authentication modes: the paper's new mechanism vs the classic baseline.
+LOCAL = "local"
+GLOBAL = "global"
+
+# Given the authentication outputs, build the faulty nodes' behaviours.
+AdversaryFactory = Callable[
+    [dict[NodeId, KeyPair], dict[NodeId, KeyDirectory]], dict[NodeId, Protocol]
+]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    :ivar kd: the key distribution result (None under global auth).
+    :ivar run: the protocol run itself.
+    :ivar fd: F1-F3 evaluation (None for BA scenarios).
+    :ivar ba: BA evaluation (None for FD scenarios).
+    :ivar correct: the correct-node set the evaluation used.
+    """
+
+    kd: KeyDistributionResult | None
+    run: RunResult
+    fd: FDEvaluation | None
+    ba: BAEvaluation | None
+    correct: set[NodeId]
+
+    @property
+    def total_messages(self) -> int:
+        """Protocol messages plus (under local auth) key distribution."""
+        kd_messages = self.kd.messages if self.kd is not None else 0
+        return kd_messages + self.run.metrics.messages_total
+
+
+def setup_authentication(
+    n: int,
+    auth: str = GLOBAL,
+    scheme: str = DEFAULT_SCHEME,
+    seed: int | str = 0,
+    kd_adversaries: dict[NodeId, Protocol] | None = None,
+) -> tuple[dict[NodeId, KeyPair], dict[NodeId, KeyDirectory], KeyDistributionResult | None]:
+    """Establish keys and directories in the requested mode.
+
+    :param auth: :data:`LOCAL` (run the paper's Fig. 1 protocol, possibly
+        with Byzantine participants) or :data:`GLOBAL` (trusted dealer).
+    :returns: ``(keypairs, directories, kd_result_or_None)``.
+    """
+    if auth == GLOBAL:
+        if kd_adversaries:
+            raise ConfigurationError(
+                "key-distribution adversaries only make sense under local auth"
+            )
+        keypairs, directories = trusted_dealer_setup(n, scheme=scheme, seed=seed)
+        return keypairs, directories, None
+    if auth == LOCAL:
+        kd = run_key_distribution(
+            n, scheme=scheme, adversaries=kd_adversaries, seed=seed
+        )
+        return kd.keypairs, kd.directories, kd
+    raise ConfigurationError(f"unknown auth mode {auth!r}")
+
+
+def run_fd_scenario(
+    n: int,
+    t: int,
+    value: Any,
+    protocol: str = "chain",
+    auth: str = GLOBAL,
+    scheme: str = DEFAULT_SCHEME,
+    seed: int | str = 0,
+    kd_adversaries: dict[NodeId, Protocol] | None = None,
+    fd_adversary_factory: AdversaryFactory | None = None,
+    faulty: set[NodeId] | None = None,
+) -> ScenarioOutcome:
+    """Run one Failure Discovery scenario end to end.
+
+    :param protocol: ``"chain"`` (paper Fig. 2), ``"echo"`` (non-auth
+        baseline), ``"smallrange"`` / ``"smallrange-optimistic"`` (binary
+        variants).
+    :param kd_adversaries: Byzantine behaviours during key distribution.
+    :param fd_adversary_factory: builds the FD-phase Byzantine behaviours
+        once key material exists.
+    :param faulty: the faulty-node set for evaluation; inferred from the
+        two adversary collections when omitted.
+    """
+    keypairs, directories, kd = setup_authentication(
+        n, auth=auth, scheme=scheme, seed=seed, kd_adversaries=kd_adversaries
+    )
+    fd_adversaries = (
+        fd_adversary_factory(keypairs, directories)
+        if fd_adversary_factory is not None
+        else {}
+    )
+    if faulty is None:
+        faulty = set(kd_adversaries or {}) | set(fd_adversaries)
+    correct = set(range(n)) - faulty
+
+    if protocol == "chain":
+        protocols = make_chain_fd_protocols(
+            n, t, value, keypairs, directories, adversaries=fd_adversaries
+        )
+    elif protocol == "echo":
+        protocols = make_echo_fd_protocols(n, t, value, adversaries=fd_adversaries)
+    elif protocol in ("smallrange", "smallrange-optimistic"):
+        protocols = make_small_range_protocols(
+            n,
+            t,
+            value,
+            keypairs,
+            directories,
+            adversaries=fd_adversaries,
+            optimistic=protocol.endswith("optimistic"),
+        )
+    else:
+        raise ConfigurationError(f"unknown FD protocol {protocol!r}")
+
+    run = run_protocols(protocols, seed=seed)
+    fd_eval = evaluate_fd(run, correct, sender=0, sender_value=value)
+    return ScenarioOutcome(kd=kd, run=run, fd=fd_eval, ba=None, correct=correct)
+
+
+def run_ba_scenario(
+    n: int,
+    t: int,
+    value: Any,
+    protocol: str = "extension",
+    auth: str = GLOBAL,
+    scheme: str = DEFAULT_SCHEME,
+    seed: int | str = 0,
+    kd_adversaries: dict[NodeId, Protocol] | None = None,
+    ba_adversary_factory: AdversaryFactory | None = None,
+    faulty: set[NodeId] | None = None,
+) -> ScenarioOutcome:
+    """Run one Byzantine Agreement scenario end to end.
+
+    :param protocol: ``"extension"`` (FD→BA) or ``"signed"`` (SM(t)).
+    """
+    keypairs, directories, kd = setup_authentication(
+        n, auth=auth, scheme=scheme, seed=seed, kd_adversaries=kd_adversaries
+    )
+    ba_adversaries = (
+        ba_adversary_factory(keypairs, directories)
+        if ba_adversary_factory is not None
+        else {}
+    )
+    if faulty is None:
+        faulty = set(kd_adversaries or {}) | set(ba_adversaries)
+    correct = set(range(n)) - faulty
+
+    if protocol == "extension":
+        protocols = make_extended_protocols(
+            n, t, value, keypairs, directories, adversaries=ba_adversaries
+        )
+    elif protocol == "signed":
+        protocols = make_signed_agreement_protocols(
+            n, t, value, keypairs, directories, adversaries=ba_adversaries
+        )
+    else:
+        raise ConfigurationError(f"unknown BA protocol {protocol!r}")
+
+    run = run_protocols(protocols, seed=seed)
+    ba_eval = evaluate_ba(run, correct, sender=0, sender_value=value)
+    return ScenarioOutcome(kd=kd, run=run, fd=None, ba=ba_eval, correct=correct)

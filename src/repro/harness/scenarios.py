@@ -1,0 +1,244 @@
+"""Named attack scenarios for the discovery experiments (E6).
+
+Each scenario packages: which nodes are Byzantine, how they misbehave
+during key distribution and/or the FD run, and what the paper's theorems
+predict about the outcome.  The E6 benchmark and the integration tests
+iterate this catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..auth.directory import KeyDirectory
+from ..crypto.keys import KeyPair
+from ..faults import (
+    AdversaryCoordination,
+    CrossClaimAttack,
+    FabricatingChainNode,
+    ImpersonatingChainNode,
+    MixedPredicateAttack,
+    SharedKeyAttack,
+    SilentProtocol,
+    garbling_chain_node,
+    withholding_chain_node,
+)
+from ..sim import Protocol
+from ..types import NodeId
+
+
+def _no_fd_adversaries(n, t, keypairs, directories):
+    """Default FD-phase adversary factory: no replacements."""
+    return {}
+
+
+@dataclass
+class AttackScenario:
+    """A named Byzantine scenario against key distribution + chain FD.
+
+    :ivar name: stable identifier used in reports.
+    :ivar faulty: the Byzantine node set.
+    :ivar expects_discovery: whether, per the paper's theorems, at least
+        one correct node must discover a failure in the FD run (scenarios
+        that merely corrupt the *directories* without touching the FD run
+        may legitimately complete undiscovered — the corruption only
+        matters once a corrupted key signs something).
+    :ivar description: what the scenario exercises.
+    """
+
+    name: str
+    faulty: set[NodeId]
+    kd_adversaries: Callable[[], dict[NodeId, Protocol]]
+    fd_adversary_factory: Callable[
+        [int, int, dict[NodeId, KeyPair], dict[NodeId, KeyDirectory]],
+        dict[NodeId, Protocol],
+    ] = field(default=_no_fd_adversaries)
+    expects_discovery: bool = True
+    description: str = ""
+
+
+def _shared_key_chain_scenario(n: int, t: int) -> AttackScenario:
+    """Faulty pair shares a key; the in-chain one signs with it.
+
+    Receivers assign the signature to *both* sharers — consistently, which
+    is why the paper notes key sharing does not break G3 and why this run
+    legitimately completes without discovery."""
+    coordination = AdversaryCoordination()
+    a, b = t, n - 1  # one in the chain, one receiver
+
+    def kd() -> dict[NodeId, Protocol]:
+        return {
+            a: SharedKeyAttack(coordination, "shared"),
+            b: SharedKeyAttack(coordination, "shared"),
+        }
+
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        shared = coordination.known_keypairs()["shared"]
+        return {
+            a: ImpersonatingChainNode(n_, t_, shared),
+            b: SilentProtocol(),
+        }
+
+    return AttackScenario(
+        name="shared-key-chain",
+        faulty={a, b},
+        kd_adversaries=kd,
+        fd_adversary_factory=fd,
+        # Key sharing is the benign case of the paper's G3 discussion:
+        # "still all correct recipients of the signed message assign it to
+        # the same node" — every correct node makes the same
+        # multi-assignment, the chain verifies everywhere, and F1-F3 hold
+        # without any discovery being necessary.
+        expects_discovery=False,
+        description=(
+            "two faulty nodes register one key (paper G3 discussion); the "
+            "in-chain one extends the chain with it — consistent "
+            "multi-assignment, legitimately undiscovered"
+        ),
+    )
+
+
+def _cross_claim_scenario(n: int, t: int) -> AttackScenario:
+    """The paper's mixed-manner distribution: two faulty nodes cross-claim
+    two keys so correct observers assign signatures to different nodes;
+    one of them then signs inside the chain."""
+    coordination = AdversaryCoordination()
+    a, b = t, n - 1
+    group_one = {node for node in range(n) if node % 2 == 0 and node not in (a, b)}
+
+    def kd() -> dict[NodeId, Protocol]:
+        return {
+            a: CrossClaimAttack(coordination, group_one, "x", "y"),
+            b: CrossClaimAttack(coordination, group_one, "y", "x"),
+        }
+
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        key_x = coordination.known_keypairs()["x"]
+        return {
+            a: ImpersonatingChainNode(n_, t_, key_x),
+            b: SilentProtocol(),
+        }
+
+    return AttackScenario(
+        name="cross-claim-chain",
+        faulty={a, b},
+        kd_adversaries=kd,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description=(
+            "cooperating faulty nodes distribute predicates in a mixed "
+            "manner (paper section 3.2) and then sign in the chain — the "
+            "Theorem 4 situation"
+        ),
+    )
+
+
+def _mixed_predicate_scenario(n: int, t: int) -> AttackScenario:
+    """A single faulty chain node gives different predicates to different
+    correct nodes, creating assignment classes, then signs in the chain:
+    the class that cannot assign must discover."""
+    coordination = AdversaryCoordination()
+    a = t
+    group_one = {node for node in range(n) if node % 2 == 1 and node != a}
+
+    def kd() -> dict[NodeId, Protocol]:
+        return {a: MixedPredicateAttack(coordination, group_one, "p", "q")}
+
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        key_p = coordination.known_keypairs()["p"]
+        return {a: ImpersonatingChainNode(n_, t_, key_p)}
+
+    return AttackScenario(
+        name="mixed-predicate-chain",
+        faulty={a},
+        kd_adversaries=kd,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description=(
+            "faulty node distributes different test predicates to correct "
+            "node classes (paper section 3.2), then signs in the chain"
+        ),
+    )
+
+
+def _withholding_scenario(n: int, t: int) -> AttackScenario:
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        return {
+            1: withholding_chain_node(
+                n_, t_, keypairs[1], directories[1], withhold_from={2}
+            )
+        }
+
+    return AttackScenario(
+        name="withholding-chain-node",
+        faulty={1},
+        kd_adversaries=dict,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description="chain node drops the chain message to its successor",
+    )
+
+
+def _garbling_scenario(n: int, t: int) -> AttackScenario:
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        return {1: garbling_chain_node(n_, t_, keypairs[1], directories[1])}
+
+    return AttackScenario(
+        name="garbling-chain-node",
+        faulty={1},
+        kd_adversaries=dict,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description="chain node forwards the chain with a corrupted signature",
+    )
+
+
+def _fabricating_scenario(n: int, t: int) -> AttackScenario:
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        return {1: FabricatingChainNode(n_, t_, keypairs[1], "forged-value")}
+
+    return AttackScenario(
+        name="fabricating-chain-node",
+        faulty={1},
+        kd_adversaries=dict,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description=(
+            "chain node discards the chain and restarts it from its own "
+            "leaf with a substituted value"
+        ),
+    )
+
+
+def _crash_scenario(n: int, t: int) -> AttackScenario:
+    def fd(n_, t_, keypairs, directories) -> dict[NodeId, Protocol]:
+        return {1: SilentProtocol()}
+
+    return AttackScenario(
+        name="crashed-chain-node",
+        faulty={1},
+        kd_adversaries=dict,
+        fd_adversary_factory=fd,
+        expects_discovery=True,
+        description="chain node crashed before the run",
+    )
+
+
+def attack_catalogue(n: int, t: int) -> list[AttackScenario]:
+    """All E6 scenarios instantiated for the given network shape.
+
+    Requires ``t >= 1`` (the attacks place a faulty node inside the chain)
+    and ``n >= t + 3`` (at least two receivers).
+    """
+    if t < 1 or n < t + 3:
+        raise ValueError(f"attack catalogue needs t >= 1 and n >= t+3, got n={n}, t={t}")
+    return [
+        _withholding_scenario(n, t),
+        _garbling_scenario(n, t),
+        _fabricating_scenario(n, t),
+        _crash_scenario(n, t),
+        _shared_key_chain_scenario(n, t),
+        _cross_claim_scenario(n, t),
+        _mixed_predicate_scenario(n, t),
+    ]

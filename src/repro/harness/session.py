@@ -1,0 +1,130 @@
+"""Amortized sessions: pay for key distribution once, run FD many times.
+
+This is the deployment story of the paper's Summary: "one can run
+arbitrarily many Failure Discovery protocols with low message complexity"
+after establishing local authentication once.  An :class:`AmortizedSession`
+holds the authentication state across runs and keeps a cumulative ledger
+comparing against the non-authenticated baseline, so callers can watch the
+3·n·(n−1) investment pay off run by run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis import fd_nonauth_messages
+from ..auth import run_key_distribution, trusted_dealer_setup
+from ..crypto import DEFAULT_SCHEME
+from ..fd import evaluate_fd, make_chain_fd_protocols
+from ..sim import Protocol, run_protocols
+from ..types import NodeId, validate_fault_budget
+from .runner import GLOBAL, LOCAL, AdversaryFactory, ScenarioOutcome
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """Cumulative totals after one more FD run in the session."""
+
+    runs: int
+    local_total: int      # keydist (if any) + all FD runs so far
+    baseline_total: int   # what runs * echo-FD would have cost
+
+    @property
+    def amortized(self) -> bool:
+        """True once the session has beaten the non-auth baseline."""
+        return self.local_total < self.baseline_total
+
+
+class AmortizedSession:
+    """Authentication established once; chain-FD runs on demand.
+
+    :param n: network size.
+    :param t: fault budget for every FD run in the session.
+    :param auth: :data:`LOCAL` (pay 3n(n−1) up front, the paper's setting)
+        or :data:`GLOBAL` (trusted dealer, zero setup messages).
+    :param seed: master seed for key generation.
+
+    Example::
+
+        session = AmortizedSession(n=16, t=5, auth=LOCAL)
+        for k in range(20):
+            outcome = session.run(value=("op", k), seed=k)
+            assert outcome.fd.ok
+        assert session.ledger[-1].amortized  # 3n(n-1) has paid for itself
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        auth: str = LOCAL,
+        scheme: str = DEFAULT_SCHEME,
+        seed: int | str = 0,
+    ) -> None:
+        validate_fault_budget(t, n)
+        self.n = n
+        self.t = t
+        self.auth = auth
+        if auth == LOCAL:
+            self._kd = run_key_distribution(n, scheme=scheme, seed=seed)
+            self.keypairs = self._kd.keypairs
+            self.directories = self._kd.directories
+            self.setup_messages = self._kd.messages
+        elif auth == GLOBAL:
+            self._kd = None
+            self.keypairs, self.directories = trusted_dealer_setup(
+                n, scheme=scheme, seed=seed
+            )
+            self.setup_messages = 0
+        else:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(f"unknown auth mode {auth!r}")
+        self._fd_messages = 0
+        self.ledger: list[LedgerEntry] = []
+
+    def run(
+        self,
+        value: Any,
+        seed: int | str = 0,
+        adversary_factory: AdversaryFactory | None = None,
+        faulty: set[NodeId] | None = None,
+    ) -> ScenarioOutcome:
+        """Run one chain-FD instance over the session's key material."""
+        adversaries: dict[NodeId, Protocol] = (
+            adversary_factory(self.keypairs, self.directories)
+            if adversary_factory is not None
+            else {}
+        )
+        if faulty is None:
+            faulty = set(adversaries)
+        correct = set(range(self.n)) - faulty
+        protocols = make_chain_fd_protocols(
+            self.n, self.t, value, self.keypairs, self.directories,
+            adversaries=adversaries,
+        )
+        run = run_protocols(protocols, seed=seed)
+        self._fd_messages += run.metrics.messages_total
+        self.ledger.append(
+            LedgerEntry(
+                runs=len(self.ledger) + 1,
+                local_total=self.setup_messages + self._fd_messages,
+                baseline_total=(len(self.ledger) + 1)
+                * fd_nonauth_messages(self.n, self.t),
+            )
+        )
+        return ScenarioOutcome(
+            kd=self._kd,
+            run=run,
+            fd=evaluate_fd(run, correct, sender=0, sender_value=value),
+            ba=None,
+            correct=correct,
+        )
+
+    def crossover_run(self) -> int | None:
+        """The run index at which the session first beat the baseline."""
+        for entry in self.ledger:
+            if entry.amortized:
+                return entry.runs
+        return None

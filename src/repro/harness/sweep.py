@@ -1,0 +1,54 @@
+"""Parameter sweeps: the loops behind every benchmark series.
+
+Kept deliberately simple — a sweep is a list of parameter points and a
+function applied to each, with results collected in order so benchmark
+output is stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Iterable, Sequence
+
+from ..types import default_fault_budget
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter point and its measurement."""
+
+    params: dict[str, Any]
+    result: Any
+
+
+def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes, in axis-order-major sequence.
+
+    >>> grid(n=[4, 8], seed=[0, 1])
+    [{'n': 4, 'seed': 0}, {'n': 4, 'seed': 1}, {'n': 8, 'seed': 0}, {'n': 8, 'seed': 1}]
+    """
+    names = list(axes)
+    return [
+        dict(zip(names, combo)) for combo in product(*(axes[name] for name in names))
+    ]
+
+
+def sweep(
+    points: Iterable[dict[str, Any]], fn: Callable[..., Any]
+) -> list[SweepPoint]:
+    """Apply ``fn(**params)`` to every point, collecting results in order."""
+    return [SweepPoint(params=dict(p), result=fn(**p)) for p in points]
+
+
+def standard_sizes(small: bool = False) -> list[int]:
+    """Network sizes used across the experiment suite.
+
+    :param small: trimmed list for quick runs / CI.
+    """
+    return [4, 8, 16] if small else [4, 8, 16, 32, 64]
+
+
+def sizes_with_budgets(sizes: Iterable[int]) -> list[tuple[int, int]]:
+    """``(n, t)`` pairs with the conventional budget ``t = (n-1)//3``."""
+    return [(n, default_fault_budget(n)) for n in sizes]

@@ -1,0 +1,31 @@
+"""Synchronous-network simulator realising the paper's model of computation.
+
+Fully interconnected network, lock-step rounds, reliable bounded-time
+delivery (N1) and authenticated immediate senders (N2).  See
+:mod:`repro.sim.scheduler` for the semantics and determinism contract.
+"""
+
+from .message import Envelope, payload_kind
+from .metrics import Metrics
+from .node import NodeContext, NodeState, Protocol
+from .rng import node_rng
+from .scheduler import Runner, RunResult, run_protocols
+from .trace import Trace, TraceEvent
+from .views import ReceivedMessage, View
+
+__all__ = [
+    "Envelope",
+    "Metrics",
+    "NodeContext",
+    "NodeState",
+    "Protocol",
+    "ReceivedMessage",
+    "RunResult",
+    "Runner",
+    "Trace",
+    "TraceEvent",
+    "View",
+    "node_rng",
+    "payload_kind",
+    "run_protocols",
+]

@@ -1,0 +1,49 @@
+"""Message envelopes delivered by the synchronous network.
+
+An :class:`Envelope` is the simulator's unit of delivery.  It carries the
+unforgeable ``sender`` field — network property N2 ("a receiver of a message
+can identify its immediate sender") is realised by the fact that only the
+network constructs envelopes, stamping the true origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..crypto import encoding
+from ..types import NodeId, Round
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: who sent it, to whom, what, and when.
+
+    :ivar sender: true originating node (stamped by the network, N2).
+    :ivar recipient: destination node.
+    :ivar payload: any wire-encodable value; by convention protocols use
+        tuples whose first element is a string kind tag.
+    :ivar round_sent: round in which the sender emitted the message; it is
+        received at ``round_sent + 1`` (bounded-time delivery, N1).
+    """
+
+    sender: NodeId
+    recipient: NodeId
+    payload: Any
+    round_sent: Round
+
+    def byte_size(self) -> int:
+        """Bytes-on-wire of the payload under the canonical encoding."""
+        return encoding.byte_size(self.payload)
+
+
+def payload_kind(payload: Any) -> str:
+    """Classify a payload for metrics breakdowns.
+
+    Protocol payloads are tuples tagged with a string head (for example
+    ``("predicate", ...)`` or ``("chain", ...)``); anything else is grouped
+    under its type name.
+    """
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    return type(payload).__name__

@@ -1,0 +1,151 @@
+"""The protocol interface and per-node execution state.
+
+A :class:`Protocol` is the behaviour of one node.  Correct nodes run the
+honest protocol implementations from :mod:`repro.auth`, :mod:`repro.fd` and
+:mod:`repro.agreement`; Byzantine nodes run behaviours from
+:mod:`repro.faults`.  Both use the same :class:`NodeContext` API — Byzantine
+power in this model is "send anything to anyone at any round", never
+breaking network guarantees N1/N2, which the network enforces regardless of
+who is sending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ProtocolViolationError
+from ..types import NodeId, Round
+from .message import Envelope
+
+if TYPE_CHECKING:
+    import random
+
+    from .scheduler import Runner
+
+
+@dataclass
+class NodeState:
+    """Externally visible outcome of one node after (or during) a run.
+
+    :ivar decision: the value chosen via :meth:`NodeContext.decide`, if any.
+    :ivar decided: whether a decision was made (distinguishes a decision of
+        ``None`` from no decision).
+    :ivar discovered: failure-discovery reason, or ``None``.  Matches the
+        paper's notion: the node noticed its view cannot belong to a
+        failure-free run.  The reason string is diagnostic only; the paper
+        notes a discoverer need not identify *which* node is faulty.
+    :ivar halted: node finished participating.
+    :ivar outputs: protocol-specific results (e.g. the key directory built
+        by the key distribution protocol).
+    """
+
+    node: NodeId
+    decision: Any = None
+    decided: bool = False
+    discovered: str | None = None
+    halted: bool = False
+    outputs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def discovered_failure(self) -> bool:
+        return self.discovered is not None
+
+
+class NodeContext:
+    """Capabilities handed to a protocol: its window onto the network.
+
+    Created by the runner; one per node per run.  All sends are deferred to
+    the end of the current round and delivered at the start of the next —
+    the synchronous-rounds semantics of the paper's model.
+    """
+
+    def __init__(
+        self, runner: "Runner", node: NodeId, rng: "random.Random"
+    ) -> None:
+        self._runner = runner
+        self.node = node
+        self.rng = rng
+        self.state = NodeState(node=node)
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self._runner.n
+
+    @property
+    def round(self) -> Round:
+        """The current round index (0-based)."""
+        return self._runner.round
+
+    def others(self) -> list[NodeId]:
+        """All node ids except this node's, in id order."""
+        return [i for i in range(self.n) if i != self.node]
+
+    def send(self, to: NodeId, payload: Any) -> None:
+        """Send ``payload`` to node ``to``; delivered next round (N1).
+
+        :raises ProtocolViolationError: on self-send, unknown recipient or
+            sending after halt — all of these are implementation bugs, not
+            expressible Byzantine behaviours.
+        """
+        if self.state.halted:
+            raise ProtocolViolationError(
+                f"node {self.node} sent a message after halting"
+            )
+        if to == self.node:
+            raise ProtocolViolationError(f"node {self.node} sent to itself")
+        if not 0 <= to < self.n:
+            raise ProtocolViolationError(
+                f"node {self.node} sent to invalid recipient {to}"
+            )
+        self._runner.enqueue(
+            Envelope(
+                sender=self.node, recipient=to, payload=payload, round_sent=self.round
+            )
+        )
+
+    def broadcast(self, payload: Any, to: list[NodeId] | None = None) -> None:
+        """Send ``payload`` to every node in ``to`` (default: all others)."""
+        for recipient in (self.others() if to is None else to):
+            self.send(recipient, payload)
+
+    def decide(self, value: Any) -> None:
+        """Choose a decision value (FD condition F1's 'chooses a value')."""
+        self.state.decision = value
+        self.state.decided = True
+
+    def discover_failure(self, reason: str) -> None:
+        """Record that this node's view cannot be failure-free.
+
+        Idempotent: the first reason wins, so diagnostics point at the
+        earliest deviation.
+        """
+        if self.state.discovered is None:
+            self.state.discovered = reason
+
+    def halt(self) -> None:
+        """Stop participating; the runner will no longer invoke this node."""
+        self.state.halted = True
+
+
+class Protocol:
+    """Base class for node behaviours.
+
+    Subclasses override :meth:`setup` (pre-round initialisation, no
+    sending) and :meth:`on_round` (invoked every round with the messages
+    that arrived this round).  A protocol signals completion by calling
+    ``ctx.halt()``; the runner ends the run when all nodes have halted.
+    """
+
+    def setup(self, ctx: NodeContext) -> None:
+        """One-time initialisation before round 0.  Must not send."""
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Handle one synchronous round.
+
+        :param ctx: the node's capabilities.
+        :param inbox: messages sent to this node in the previous round,
+            sorted by sender id (deterministic order).
+        """
+        raise NotImplementedError

@@ -1,0 +1,197 @@
+"""The synchronous round scheduler (the network "runtime").
+
+Realises the paper's model of computation:
+
+* fully interconnected network of ``n`` nodes (any node may address any
+  other directly);
+* N1 — reliable, bounded-time transmission: every message sent in round
+  ``r`` is delivered at round ``r + 1``, never lost, never duplicated,
+  never reordered within a round (inboxes are sender-sorted);
+* N2 — the receiver learns the true immediate sender: envelopes are
+  stamped by the network, and protocols (including Byzantine ones) have no
+  way to spoof the ``sender`` field;
+* lock-step rounds: each node's behaviour in round ``r`` is a function of
+  its view through round ``r`` (its inbox plus prior state).
+
+Determinism contract: given the same protocols and master seed, a run is
+bit-for-bit reproducible — node rngs are seed-derived and all iteration
+orders are fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from ..types import NodeId, Round, validate_node_count
+from .message import Envelope
+from .metrics import Metrics
+from .node import NodeContext, NodeState, Protocol
+from .rng import node_rng
+from .trace import Trace
+from .views import View
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one completed run.
+
+    :ivar n: network size.
+    :ivar rounds_executed: number of scheduler iterations performed.
+    :ivar metrics: message/byte/round counters (see :class:`Metrics`).
+    :ivar states: per-node outcomes, indexed by node id.
+    :ivar views: per-node recorded views (empty if view recording was off).
+    :ivar trace: structured event log (None if trace recording was off).
+    :ivar seed: the master seed, for reproduction.
+    """
+
+    n: int
+    rounds_executed: int
+    metrics: Metrics
+    states: list[NodeState]
+    views: list[View]
+    seed: int | str
+    trace: Trace | None = None
+
+    def decisions(self) -> dict[NodeId, Any]:
+        """Decisions of all nodes that decided."""
+        return {s.node: s.decision for s in self.states if s.decided}
+
+    def discoverers(self) -> list[NodeId]:
+        """Nodes that discovered a failure."""
+        return [s.node for s in self.states if s.discovered_failure]
+
+    def outputs(self, key: str) -> dict[NodeId, Any]:
+        """Collect a named protocol output across nodes that produced it."""
+        return {
+            s.node: s.outputs[key] for s in self.states if key in s.outputs
+        }
+
+
+class Runner:
+    """Drives a set of protocols through synchronous rounds to completion."""
+
+    def __init__(
+        self,
+        protocols: Sequence[Protocol],
+        seed: int | str = 0,
+        max_rounds: int = 10_000,
+        record_views: bool = False,
+        record_trace: bool = False,
+    ) -> None:
+        """
+        :param protocols: one behaviour per node; index = node id.
+        :param seed: master seed for all node randomness.
+        :param max_rounds: safety horizon; exceeding it raises, because
+            every protocol in this library halts within a known bound.
+        :param record_views: capture per-node views (costs memory; enable
+            for semantic failure-discovery analyses).
+        :param record_trace: capture a structured event log of sends,
+            decisions, discoveries and halts (see :class:`Trace`).
+        """
+        validate_node_count(len(protocols))
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.n = len(protocols)
+        self.seed = seed
+        self.round: Round = 0
+        self._protocols = list(protocols)
+        self._max_rounds = max_rounds
+        self._record_views = record_views
+        self._trace = Trace() if record_trace else None
+        self._metrics = Metrics()
+        self._pending: list[Envelope] = []
+        self._contexts = [
+            NodeContext(self, node, node_rng(seed, node)) for node in range(self.n)
+        ]
+        self._views = [View(node=node) for node in range(self.n)]
+
+    def enqueue(self, envelope: Envelope) -> None:
+        """Accept an envelope for next-round delivery (called by contexts)."""
+        self._metrics.record(envelope)
+        if self._trace is not None:
+            self._trace.record_send(envelope)
+        self._pending.append(envelope)
+
+    def run(self) -> RunResult:
+        """Execute rounds until every node halts.
+
+        :raises SimulationError: if the horizon is exceeded — which, given
+            this library's protocols all have static round bounds, means a
+            protocol bug rather than a long run.
+        """
+        for ctx, protocol in zip(self._contexts, self._protocols):
+            protocol.setup(ctx)
+
+        rounds_executed = 0
+        while not all(ctx.state.halted for ctx in self._contexts):
+            if rounds_executed >= self._max_rounds:
+                raise SimulationError(
+                    f"run exceeded max_rounds={self._max_rounds}; "
+                    "a protocol failed to halt"
+                )
+            inboxes: dict[NodeId, list[Envelope]] = {
+                node: [] for node in range(self.n)
+            }
+            for envelope in self._pending:
+                inboxes[envelope.recipient].append(envelope)
+            self._pending = []
+            for node in range(self.n):
+                inboxes[node].sort(key=lambda env: env.sender)
+
+            for node in range(self.n):
+                ctx = self._contexts[node]
+                if self._record_views and not ctx.state.halted:
+                    self._views[node].record_round(inboxes[node])
+                if ctx.state.halted:
+                    continue
+                before = (ctx.state.decided, ctx.state.discovered, ctx.state.halted)
+                self._protocols[node].on_round(ctx, inboxes[node])
+                if self._trace is not None:
+                    self._record_transitions(node, before, ctx.state)
+
+            self.round += 1
+            rounds_executed += 1
+
+        return RunResult(
+            n=self.n,
+            rounds_executed=rounds_executed,
+            metrics=self._metrics,
+            states=[ctx.state for ctx in self._contexts],
+            views=self._views if self._record_views else [],
+            seed=self.seed,
+            trace=self._trace,
+        )
+
+    def _record_transitions(
+        self,
+        node: NodeId,
+        before: tuple[bool, str | None, bool],
+        state: NodeState,
+    ) -> None:
+        """Log decide/discover/halt transitions made during this round."""
+        was_decided, was_discovered, was_halted = before
+        if state.decided and not was_decided:
+            self._trace.record_decide(self.round, node, state.decision)
+        if state.discovered is not None and was_discovered is None:
+            self._trace.record_discover(self.round, node, state.discovered)
+        if state.halted and not was_halted:
+            self._trace.record_halt(self.round, node)
+
+
+def run_protocols(
+    protocols: Sequence[Protocol],
+    seed: int | str = 0,
+    max_rounds: int = 10_000,
+    record_views: bool = False,
+    record_trace: bool = False,
+) -> RunResult:
+    """Convenience one-shot: build a :class:`Runner` and run it."""
+    return Runner(
+        protocols,
+        seed=seed,
+        max_rounds=max_rounds,
+        record_views=record_views,
+        record_trace=record_trace,
+    ).run()

@@ -1,0 +1,173 @@
+"""The extension's alarm sub-protocol: Dolev-Strong edge cases.
+
+The all-or-none property of the alarm window is what keeps the extension
+safe; these tests poke at its corners: false alarms from healthy-looking
+runs, alarms with too few signatures for their arrival slot, garbage
+alarms, and last-slot deliveries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import OUTPUT_PATH, evaluate_ba, make_extended_protocols
+from repro.agreement.extension import ALARM_BODY, ALARM_MSG
+from repro.auth import trusted_dealer_setup
+from repro.crypto import extend_chain, sign_leaf, sign_value
+from repro.faults import ScriptedProtocol
+from repro.sim import run_protocols
+
+N, T = 7, 2
+ALARM_START = T + 2          # round where discoverers broadcast
+ALARM_END = ALARM_START + T + 1
+
+
+@pytest.fixture(scope="module")
+def world():
+    return trusted_dealer_setup(N, seed="alarms")
+
+
+def run_ext(world, adversaries, seed=0, value="v"):
+    keypairs, directories = world
+    protocols = make_extended_protocols(
+        N, T, value, keypairs, directories, adversaries=adversaries
+    )
+    result = run_protocols(protocols, seed=seed)
+    correct = set(range(N)) - set(adversaries)
+    return result, evaluate_ba(result, correct, 0, value), correct
+
+
+class TestFalseAlarms:
+    def test_false_alarm_forces_fallback_but_ba_holds(self, world):
+        """A faulty node raises a valid (signed) alarm in an otherwise
+        clean run: everyone falls back together and still agrees on the
+        sender's value."""
+        keypairs, _ = world
+        liar = 6
+        alarm = sign_leaf(keypairs[liar].secret, ALARM_BODY)
+        script = {
+            ALARM_START: [
+                (peer, (ALARM_MSG, alarm)) for peer in range(N) if peer != liar
+            ]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok, evaluation.detail
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fallback"}
+        decisions = {s.decision for s in result.states if s.node in correct}
+        assert decisions == {"v"}
+
+    def test_false_alarm_to_single_node_still_all_or_none(self, world):
+        """An alarm whispered to one correct node early in the window is
+        relayed, so every correct node falls back — no path split."""
+        keypairs, _ = world
+        liar = 6
+        alarm = sign_leaf(keypairs[liar].secret, ALARM_BODY)
+        script = {ALARM_START: [(1, (ALARM_MSG, alarm))]}
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert len(paths) == 1
+
+
+class TestAlarmValidation:
+    def test_undersigned_late_alarm_is_ignored(self, world):
+        """An alarm with one signature arriving at slot 2 fails the
+        depth >= slot rule: nobody falls back."""
+        keypairs, _ = world
+        liar = 6
+        alarm = sign_leaf(keypairs[liar].secret, ALARM_BODY)
+        # Sent one round later than an honest discoverer would.
+        script = {
+            ALARM_START + 1: [
+                (peer, (ALARM_MSG, alarm)) for peer in range(N) if peer != liar
+            ]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fd"}
+
+    def test_garbage_alarm_payload_is_ignored(self, world):
+        liar = 6
+        script = {
+            ALARM_START: [(peer, (ALARM_MSG, b"noise")) for peer in range(N - 1)]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fd"}
+
+    def test_wrong_body_alarm_is_ignored(self, world):
+        keypairs, _ = world
+        liar = 6
+        not_alarm = sign_leaf(keypairs[liar].secret, "NOT-AN-ALARM")
+        script = {
+            ALARM_START: [
+                (peer, (ALARM_MSG, not_alarm)) for peer in range(N) if peer != liar
+            ]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fd"}
+
+    def test_unsigned_alarm_from_unknown_key_ignored(self, world):
+        """An alarm signed with a key no directory binds verifies for
+        nobody."""
+        import random
+
+        from repro.crypto import get_scheme
+
+        foreign = get_scheme("schnorr-512").generate_keypair(random.Random("f"))
+        liar = 6
+        alarm = sign_leaf(foreign.secret, ALARM_BODY)
+        script = {
+            ALARM_START: [
+                (peer, (ALARM_MSG, alarm)) for peer in range(N) if peer != liar
+            ]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fd"}
+
+
+class TestLastSlotDelivery:
+    def test_fully_signed_alarm_at_last_slot_needs_correct_signer(self, world):
+        """A chain of T+1 *faulty-and-colluding* signatures cannot exist
+        within the budget (only 1 faulty node here), so a last-slot alarm
+        built from one faulty signature is rejected — and the budget
+        argument is exactly why the all-or-none property holds."""
+        keypairs, _ = world
+        liar = 6
+        alarm = sign_leaf(keypairs[liar].secret, ALARM_BODY)
+        # Deliver at the very last slot (needs T+1 = 3 signatures; has 1).
+        script = {
+            ALARM_END - 1: [(1, (ALARM_MSG, alarm))]
+        }
+        adversaries = {liar: ScriptedProtocol(script, halt_after=ALARM_END)}
+        result, evaluation, correct = run_ext(world, adversaries)
+        assert evaluation.ok
+        paths = {
+            s.outputs[OUTPUT_PATH] for s in result.states if s.node in correct
+        }
+        assert paths == {"fd"}

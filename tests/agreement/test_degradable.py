@@ -1,0 +1,147 @@
+"""Degradable agreement, and degradation of authentication itself.
+
+The second test class is the library's demonstration of the paper's
+closing caveat: local authentication is proven safe for Failure Discovery
+(the discovery escape hatch catches inconsistent assignment), but *not*
+for general agreement — SM-style protocols silently ignore unverifiable
+chains instead of discovering, and corrupted key distribution can then
+split correct nodes.  This is why the paper leaves "the use of local
+authentication with other agreement protocols" as further research.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import (
+    DEFAULT_VALUE,
+    OUTPUT_DEGRADED,
+    evaluate_ba,
+    make_degradable_protocols,
+    make_signed_agreement_protocols,
+)
+from repro.auth import run_key_distribution, trusted_dealer_setup
+from repro.errors import ConfigurationError
+from repro.faults import (
+    AdversaryCoordination,
+    MixedPredicateAttack,
+    ScriptedProtocol,
+    SilentProtocol,
+)
+from repro.fd import evaluate_fd, make_chain_fd_protocols
+from repro.sim import run_protocols
+from repro.crypto import sign_leaf
+
+
+@pytest.fixture(scope="module")
+def world():
+    n = 7
+    keypairs, directories = trusted_dealer_setup(n, seed="deg")
+    return n, keypairs, directories
+
+
+def run_degradable(world, t, u, value="v", adversaries=None, seed=0):
+    n, keypairs, directories = world
+    protocols = make_degradable_protocols(
+        n, t, u, value, keypairs, directories, adversaries=adversaries or {}
+    )
+    result = run_protocols(protocols, seed=seed)
+    correct = set(range(n)) - set(adversaries or {})
+    return result, evaluate_ba(result, correct, 0, value)
+
+
+class TestBudgets:
+    def test_honest_run_not_degraded(self, world):
+        result, evaluation = run_degradable(world, 1, 3)
+        assert evaluation.ok
+        assert all(not s.outputs[OUTPUT_DEGRADED] for s in result.states)
+
+    def test_faults_beyond_t_within_u_still_agree(self, world):
+        """Authenticated degradable agreement holds full BA through u."""
+        adversaries = {
+            3: SilentProtocol(),
+            4: SilentProtocol(),
+            5: SilentProtocol(),
+        }
+        result, evaluation = run_degradable(world, 1, 3, adversaries=adversaries)
+        assert evaluation.ok, evaluation.detail
+
+    def test_equivocating_sender_flags_degradation(self, world):
+        n, keypairs, directories = world
+        from repro.agreement.signed import SM_MSG
+
+        leaf_a = sign_leaf(keypairs[0].secret, "a")
+        leaf_b = sign_leaf(keypairs[0].secret, "b")
+        script = {
+            0: [(p, (SM_MSG, leaf_a if p <= 3 else leaf_b)) for p in range(1, n)]
+        }
+        adversaries = {0: ScriptedProtocol(script, halt_after=5)}
+        result, evaluation = run_degradable(world, 1, 3, adversaries=adversaries)
+        assert evaluation.agreement
+        degraded = [
+            s.outputs[OUTPUT_DEGRADED] for s in result.states if s.node != 0
+        ]
+        assert all(degraded)
+        assert set(result.decisions().values()) == {DEFAULT_VALUE}
+
+    def test_u_below_t_rejected(self, world):
+        n, keypairs, directories = world
+        with pytest.raises(ConfigurationError):
+            make_degradable_protocols(n, 3, 1, "v", keypairs, directories)
+
+
+class TestAuthenticationDegradation:
+    """SM-style agreement under *attacked* local authentication silently
+    splits; chain FD discovers.  The contrast the paper's future-work
+    paragraph is about."""
+
+    N, T = 7, 2
+
+    def _attacked_keydist(self, seed=21):
+        coordination = AdversaryCoordination()
+        group_one = {1, 2, 3}  # these nodes receive predicate 'p' for node 0
+        adversaries = {
+            0: MixedPredicateAttack(coordination, group_one, "p", "q")
+        }
+        kd = run_key_distribution(self.N, adversaries=adversaries, seed=seed)
+        return kd, coordination, group_one
+
+    def test_sm_under_attacked_local_auth_splits_silently(self):
+        """The faulty sender signs with key 'p': the group bound to 'p'
+        decides the value, everyone else decides the default — agreement
+        broken, nothing discovered."""
+        from repro.agreement.signed import SM_MSG
+
+        kd, coordination, group_one = self._attacked_keydist()
+        key_p = coordination.known_keypairs()["p"]
+        leaf = sign_leaf(key_p.secret, "split")
+        script = {0: [(p, (SM_MSG, leaf)) for p in range(1, self.N)]}
+        adversaries = {0: ScriptedProtocol(script, halt_after=4)}
+        protocols = make_signed_agreement_protocols(
+            self.N, self.T, None, kd.keypairs, kd.directories, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=1)
+        evaluation = evaluate_ba(result, set(range(1, self.N)), 0, None)
+        assert not evaluation.agreement          # the split happened
+        decisions = result.decisions()
+        assert decisions[1] == "split"           # the bound group
+        assert decisions[4] == DEFAULT_VALUE     # the unbound group
+
+    def test_chain_fd_discovers_the_same_corruption(self):
+        """Same corrupted directories, same signing key, but the FD chain
+        protocol turns the inconsistency into a discovery (Theorem 4) —
+        the reason FD is the right problem for local authentication."""
+        from repro.faults.fdattacks import EquivocatingSender
+
+        kd, coordination, group_one = self._attacked_keydist()
+        key_p = coordination.known_keypairs()["p"]
+        adversaries = {
+            0: EquivocatingSender(key_p, {1: "split"})
+        }
+        protocols = make_chain_fd_protocols(
+            self.N, self.T, None, kd.keypairs, kd.directories, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=1)
+        evaluation = evaluate_fd(result, set(range(1, self.N)), 0, None)
+        assert evaluation.ok
+        assert evaluation.any_discovery

@@ -1,0 +1,139 @@
+"""The FD→BA extension: BA at FD cost in failure-free runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import (
+    DEFAULT_VALUE,
+    OUTPUT_PATH,
+    evaluate_ba,
+    make_extended_protocols,
+)
+from repro.analysis import extension_messages, sm_messages
+from repro.auth import trusted_dealer_setup
+from repro.faults import (
+    EquivocatingSender,
+    FabricatingChainNode,
+    SilentProtocol,
+    garbling_chain_node,
+    withholding_chain_node,
+)
+from repro.harness import LOCAL, run_ba_scenario
+from repro.sim import run_protocols
+
+
+@pytest.fixture(scope="module")
+def world():
+    n = 8
+    keypairs, directories = trusted_dealer_setup(n, seed="ext")
+    return n, keypairs, directories
+
+
+def run_ext(world, t, value="v", adversaries=None, seed=0):
+    n, keypairs, directories = world
+    protocols = make_extended_protocols(
+        n, t, value, keypairs, directories, adversaries=adversaries or {}
+    )
+    result = run_protocols(protocols, seed=seed)
+    correct = set(range(n)) - set(adversaries or {})
+    return result, evaluate_ba(result, correct, 0, value)
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("t", [0, 1, 2, 3])
+    def test_cost_equals_fd_cost(self, world, t):
+        """The Hadzilacos-Halpern property: 'the extended protocol
+        requires in its failure-free runs the same number of messages as
+        the underlying Failure Discovery protocol.'"""
+        n = world[0]
+        result, evaluation = run_ext(world, t)
+        assert evaluation.ok, evaluation.detail
+        assert result.metrics.messages_total == extension_messages(n) == n - 1
+
+    def test_cheaper_than_direct_sm(self, world):
+        n = world[0]
+        result, _ = run_ext(world, 2)
+        assert result.metrics.messages_total < sm_messages(n, 2)
+
+    def test_everyone_takes_the_fd_path(self, world):
+        result, _ = run_ext(world, 2)
+        assert {s.outputs[OUTPUT_PATH] for s in result.states} == {"fd"}
+
+    def test_decisions_match_sender(self, world):
+        n = world[0]
+        result, _ = run_ext(world, 2, value=("x", 1))
+        assert result.decisions() == {i: ("x", 1) for i in range(n)}
+
+
+class TestFallbackPath:
+    @pytest.mark.parametrize(
+        "attack",
+        ["silent-chain", "withhold", "garble", "fabricate"],
+    )
+    def test_ba_holds_under_chain_attacks(self, world, attack):
+        n, keypairs, directories = world
+        t = 2
+        adversaries = {
+            "silent-chain": {1: SilentProtocol()},
+            "withhold": {
+                1: withholding_chain_node(
+                    n, t, keypairs[1], directories[1], withhold_from={2}
+                )
+            },
+            "garble": {1: garbling_chain_node(n, t, keypairs[1], directories[1])},
+            "fabricate": {1: FabricatingChainNode(n, t, keypairs[1], "evil")},
+        }[attack]
+        result, evaluation = run_ext(world, t, adversaries=adversaries)
+        assert evaluation.ok, f"{attack}: {evaluation.detail}"
+
+    def test_all_correct_nodes_take_the_same_path(self, world):
+        """The Dolev-Strong all-or-none property: never a mix of 'fd' and
+        'fallback' among correct nodes."""
+        n, keypairs, directories = world
+        t = 2
+        adversaries = {1: SilentProtocol()}
+        result, _ = run_ext(world, t, adversaries=adversaries)
+        paths = {
+            s.outputs[OUTPUT_PATH]
+            for s in result.states
+            if s.node != 1 and OUTPUT_PATH in s.outputs
+        }
+        assert paths == {"fallback"}
+
+    def test_fallback_preserves_validity(self, world):
+        """Correct sender + fallback: the fallback SM run must still land
+        on the sender's value."""
+        n, keypairs, directories = world
+        t = 2
+        adversaries = {2: SilentProtocol()}  # chain node crash forces fallback
+        result, evaluation = run_ext(world, t, value="keep-me", adversaries=adversaries)
+        assert evaluation.ok
+        decisions = {
+            s.decision for s in result.states if s.node != 2 and s.decided
+        }
+        assert decisions == {"keep-me"}
+
+    def test_equivocating_sender_ends_in_common_decision(self, world):
+        n, keypairs, directories = world
+        t = 2
+        adversaries = {0: EquivocatingSender(keypairs[0], {1: "a", 5: "b"})}
+        result, evaluation = run_ext(world, t, adversaries=adversaries, seed=4)
+        assert evaluation.agreement and evaluation.termination
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fallback_deterministic_across_seeds(self, world, seed):
+        n, keypairs, directories = world
+        adversaries = {1: SilentProtocol()}
+        result, evaluation = run_ext(world, 2, adversaries=adversaries, seed=seed)
+        assert evaluation.ok
+
+
+class TestUnderLocalAuthentication:
+    def test_extension_works_with_honest_local_auth(self):
+        outcome = run_ba_scenario(
+            8, 2, "v", protocol="extension", auth=LOCAL, seed=9
+        )
+        assert outcome.ba.ok
+        assert outcome.run.metrics.messages_total == 7
+        assert outcome.kd.messages == 3 * 8 * 7

@@ -1,0 +1,133 @@
+"""Randomised adversary fuzzing for the agreement substrate.
+
+Parallel to ``tests/fd/test_fuzz.py``: SM(t) and the FD→BA extension are
+universally quantified over Byzantine behaviour within the budget, so we
+sample the space — random faulty subsets of size <= t, each running
+silence, crashes, chain-message tampering or arbitrary scripted noise —
+and assert agreement and (for correct senders) validity always hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import (
+    evaluate_ba,
+    make_extended_protocols,
+    make_signed_agreement_protocols,
+)
+from repro.agreement.signed import SM_MSG
+from repro.auth import trusted_dealer_setup
+from repro.crypto import extend_chain, sign_leaf
+from repro.faults import ScriptedProtocol, SilentProtocol
+from repro.sim import run_protocols
+
+N, T = 6, 2
+KEYPAIRS, DIRECTORIES = trusted_dealer_setup(N, seed="ba-fuzz")
+
+# Pre-built signed material faulty nodes may replay/spray: genuine-looking
+# leaves from each key, extended chains, and malformed payloads.
+_LEAVES = {
+    node: sign_leaf(KEYPAIRS[node].secret, f"forged-by-{node}")
+    for node in range(N)
+}
+NOISE = [
+    (SM_MSG, b"not-signed"),
+    (SM_MSG, _LEAVES[3]),
+    (SM_MSG, extend_chain(KEYPAIRS[4].secret, 3, _LEAVES[3])),
+    ("ba-alarm", b"junk"),
+    ("unrelated", 1),
+]
+
+
+@st.composite
+def ba_adversaries(draw):
+    """Up to T faulty nodes with random hostile behaviours."""
+    faulty = draw(
+        st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=T)
+    )
+    adversaries = {}
+    for node in sorted(faulty):
+        kind = draw(st.sampled_from(["silent", "script"]))
+        if kind == "silent":
+            adversaries[node] = SilentProtocol()
+        else:
+            script = {}
+            for rnd in draw(st.lists(st.integers(0, 2 * T + 4), max_size=4)):
+                recipients = draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=N - 1).filter(
+                            lambda v: v != node
+                        ),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+                payload = draw(st.sampled_from(NOISE))
+                script.setdefault(rnd, []).extend(
+                    (recipient, payload) for recipient in recipients
+                )
+            adversaries[node] = ScriptedProtocol(script, halt_after=2 * T + 4)
+    return adversaries
+
+
+class TestSignedAgreementFuzz:
+    @given(adversaries=ba_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_agreement_and_termination_always_hold(self, adversaries, seed):
+        protocols = make_signed_agreement_protocols(
+            N, T, "v", KEYPAIRS, DIRECTORIES, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=seed)
+        correct = set(range(N)) - set(adversaries)
+        evaluation = evaluate_ba(result, correct, 0, "v")
+        assert evaluation.agreement and evaluation.termination, (
+            f"{evaluation.detail}; adversaries at {sorted(adversaries)}"
+        )
+
+    @given(adversaries=ba_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_validity_with_correct_sender(self, adversaries, seed):
+        if 0 in adversaries:
+            return
+        protocols = make_signed_agreement_protocols(
+            N, T, "v", KEYPAIRS, DIRECTORIES, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=seed)
+        correct = set(range(N)) - set(adversaries)
+        evaluation = evaluate_ba(result, correct, 0, "v")
+        assert evaluation.ok, evaluation.detail
+
+
+class TestExtensionFuzz:
+    @given(adversaries=ba_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_full_ba_always_holds(self, adversaries, seed):
+        protocols = make_extended_protocols(
+            N, T, "v", KEYPAIRS, DIRECTORIES, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=seed)
+        correct = set(range(N)) - set(adversaries)
+        evaluation = evaluate_ba(result, correct, 0, "v")
+        assert evaluation.agreement and evaluation.termination, (
+            f"{evaluation.detail}; adversaries at {sorted(adversaries)}"
+        )
+        if 0 not in adversaries:
+            assert evaluation.validity, evaluation.detail
+
+    @given(adversaries=ba_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_paths_never_split(self, adversaries, seed):
+        from repro.agreement import OUTPUT_PATH
+
+        protocols = make_extended_protocols(
+            N, T, "v", KEYPAIRS, DIRECTORIES, adversaries=adversaries
+        )
+        result = run_protocols(protocols, seed=seed)
+        paths = {
+            state.outputs[OUTPUT_PATH]
+            for state in result.states
+            if state.node not in adversaries and OUTPUT_PATH in state.outputs
+        }
+        assert len(paths) <= 1, f"split paths {paths} at {sorted(adversaries)}"

@@ -1,0 +1,103 @@
+"""OM(t)/EIG: the oral-messages classic and its n > 3t boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import evaluate_ba, make_oral_agreement_protocols
+from repro.agreement.oral import OM_VALUE, OralAgreementProtocol
+from repro.analysis import om_envelopes, om_reports
+from repro.errors import ConfigurationError
+from repro.faults import ScriptedProtocol, SilentProtocol
+from repro.sim import run_protocols
+
+
+def run_om(n, t, value="v", adversaries=None, seed=0):
+    protocols = make_oral_agreement_protocols(
+        n, t, value, adversaries=adversaries or {}
+    )
+    result = run_protocols(protocols, seed=seed)
+    correct = set(range(n)) - set(adversaries or {})
+    return result, evaluate_ba(result, correct, 0, value)
+
+
+class TestHonestRuns:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_agreement_and_validity(self, n, t):
+        result, evaluation = run_om(n, t)
+        assert evaluation.ok, evaluation.detail
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_envelope_count_matches_formula(self, n, t):
+        result, _ = run_om(n, t)
+        assert result.metrics.messages_total == om_envelopes(n, t)
+
+    def test_report_count_grows_superquadratically(self):
+        assert om_reports(10, 1) < om_reports(10, 2) < om_reports(10, 3)
+        # t=3, n=10: 9*(1*9 + 9*8 + 9*8*7) reports-ish; sanity lower bound
+        assert om_reports(10, 3) > 10 * om_reports(10, 1)
+
+    def test_bytes_grow_with_t(self):
+        sizes = {}
+        for t in (1, 2, 3):
+            result, _ = run_om(10, t)
+            sizes[t] = result.metrics.bytes_total
+        assert sizes[1] < sizes[2] < sizes[3]
+
+
+class TestFaultTolerance:
+    def test_silent_relay_within_budget(self):
+        result, evaluation = run_om(7, 2, adversaries={3: SilentProtocol()})
+        assert evaluation.ok
+
+    def test_two_silent_relays_at_budget(self):
+        result, evaluation = run_om(
+            7, 2, adversaries={3: SilentProtocol(), 4: SilentProtocol()}
+        )
+        assert evaluation.ok
+
+    def test_equivocating_sender_agreement(self):
+        n, t = 7, 2
+        script = {
+            0: [(peer, (OM_VALUE, "a" if peer <= 3 else "b")) for peer in range(1, n)]
+        }
+        result, evaluation = run_om(
+            n, t, adversaries={0: ScriptedProtocol(script, halt_after=3)}
+        )
+        assert evaluation.agreement
+        # Validity is vacuous (sender faulty) but termination must hold.
+        assert evaluation.termination
+
+    def test_lying_relay_cannot_break_validity(self):
+        n, t = 7, 2
+        # Relay 1 reports a wrong value for every path it relays.
+        lie = {
+            r: [
+                (peer, ("om-report", (((0,), "lie"),)))
+                for peer in range(n)
+                if peer != 1
+            ]
+            for r in (1, 2)
+        }
+        result, evaluation = run_om(
+            n, t, adversaries={1: ScriptedProtocol(lie, halt_after=3)}
+        )
+        assert evaluation.ok, evaluation.detail
+
+
+class TestBoundary:
+    def test_n_equals_3t_rejected(self):
+        """The oral impossibility bound, enforced at construction — this is
+        why 'using an agreement protocol for each public key ... may not
+        be feasible' (paper section 3)."""
+        with pytest.raises(ConfigurationError):
+            OralAgreementProtocol(6, 2)
+
+    def test_minimum_legal_network(self):
+        result, evaluation = run_om(4, 1)
+        assert evaluation.ok
+
+    def test_t_zero_trusts_the_sender(self):
+        result, evaluation = run_om(3, 0)
+        assert evaluation.ok
+        assert result.metrics.messages_total == 2

@@ -1,0 +1,107 @@
+"""Complexity formulas: internal consistency and agreement with simulation.
+
+The formula-vs-simulation tests are the real content: every closed form in
+:mod:`repro.analysis.complexity` is checked against measured counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    amortized_messages_local,
+    amortized_messages_nonauth,
+    crossover_runs,
+    extension_messages,
+    fd_auth_messages,
+    fd_nonauth_messages,
+    keydist_messages,
+    om_envelopes,
+    sm_messages,
+)
+from repro.auth import run_key_distribution, trusted_dealer_setup
+from repro.fd import make_chain_fd_protocols, make_echo_fd_protocols
+from repro.agreement import make_oral_agreement_protocols, make_signed_agreement_protocols
+from repro.sim import run_protocols
+
+
+class TestFormulaProperties:
+    @given(n=st.integers(min_value=2, max_value=200))
+    def test_keydist_is_quadratic_and_even(self, n):
+        messages = keydist_messages(n)
+        assert messages == 3 * n * (n - 1)
+        assert messages % 6 == 0  # 3 * n(n-1), n(n-1) always even
+
+    @given(n=st.integers(min_value=3, max_value=200))
+    def test_auth_beats_nonauth_whenever_t_positive(self, n):
+        t = max(1, (n - 1) // 3)
+        if t <= n - 2:
+            assert fd_auth_messages(n) < fd_nonauth_messages(n, t)
+
+    @given(
+        n=st.integers(min_value=5, max_value=100),
+        runs=st.integers(min_value=0, max_value=1000),
+    )
+    def test_amortized_totals_are_consistent(self, n, runs):
+        t = (n - 1) // 3
+        local = amortized_messages_local(n, t, runs)
+        nonauth = amortized_messages_nonauth(n, t, runs)
+        assert local == keydist_messages(n) + runs * (n - 1)
+        assert nonauth == runs * (t + 1) * (n - 1)
+
+    @given(n=st.integers(min_value=7, max_value=100))
+    @settings(max_examples=50)
+    def test_crossover_is_exact(self, n):
+        """crossover_runs returns the *first* k where local wins."""
+        t = (n - 1) // 3
+        k = crossover_runs(n, t)
+        assert amortized_messages_local(n, t, k) < amortized_messages_nonauth(n, t, k)
+        assert amortized_messages_local(n, t, k - 1) >= amortized_messages_nonauth(
+            n, t, k - 1
+        )
+
+    def test_crossover_requires_t_positive(self):
+        with pytest.raises(ValueError):
+            crossover_runs(4, 0)
+
+    def test_extension_matches_fd(self):
+        for n in (4, 9, 33):
+            assert extension_messages(n) == fd_auth_messages(n)
+
+
+class TestFormulasMatchSimulation:
+    """Exact agreement between closed forms and measured counts — the
+    strongest check the paper's analytic evaluation admits."""
+
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_keydist(self, n):
+        assert run_key_distribution(n, seed=n).messages == keydist_messages(n)
+
+    @pytest.mark.parametrize("n,t", [(5, 1), (9, 2), (12, 3)])
+    def test_chain_fd(self, n, t):
+        keypairs, directories = trusted_dealer_setup(n, seed=n)
+        result = run_protocols(
+            make_chain_fd_protocols(n, t, "v", keypairs, directories), seed=n
+        )
+        assert result.metrics.messages_total == fd_auth_messages(n, t)
+
+    @pytest.mark.parametrize("n,t", [(5, 1), (9, 2), (12, 3)])
+    def test_echo_fd(self, n, t):
+        result = run_protocols(make_echo_fd_protocols(n, t, "v"), seed=n)
+        assert result.metrics.messages_total == fd_nonauth_messages(n, t)
+
+    @pytest.mark.parametrize("n,t", [(5, 1), (7, 2)])
+    def test_sm(self, n, t):
+        keypairs, directories = trusted_dealer_setup(n, seed=n)
+        result = run_protocols(
+            make_signed_agreement_protocols(n, t, "v", keypairs, directories),
+            seed=n,
+        )
+        assert result.metrics.messages_total == sm_messages(n, t)
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+    def test_om(self, n, t):
+        result = run_protocols(make_oral_agreement_protocols(n, t, "v"), seed=n)
+        assert result.metrics.messages_total == om_envelopes(n, t)

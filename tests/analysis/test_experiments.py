@@ -1,0 +1,80 @@
+"""The programmatic experiment regenerator (repro.analysis.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentTable,
+    e1_keydist,
+    e2_chain_fd,
+    e3_echo_fd,
+    e4_amortization,
+    e5_smallrange,
+    e7_extension,
+    e8_rounds,
+    e11_keydist_methods,
+    run_all,
+)
+
+
+class TestIndividualExperiments:
+    def test_e1_matches_formula(self):
+        table = e1_keydist(sizes=(4, 8))
+        assert table.ok
+        assert table.rows[0][:3] == (4, 36, 36)
+
+    def test_e2_matches_formula(self):
+        table = e2_chain_fd(sizes=(4, 8))
+        assert table.ok
+        assert all(row[-1] == "OK" for row in table.rows)
+
+    def test_e3_matches_formula(self):
+        table = e3_echo_fd(sizes=(4, 8))
+        assert table.ok
+
+    def test_e4_crossover(self):
+        table = e4_amortization(sizes=(8,))
+        assert table.ok
+        assert table.rows[0][2] == table.rows[0][3] == 13
+
+    def test_e5_zero_cost_zero_value(self):
+        table = e5_smallrange(sizes=(8,))
+        assert table.ok
+        zero_rows = [row for row in table.rows if row[1] == 0]
+        assert all(row[3] == 0 for row in zero_rows)
+
+    def test_e7_extension_beats_sm(self):
+        table = e7_extension(sizes=(8,))
+        assert table.ok
+        assert table.rows[0][2] < table.rows[0][3]
+
+    def test_e8_rounds(self):
+        table = e8_rounds(sizes=(8,))
+        assert table.ok
+        assert table.rows[0][2:5] == (3, 3, 2)
+
+    def test_e11_boundary_row(self):
+        table = e11_keydist_methods(shapes=((4, 1),))
+        assert table.ok
+        assert table.rows[-1][3] == "infeasible"
+
+
+class TestRunAll:
+    def test_quick_run_all_green(self):
+        tables = run_all(quick=True)
+        assert len(tables) == 9
+        failing = [table.experiment for table in tables if not table.ok]
+        assert failing == []
+
+    def test_tables_render(self):
+        table = e1_keydist(sizes=(4,))
+        text = table.render()
+        assert text.startswith("E1")
+        assert "36" in text
+
+    def test_table_is_value_object(self):
+        table = e1_keydist(sizes=(4,))
+        assert isinstance(table, ExperimentTable)
+        assert isinstance(table.rows, tuple)
+        assert isinstance(table.rows[0], tuple)

@@ -1,0 +1,94 @@
+"""Agreement-based key distribution: the paper's rejected alternative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import keydist_messages
+from repro.auth import (
+    agreement_keydist_envelopes,
+    check_g1,
+    check_g2,
+    check_g3,
+    run_agreement_key_distribution,
+)
+from repro.errors import ConfigurationError
+from repro.faults import SilentProtocol
+
+
+class TestHonestRuns:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+    def test_all_directories_genuine_and_identical(self, n, t):
+        result = run_agreement_key_distribution(n, t, seed=n)
+        for observer in range(n):
+            for subject in range(n):
+                assert result.directories[observer].predicates_for(subject) == (
+                    result.keypairs[subject].predicate,
+                )
+
+    def test_g1_g2_g3_all_hold(self):
+        """Unlike local authentication, this method gives full G3 — at a
+        price."""
+        n, t = 7, 2
+        result = run_agreement_key_distribution(n, t, seed=1)
+        correct = set(range(n))
+        genuine = {node: result.keypairs[node].predicate for node in correct}
+        assert check_g1(result.directories, genuine, correct) == []
+        assert check_g2(result.directories, genuine, correct) == []
+        report = check_g3(result.directories, correct)
+        assert report.holds and not report.partial
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+    def test_envelope_count_matches_formula(self, n, t):
+        result = run_agreement_key_distribution(n, t, seed=n)
+        assert result.messages == agreement_keydist_envelopes(n, t)
+
+    @pytest.mark.parametrize("n,t", [(7, 2), (10, 3)])
+    def test_more_expensive_than_local_authentication(self, n, t):
+        """The paper's cost argument, as an inequality."""
+        assert agreement_keydist_envelopes(n, t) > keydist_messages(n)
+
+
+class TestFeasibilityBoundary:
+    """'may not work because of too many faulty nodes' — measured."""
+
+    @pytest.mark.parametrize("n,t", [(3, 1), (6, 2), (9, 3)])
+    def test_n_at_most_3t_rejected(self, n, t):
+        with pytest.raises(ConfigurationError):
+            run_agreement_key_distribution(n, t)
+
+    def test_local_authentication_has_no_such_boundary(self):
+        """Contrast: the paper's protocol runs fine at the same (n, t) —
+        indeed with a faulty *majority*."""
+        from repro.auth import run_key_distribution
+
+        n = 6  # would need t <= 1 for the oral bound; local auth doesn't care
+        adversaries = {node: SilentProtocol() for node in (2, 3, 4, 5)}
+        result = run_key_distribution(n, adversaries=adversaries, seed=1)
+        assert result.directories[0].predicates_for(1) == (
+            result.keypairs[1].predicate,
+        )
+
+
+class TestFaultTolerance:
+    def test_silent_node_within_budget(self):
+        n, t = 7, 2
+        result = run_agreement_key_distribution(
+            n, t, adversaries={5: SilentProtocol()}, seed=2
+        )
+        correct = set(range(n)) - {5}
+        # Correct nodes still agree on each other's genuine predicates.
+        for observer in correct:
+            for subject in correct:
+                assert result.directories[observer].predicates_for(subject) == (
+                    result.keypairs[subject].predicate,
+                )
+        # And they agree on what (if anything) node 5 distributed.
+        bindings = {
+            tuple(
+                p.fingerprint()
+                for p in result.directories[observer].predicates_for(5)
+            )
+            for observer in correct
+        }
+        assert len(bindings) == 1

@@ -1,0 +1,111 @@
+"""Randomised fuzzing of the key distribution protocol (Theorem 2).
+
+The theorem is universally quantified over faulty behaviour *and* over
+the number of faulty nodes — local authentication must deliver G1 and G2
+among the correct nodes even with a Byzantine majority.  These tests
+sample that space with random faulty subsets of any size and random
+hostile behaviours.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import check_g1, check_g2, run_key_distribution
+from repro.auth.local import CHALLENGE, PREDICATE, RESPONSE
+from repro.faults import (
+    AdversaryCoordination,
+    CrossClaimAttack,
+    MixedPredicateAttack,
+    ScriptedProtocol,
+    SharedKeyAttack,
+    SilentProtocol,
+)
+
+N = 6
+
+NOISE = [
+    ("junk",),
+    (PREDICATE, "not-a-predicate"),
+    (CHALLENGE, 0, 0, 0),
+    (CHALLENGE, "a", "b", "c"),
+    (RESPONSE, b"not-signed"),
+    99,
+]
+
+
+@st.composite
+def keydist_adversaries(draw):
+    """Random faulty subset of ANY size < n-1 (leaving >= 2 correct nodes,
+    so the G-properties quantify over something), with random behaviours."""
+    faulty = draw(
+        st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=N - 2)
+    )
+    coordination = AdversaryCoordination(scheme="simulated-hmac")
+    adversaries = {}
+    remaining = sorted(faulty)
+    for node in remaining:
+        kind = draw(
+            st.sampled_from(["silent", "script", "shared", "cross", "mixed"])
+        )
+        if kind == "silent":
+            adversaries[node] = SilentProtocol()
+        elif kind == "script":
+            script = {}
+            for rnd in draw(st.lists(st.integers(0, 3), max_size=3)):
+                recipient = draw(
+                    st.integers(min_value=0, max_value=N - 1).filter(
+                        lambda v: v != node
+                    )
+                )
+                script.setdefault(rnd, []).append(
+                    (recipient, draw(st.sampled_from(NOISE)))
+                )
+            adversaries[node] = ScriptedProtocol(script, halt_after=3)
+        elif kind == "shared":
+            adversaries[node] = SharedKeyAttack(coordination)
+        elif kind == "cross":
+            group = draw(
+                st.sets(st.integers(min_value=0, max_value=N - 1), max_size=N)
+            )
+            adversaries[node] = CrossClaimAttack(coordination, group, "x", "y")
+        else:
+            group = draw(
+                st.sets(st.integers(min_value=0, max_value=N - 1), max_size=N)
+            )
+            adversaries[node] = MixedPredicateAttack(coordination, group, "p", "q")
+    return adversaries
+
+
+class TestTheorem2Fuzz:
+    @given(adversaries=keydist_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_g1_g2_hold_under_any_adversary(self, adversaries, seed):
+        result = run_key_distribution(
+            N, scheme="simulated-hmac", adversaries=adversaries, seed=seed
+        )
+        correct = set(range(N)) - set(adversaries)
+        genuine = {node: result.keypairs[node].predicate for node in correct}
+        assert check_g1(result.directories, genuine, correct) == [], sorted(
+            adversaries
+        )
+        assert check_g2(result.directories, genuine, correct) == [], sorted(
+            adversaries
+        )
+
+    @given(adversaries=keydist_adversaries(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_correct_pair_authentication_is_unstoppable(self, adversaries, seed):
+        """Any two correct nodes end up mutually authenticated, whatever
+        everyone else does — the paper's 'arbitrary number of arbitrary
+        faults' headline."""
+        result = run_key_distribution(
+            N, scheme="simulated-hmac", adversaries=adversaries, seed=seed
+        )
+        correct = sorted(set(range(N)) - set(adversaries))
+        for a in correct:
+            for b in correct:
+                assert result.keypairs[b].predicate in result.directories[
+                    a
+                ].predicates_for(b)

@@ -1,0 +1,148 @@
+"""Assignment properties G1-G3 (paper Theorem 2 and section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import (
+    check_g1,
+    check_g2,
+    check_g3,
+    run_key_distribution,
+    trusted_dealer_setup,
+)
+from repro.faults import (
+    AdversaryCoordination,
+    CrossClaimAttack,
+    MixedPredicateAttack,
+    SharedKeyAttack,
+    SilentProtocol,
+)
+
+
+def genuine_of(result, correct):
+    return {node: result.keypairs[node].predicate for node in correct}
+
+
+class TestGlobalAuthentication:
+    def test_dealer_satisfies_all_properties(self):
+        n = 6
+        keypairs, directories = trusted_dealer_setup(n, seed=1)
+        correct = set(range(n))
+        genuine = {node: keypairs[node].predicate for node in range(n)}
+        assert check_g1(directories, genuine, correct) == []
+        assert check_g2(directories, genuine, correct) == []
+        report = check_g3(directories, correct)
+        assert report.holds and not report.partial
+
+
+class TestTheorem2:
+    """After the key distribution protocol, G1 and G2 hold — under every
+    adversary this library can express."""
+
+    def test_honest_run(self):
+        result = run_key_distribution(6, seed=2)
+        correct = set(range(6))
+        genuine = genuine_of(result, correct)
+        assert check_g1(result.directories, genuine, correct) == []
+        assert check_g2(result.directories, genuine, correct) == []
+        assert check_g3(result.directories, correct).holds
+
+    @pytest.mark.parametrize(
+        "attack_name", ["shared", "cross", "mixed", "silent"]
+    )
+    def test_g1_g2_survive_attacks(self, attack_name):
+        n = 7
+        coordination = AdversaryCoordination()
+        group = {0, 1}
+        attacks = {
+            "shared": {
+                5: SharedKeyAttack(coordination),
+                6: SharedKeyAttack(coordination),
+            },
+            "cross": {
+                5: CrossClaimAttack(coordination, group, "x", "y"),
+                6: CrossClaimAttack(coordination, group, "y", "x"),
+            },
+            "mixed": {5: MixedPredicateAttack(coordination, group, "p", "q")},
+            "silent": {5: SilentProtocol(), 6: SilentProtocol()},
+        }
+        adversaries = attacks[attack_name]
+        result = run_key_distribution(n, adversaries=adversaries, seed=3)
+        correct = set(range(n)) - set(adversaries)
+        genuine = genuine_of(result, correct)
+        assert check_g1(result.directories, genuine, correct) == []
+        assert check_g2(result.directories, genuine, correct) == []
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_g1_g2_random_seeds(self, seed):
+        coordination = AdversaryCoordination()
+        adversaries = {
+            4: CrossClaimAttack(coordination, {0, 1}, "x", "y"),
+            5: CrossClaimAttack(coordination, {0, 1}, "y", "x"),
+        }
+        result = run_key_distribution(6, adversaries=adversaries, seed=seed)
+        correct = {0, 1, 2, 3}
+        genuine = genuine_of(result, correct)
+        assert check_g1(result.directories, genuine, correct) == []
+        assert check_g2(result.directories, genuine, correct) == []
+
+
+class TestG3Violations:
+    """G3 'unfortunately does not hold for local authentication' — the
+    attacks of section 3.2, detected by the checker."""
+
+    def test_cross_claim_produces_conflicting_assignment(self):
+        n = 7
+        coordination = AdversaryCoordination()
+        group = {0, 1, 2}
+        adversaries = {
+            5: CrossClaimAttack(coordination, group, "x", "y"),
+            6: CrossClaimAttack(coordination, group, "y", "x"),
+        }
+        result = run_key_distribution(n, adversaries=adversaries, seed=4)
+        report = check_g3(result.directories, set(range(5)))
+        assert not report.holds
+        # Both shared keys end up cross-assigned.
+        assert len(report.conflicting) == 2
+
+    def test_mixed_predicates_produce_assignment_classes(self):
+        """'This leads to classes of nodes such that the faulty node can
+        select the class of nodes which can assign the message at all.'"""
+        n = 6
+        coordination = AdversaryCoordination()
+        group = {0, 2}
+        adversaries = {5: MixedPredicateAttack(coordination, group, "p", "q")}
+        result = run_key_distribution(n, adversaries=adversaries, seed=5)
+        report = check_g3(result.directories, set(range(5)))
+        assert report.holds          # no *conflicting* assignment...
+        assert report.partial        # ...but assignment classes exist
+
+    def test_shared_key_is_consistent_multi_assignment(self):
+        """Key sharing does not violate G3: 'still all correct recipients
+        of the signed message assign it to the same node'."""
+        n = 6
+        coordination = AdversaryCoordination()
+        adversaries = {
+            4: SharedKeyAttack(coordination),
+            5: SharedKeyAttack(coordination),
+        }
+        result = run_key_distribution(n, adversaries=adversaries, seed=6)
+        report = check_g3(result.directories, set(range(4)))
+        assert report.holds
+        assert not report.partial
+
+    def test_g3_checker_ignores_faulty_observers(self):
+        n = 6
+        coordination = AdversaryCoordination()
+        adversaries = {
+            4: CrossClaimAttack(coordination, {0, 1}, "x", "y"),
+            5: CrossClaimAttack(coordination, {0, 1}, "y", "x"),
+        }
+        result = run_key_distribution(n, adversaries=adversaries, seed=7)
+        # Restricting the observer set to one class removes the conflict.
+        report = check_g3(result.directories, {0, 1})
+        assert report.holds

@@ -1,0 +1,228 @@
+"""Chain signatures: structure, verification discipline, Theorem 4 checks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import KeyDirectory
+from repro.crypto import (
+    chain_depth,
+    extend_chain,
+    get_scheme,
+    is_leaf,
+    is_link,
+    leaf_value,
+    link_parts,
+    sign_leaf,
+    submessages,
+    verify_chain,
+)
+from repro.crypto.signing import SignedMessage, garble_signature
+from repro.errors import ChainStructureError
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Five keypairs and a fully populated directory."""
+    scheme = get_scheme("schnorr-512")
+    keypairs = {
+        node: scheme.generate_keypair(random.Random(f"chain-{node}"))
+        for node in range(5)
+    }
+    directory = KeyDirectory(owner=0)
+    for node, kp in keypairs.items():
+        directory.accept(node, kp.predicate)
+    return keypairs, directory
+
+
+def build_chain(keypairs, value, signers):
+    """Chain signed by ``signers`` in order (first = leaf signer)."""
+    chain = sign_leaf(keypairs[signers[0]].secret, value)
+    for prev, signer in zip(signers, signers[1:]):
+        chain = extend_chain(keypairs[signer].secret, prev, chain)
+    return chain
+
+
+class TestStructure:
+    def test_leaf_shape(self, world):
+        keypairs, _ = world
+        leaf = sign_leaf(keypairs[0].secret, "v")
+        assert is_leaf(leaf)
+        assert not is_link(leaf)
+        assert leaf_value(leaf) == "v"
+        assert chain_depth(leaf) == 1
+
+    def test_link_shape(self, world):
+        keypairs, _ = world
+        chain = build_chain(keypairs, "v", [0, 1])
+        assert is_link(chain)
+        assert not is_leaf(chain)
+        named, inner = link_parts(chain)
+        assert named == 0
+        assert is_leaf(inner)
+
+    def test_submessages_outermost_first(self, world):
+        keypairs, _ = world
+        chain = build_chain(keypairs, "v", [0, 1, 2])
+        layers = submessages(chain)
+        assert len(layers) == 3
+        assert layers[0] is chain
+        assert is_leaf(layers[-1])
+
+    def test_leaf_value_on_link_raises(self, world):
+        keypairs, _ = world
+        chain = build_chain(keypairs, "v", [0, 1])
+        with pytest.raises(ChainStructureError):
+            leaf_value(chain)
+
+    def test_link_parts_on_leaf_raises(self, world):
+        keypairs, _ = world
+        with pytest.raises(ChainStructureError):
+            link_parts(sign_leaf(keypairs[0].secret, "v"))
+
+    def test_non_chain_signed_message_rejected(self, world):
+        keypairs, _ = world
+        from repro.crypto import sign_value
+
+        alien = sign_value(keypairs[0].secret, ("something", "else"))
+        with pytest.raises(ChainStructureError):
+            submessages(alien)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("signers", [[0], [0, 1], [0, 1, 2], [0, 1, 2, 3, 4]])
+    def test_valid_chain_verifies(self, world, signers):
+        keypairs, directory = world
+        chain = build_chain(keypairs, "payload", signers)
+        verdict = verify_chain(chain, outer_signer=signers[-1], directory=directory)
+        assert verdict.ok, verdict.reason
+        assert verdict.value == "payload"
+        assert verdict.signers() == tuple(reversed(signers))
+
+    def test_expected_depth_enforced(self, world):
+        keypairs, directory = world
+        chain = build_chain(keypairs, "v", [0, 1])
+        ok = verify_chain(chain, 1, directory, expected_depth=2)
+        short = verify_chain(chain, 1, directory, expected_depth=3)
+        assert ok.ok
+        assert not short.ok and "depth" in short.reason
+
+    def test_expected_signers_enforced(self, world):
+        keypairs, directory = world
+        chain = build_chain(keypairs, "v", [0, 1, 2])
+        good = verify_chain(chain, 2, directory, expected_signers=(2, 1, 0))
+        bad = verify_chain(chain, 2, directory, expected_signers=(2, 3, 0))
+        assert good.ok
+        assert not bad.ok and "signers" in bad.reason
+
+    def test_wrong_outer_signer_rejected(self, world):
+        """N2 in action: if the immediate sender is not the outermost
+        signer, the receiver must not assign the message to it."""
+        keypairs, directory = world
+        chain = build_chain(keypairs, "v", [0, 1])
+        verdict = verify_chain(chain, outer_signer=2, directory=directory)
+        assert not verdict.ok
+
+    def test_garbled_outer_signature_rejected(self, world):
+        keypairs, directory = world
+        chain = build_chain(keypairs, "v", [0, 1, 2])
+        verdict = verify_chain(garble_signature(chain), 2, directory)
+        assert not verdict.ok
+        assert "node 2" in verdict.reason
+
+    def test_garbled_inner_signature_rejected(self, world):
+        """Fig. 2 checks *submessages* too: corrupt the innermost layer."""
+        keypairs, directory = world
+        bad_leaf = garble_signature(sign_leaf(keypairs[0].secret, "v"))
+        chain = extend_chain(keypairs[1].secret, 0, bad_leaf)
+        chain = extend_chain(keypairs[2].secret, 1, chain)
+        verdict = verify_chain(chain, 2, directory)
+        assert not verdict.ok
+        assert "node 0" in verdict.reason
+
+    def test_misnamed_inner_signer_rejected(self, world):
+        """The naming discipline of section 4: a link claiming the wrong
+        inner signer must fail the inner assignment."""
+        keypairs, directory = world
+        leaf = sign_leaf(keypairs[0].secret, "v")
+        lying_link = extend_chain(keypairs[1].secret, 3, leaf)  # names 3, signer is 0
+        verdict = verify_chain(lying_link, 1, directory)
+        assert not verdict.ok
+
+    def test_repeated_signer_rejected(self, world):
+        keypairs, directory = world
+        chain = build_chain(keypairs, "v", [0, 1])
+        chain = extend_chain(keypairs[0].secret, 1, chain)  # 0 signs again
+        verdict = verify_chain(chain, 0, directory)
+        assert not verdict.ok
+        assert "twice" in verdict.reason
+
+    def test_unknown_signer_rejected(self, world):
+        """A signer with no accepted predicate (the 'class of nodes that
+        cannot assign' situation) must be a verification failure."""
+        keypairs, _ = world
+        sparse = KeyDirectory(owner=0)
+        sparse.accept(1, keypairs[1].predicate)  # 0's predicate missing
+        chain = build_chain(keypairs, "v", [0, 1])
+        verdict = verify_chain(chain, 1, sparse)
+        assert not verdict.ok
+        assert "no accepted test predicate" in verdict.reason
+
+    def test_malformed_nesting_rejected(self, world):
+        keypairs, directory = world
+        from repro.crypto import sign_value
+
+        alien = sign_value(keypairs[1].secret, ("chain-link", 0, "not-signed-msg"))
+        verdict = verify_chain(alien, 1, directory)
+        assert not verdict.ok
+        assert "malformed" in verdict.reason
+
+    def test_fabricated_signature_bytes_rejected(self, world):
+        keypairs, directory = world
+        fake = SignedMessage(body=("chain-leaf", "v"), signature=b"\x01" * 40)
+        verdict = verify_chain(fake, 0, directory)
+        assert not verdict.ok
+
+
+class TestTheorem4Consistency:
+    """All correct nodes assign a submessage to the same node, or at least
+    one of them rejects (-> discovers)."""
+
+    @given(
+        value=st.integers(),
+        signer_count=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identical_directories_agree(self, world, value, signer_count):
+        keypairs, directory = world
+        signers = list(range(signer_count))
+        chain = build_chain(keypairs, value, signers)
+        verdicts = [
+            verify_chain(chain, signers[-1], directory) for _ in range(3)
+        ]
+        assert all(v.ok for v in verdicts)
+        assert len({v.signers() for v in verdicts}) == 1
+
+    def test_divergent_directories_disagree_detectably(self, world):
+        """Give two observers different bindings for one signer: the one
+        with the wrong binding must reject — never silently assign to a
+        different node (that is exactly what Theorem 4 guarantees)."""
+        keypairs, _ = world
+        scheme = get_scheme("schnorr-512")
+        foreign = scheme.generate_keypair(random.Random("foreign"))
+
+        observer_a = KeyDirectory(owner=10)
+        observer_b = KeyDirectory(owner=11)
+        for node, kp in keypairs.items():
+            observer_a.accept(node, kp.predicate)
+            observer_b.accept(node, kp.predicate if node != 1 else foreign.predicate)
+
+        chain = build_chain(keypairs, "v", [0, 1, 2])
+        verdict_a = verify_chain(chain, 2, observer_a)
+        verdict_b = verify_chain(chain, 2, observer_b)
+        assert verdict_a.ok
+        assert not verdict_b.ok  # observer B discovers instead of misassigning

@@ -1,0 +1,156 @@
+"""Canonical encoding: round-trip, determinism, injectivity, rejection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import encoding
+from repro.errors import DecodingError, EncodingError
+
+# A recursive strategy over every supported wire shape.  Lists become
+# tuples on decode, so the strategy generates tuples directly for exact
+# round-trip comparison.
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.tuples(children, children)
+    | st.lists(children, max_size=4).map(tuple)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=25,
+)
+
+
+class TestRoundTrip:
+    @given(wire_values)
+    @settings(max_examples=300)
+    def test_decode_inverts_encode(self, value):
+        assert encoding.decode(encoding.encode(value)) == value
+
+    @given(wire_values)
+    def test_encoding_is_deterministic(self, value):
+        assert encoding.encode(value) == encoding.encode(value)
+
+    def test_lists_normalise_to_tuples(self):
+        assert encoding.decode(encoding.encode([1, 2, 3])) == (1, 2, 3)
+
+    def test_dict_order_does_not_matter(self):
+        forward = {"a": 1, "b": 2, "c": 3}
+        backward = {"c": 3, "b": 2, "a": 1}
+        assert encoding.encode(forward) == encoding.encode(backward)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0,
+            -1,
+            1,
+            2**70,
+            -(2**70),
+            b"",
+            "",
+            (),
+            {},
+            None,
+            True,
+            False,
+            {"k": (None, b"\x00", -5)},
+        ],
+    )
+    def test_edge_values_round_trip(self, value):
+        assert encoding.decode(encoding.encode(value)) == value
+
+
+class TestInjectivity:
+    @given(wire_values, wire_values)
+    @settings(max_examples=300)
+    def test_distinct_values_encode_distinctly(self, a, b):
+        if a != b:
+            assert encoding.encode(a) != encoding.encode(b)
+
+    def test_bool_and_int_distinguished(self):
+        # bool is an int subclass in Python; the encoding must separate them
+        # or signature payloads could be confused.
+        assert encoding.encode(True) != encoding.encode(1)
+        assert encoding.encode(False) != encoding.encode(0)
+
+    def test_bytes_and_str_distinguished(self):
+        assert encoding.encode(b"ab") != encoding.encode("ab")
+
+    def test_empty_containers_distinguished(self):
+        assert encoding.encode(()) != encoding.encode({})
+
+
+class TestRejection:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(EncodingError):
+            encoding.encode(object())
+
+    def test_float_is_not_supported(self):
+        # Floats are excluded on purpose: they are not canonical across
+        # platforms and no protocol payload needs them.
+        with pytest.raises(EncodingError):
+            encoding.encode(1.5)
+
+    def test_trailing_garbage_rejected(self):
+        data = encoding.encode(42) + b"x"
+        with pytest.raises(DecodingError):
+            encoding.decode(data)
+
+    def test_truncated_input_rejected(self):
+        data = encoding.encode((1, "abc", b"xyz"))
+        for cut in range(1, len(data)):
+            with pytest.raises(DecodingError):
+                encoding.decode(data[:cut])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DecodingError):
+            encoding.decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(DecodingError):
+            encoding.decode(b"Z")
+
+    def test_unknown_object_name_rejected(self):
+        # Tag 'O' + name "nope" + a None payload.
+        data = b"O" + bytes([4]) + b"nope" + b"N"
+        with pytest.raises(DecodingError):
+            encoding.decode(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_fuzzing_never_crashes_differently(self, blob):
+        # Arbitrary bytes either decode to a value or raise DecodingError —
+        # never any other exception (protocols feed network bytes here).
+        try:
+            encoding.decode(blob)
+        except DecodingError:
+            pass
+
+
+class TestCodecRegistry:
+    def test_duplicate_name_rejected(self):
+        class Dummy:
+            pass
+
+        encoding.register_codec(Dummy, "test.DummyUnique", lambda d: None, lambda p: Dummy())
+        class Other:
+            pass
+
+        with pytest.raises(EncodingError):
+            encoding.register_codec(Other, "test.DummyUnique", lambda d: None, lambda p: Other())
+
+    def test_reregistering_same_pair_is_idempotent(self):
+        class Dummy2:
+            pass
+
+        encoding.register_codec(Dummy2, "test.Dummy2", lambda d: None, lambda p: Dummy2())
+        encoding.register_codec(Dummy2, "test.Dummy2", lambda d: None, lambda p: Dummy2())
+
+    def test_byte_size_matches_encoding_length(self):
+        value = {"k": (1, 2, 3), "b": b"\x00" * 10}
+        assert encoding.byte_size(value) == len(encoding.encode(value))

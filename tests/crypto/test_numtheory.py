@@ -1,0 +1,122 @@
+"""Number theory: primality, prime generation, inverses, groups."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import numtheory
+from repro.errors import KeyGenerationError
+
+KNOWN_PRIMES = [
+    2, 3, 5, 7, 11, 13, 101, 257, 65537,
+    2_147_483_647,            # Mersenne 2^31 - 1
+    1_000_000_007,
+    (1 << 127) - 1,           # Mersenne 2^127 - 1
+]
+
+KNOWN_COMPOSITES = [
+    1, 4, 6, 9, 100, 65536,
+    561, 1105, 1729, 2465, 6601,          # Carmichael numbers
+    3215031751,                            # strong pseudoprime to 2,3,5,7
+    (1 << 127) - 3,
+]
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes_pass(self, p):
+        assert numtheory.is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_fail(self, c):
+        assert not numtheory.is_probable_prime(c)
+
+    def test_negative_and_zero(self):
+        assert not numtheory.is_probable_prime(0)
+        assert not numtheory.is_probable_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert numtheory.is_probable_prime(n) == by_trial
+
+    @given(
+        st.sampled_from(KNOWN_PRIMES[4:]),
+        st.sampled_from(KNOWN_PRIMES[4:]),
+    )
+    def test_products_of_primes_are_composite(self, p, q):
+        assert not numtheory.is_probable_prime(p * q)
+
+
+class TestPrimeGeneration:
+    @pytest.mark.parametrize("bits", [8, 16, 64, 128, 256])
+    def test_generated_primes_have_exact_bit_length(self, bits):
+        prime = numtheory.generate_prime(bits, random.Random(1))
+        assert prime.bit_length() == bits
+        assert numtheory.is_probable_prime(prime)
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = numtheory.generate_prime(64, random.Random(42))
+        b = numtheory.generate_prime(64, random.Random(42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = numtheory.generate_prime(64, random.Random(1))
+        b = numtheory.generate_prime(64, random.Random(2))
+        assert a != b
+
+    def test_tiny_bit_length_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            numtheory.generate_prime(4, random.Random(0))
+
+
+class TestModularArithmetic:
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=200)
+    def test_egcd_invariant(self, a, b):
+        g, x, y = numtheory.egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=200)
+    def test_modinv_against_prime_modulus(self, a):
+        p = 1_000_000_007
+        inv = numtheory.modinv(a, p)
+        assert (a * inv) % p == 1
+        assert 0 <= inv < p
+
+    def test_modinv_nonexistent_raises(self):
+        with pytest.raises(KeyGenerationError):
+            numtheory.modinv(6, 9)
+
+    def test_modinv_of_negative(self):
+        p = 101
+        inv = numtheory.modinv(-3, p)
+        assert (-3 * inv) % p == 1
+
+
+class TestSchnorrGroup:
+    def test_group_structure(self):
+        p, q, g = numtheory.generate_schnorr_group(128, 64, random.Random(7))
+        assert p.bit_length() == 128
+        assert q.bit_length() == 64
+        assert numtheory.is_probable_prime(p)
+        assert numtheory.is_probable_prime(q)
+        assert (p - 1) % q == 0
+        assert pow(g, q, p) == 1       # g has order dividing q
+        assert g != 1                   # and is not trivial
+
+    def test_generator_has_order_exactly_q(self):
+        p, q, g = numtheory.generate_schnorr_group(128, 64, random.Random(8))
+        # q prime: order divides q and is not 1, hence exactly q.
+        assert pow(g, q, p) == 1 and g != 1
+
+    def test_rejects_q_not_smaller_than_p(self):
+        with pytest.raises(KeyGenerationError):
+            numtheory.generate_schnorr_group(64, 64, random.Random(0))

@@ -1,0 +1,119 @@
+"""Generic Byzantine wrappers: crash, tamper, script, silence."""
+
+from __future__ import annotations
+
+from repro.faults import (
+    CrashProtocol,
+    ScriptedProtocol,
+    SilentProtocol,
+    TamperingProtocol,
+)
+from repro.sim import Envelope, NodeContext, Protocol, run_protocols
+
+
+class Beacon(Protocol):
+    """Broadcasts its round number every round for `rounds` rounds."""
+
+    def __init__(self, rounds: int = 3) -> None:
+        self.rounds = rounds
+
+    def on_round(self, ctx: NodeContext, inbox):
+        if ctx.round < self.rounds:
+            ctx.broadcast(("beacon", ctx.round))
+        else:
+            ctx.halt()
+
+
+class Sink(Protocol):
+    def __init__(self) -> None:
+        self.received: list[tuple[int, object]] = []
+
+    def on_round(self, ctx: NodeContext, inbox):
+        for env in inbox:
+            self.received.append((env.sender, env.payload))
+        if ctx.round >= 4:
+            ctx.halt()
+
+
+class TestSilentProtocol:
+    def test_sends_nothing_and_halts(self):
+        sink = Sink()
+        result = run_protocols([SilentProtocol(), sink])
+        assert result.metrics.messages_total == 0
+        assert sink.received == []
+
+
+class TestCrashProtocol:
+    def test_honest_until_crash_round(self):
+        sink = Sink()
+        result = run_protocols([CrashProtocol(Beacon(3), crash_round=2), sink])
+        rounds_seen = [payload[1] for _, payload in sink.received]
+        assert rounds_seen == [0, 1]
+
+    def test_crash_at_round_zero_is_silence(self):
+        sink = Sink()
+        run_protocols([CrashProtocol(Beacon(3), crash_round=0), sink])
+        assert sink.received == []
+
+
+class TestTamperingProtocol:
+    def test_drop_filter_suppresses_selected_messages(self):
+        sinks = [Sink(), Sink()]
+        beacon = TamperingProtocol(
+            Beacon(2), should_send=lambda rnd, to, payload: to != 1
+        )
+        run_protocols([beacon, *sinks])
+        assert len(sinks[0].received) == 0   # node 1 was filtered out
+        assert len(sinks[1].received) == 2   # node 2 got both rounds
+
+    def test_drop_filter_by_round(self):
+        sink = Sink()
+        beacon = TamperingProtocol(
+            Beacon(3), should_send=lambda rnd, to, payload: rnd != 1
+        )
+        run_protocols([beacon, sink])
+        rounds = [payload[1] for _, payload in sink.received]
+        assert rounds == [0, 2]
+
+    def test_transform_rewrites_payloads(self):
+        sink = Sink()
+        beacon = TamperingProtocol(
+            Beacon(1), transform=lambda rnd, to, payload: ("tampered", payload)
+        )
+        run_protocols([beacon, sink])
+        assert sink.received == [(0, ("tampered", ("beacon", 0)))]
+
+    def test_broadcast_goes_through_filter_per_recipient(self):
+        sinks = [Sink(), Sink(), Sink()]
+        beacon = TamperingProtocol(
+            Beacon(1), should_send=lambda rnd, to, payload: to == 2
+        )
+        result = run_protocols([beacon, *sinks])
+        assert result.metrics.messages_total == 1
+
+    def test_inner_state_is_preserved(self):
+        """The wrapper delegates rounds; the inner protocol's own state
+        machine advances normally."""
+        inner = Beacon(2)
+        wrapped = TamperingProtocol(inner)
+        sink = Sink()
+        result = run_protocols([wrapped, sink])
+        assert len(sink.received) == 2
+
+
+class TestScriptedProtocol:
+    def test_exact_script_is_played(self):
+        sink = Sink()
+        script = {0: [(1, "a")], 2: [(1, "b"), (1, "c")]}
+        result = run_protocols([ScriptedProtocol(script), sink])
+        assert sink.received == [(0, "a"), (0, "b"), (0, "c")]
+        assert result.metrics.messages_per_round[0] == 1
+        assert result.metrics.messages_per_round[2] == 2
+
+    def test_halt_after_defaults_to_last_scripted_round(self):
+        result = run_protocols([ScriptedProtocol({1: [(1, "x")]}), Sink()])
+        assert result.metrics.messages_total == 1
+
+    def test_empty_script_halts_immediately(self):
+        result = run_protocols([ScriptedProtocol({}), SilentProtocol()])
+        assert result.rounds_executed == 1

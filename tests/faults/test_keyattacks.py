@@ -1,0 +1,109 @@
+"""Key-distribution attacks: each produces exactly its designed corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import run_key_distribution
+from repro.crypto import sign_value
+from repro.faults import (
+    AdversaryCoordination,
+    CrossClaimAttack,
+    MixedPredicateAttack,
+    SharedKeyAttack,
+)
+
+N = 7
+
+
+class TestSharedKeyAttack:
+    @pytest.fixture(scope="class")
+    def result_and_coord(self):
+        coordination = AdversaryCoordination()
+        adversaries = {
+            5: SharedKeyAttack(coordination),
+            6: SharedKeyAttack(coordination),
+        }
+        return run_key_distribution(N, adversaries=adversaries, seed=10), coordination
+
+    def test_both_nodes_bound_to_one_key(self, result_and_coord):
+        result, coordination = result_and_coord
+        shared = coordination.known_keypairs()["shared"].predicate
+        for observer in range(5):
+            directory = result.directories[observer]
+            assert directory.predicates_for(5) == (shared,)
+            assert directory.predicates_for(6) == (shared,)
+
+    def test_signed_message_assigned_to_both(self, result_and_coord):
+        result, coordination = result_and_coord
+        secret = coordination.known_keypairs()["shared"].secret
+        signed = sign_value(secret, "m")
+        for observer in range(5):
+            assert result.directories[observer].assign(signed) == [5, 6]
+
+    def test_assignment_consistent_across_observers(self, result_and_coord):
+        """The paper: 'still all correct recipients of the signed message
+        assign it to the same node' (here: same node set)."""
+        result, coordination = result_and_coord
+        secret = coordination.known_keypairs()["shared"].secret
+        signed = sign_value(secret, "m")
+        assignments = {
+            tuple(result.directories[obs].assign(signed)) for obs in range(5)
+        }
+        assert len(assignments) == 1
+
+
+class TestCrossClaimAttack:
+    @pytest.fixture(scope="class")
+    def result_and_coord(self):
+        coordination = AdversaryCoordination()
+        group_one = {0, 1, 2}
+        adversaries = {
+            5: CrossClaimAttack(coordination, group_one, "x", "y"),
+            6: CrossClaimAttack(coordination, group_one, "y", "x"),
+        }
+        return (
+            run_key_distribution(N, adversaries=adversaries, seed=11),
+            coordination,
+            group_one,
+        )
+
+    def test_groups_assign_same_signature_to_different_nodes(self, result_and_coord):
+        result, coordination, group_one = result_and_coord
+        signed = sign_value(coordination.known_keypairs()["x"].secret, "m")
+        for observer in group_one:
+            assert result.directories[observer].assign(signed) == [5]
+        for observer in {3, 4}:
+            assert result.directories[observer].assign(signed) == [6]
+
+    def test_correct_bindings_untouched(self, result_and_coord):
+        result, _, _ = result_and_coord
+        for observer in range(5):
+            for subject in range(5):
+                assert result.directories[observer].predicates_for(subject) == (
+                    result.keypairs[subject].predicate,
+                )
+
+
+class TestMixedPredicateAttack:
+    def test_assignment_classes(self):
+        coordination = AdversaryCoordination()
+        group_one = {0, 1}
+        adversaries = {5: MixedPredicateAttack(coordination, group_one, "p", "q")}
+        result = run_key_distribution(6, adversaries=adversaries, seed=12)
+        signed = sign_value(coordination.known_keypairs()["p"].secret, "m")
+        # Group one can assign it; the others cannot assign it at all —
+        # the 'select the class of nodes which can assign' situation.
+        for observer in group_one:
+            assert result.directories[observer].assign(signed) == [5]
+        for observer in {2, 3, 4}:
+            assert result.directories[observer].assign(signed) == []
+
+    def test_lazy_keypair_generation_is_stable(self):
+        import random
+
+        coordination = AdversaryCoordination()
+        rng = random.Random(0)
+        first = coordination.keypair("label", rng)
+        second = coordination.keypair("label", rng)
+        assert first is second

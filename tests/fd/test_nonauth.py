@@ -1,0 +1,153 @@
+"""The echo FD baseline: O(n·t) cost, F1-F3, and the t-echoer boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fd_nonauth_messages, fd_nonauth_rounds
+from repro.faults import ScriptedProtocol, SilentProtocol
+from repro.fd import evaluate_fd, make_echo_fd_protocols
+from repro.fd.nonauth import ECHO_MSG, VALUE_MSG
+from repro.sim import run_protocols
+
+
+def run_echo(n, t, value="v", adversaries=None, seed=0, faulty=None):
+    protocols = make_echo_fd_protocols(n, t, value, adversaries=adversaries or {})
+    result = run_protocols(protocols, seed=seed)
+    correct = set(range(n)) - (faulty or set(adversaries or {}))
+    return result, evaluate_fd(result, correct, 0, value)
+
+
+class TestFailureFreeRuns:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3), (10, 0), (16, 5)])
+    def test_exact_message_count(self, n, t):
+        """Section 5: non-authenticated FD needs O(n·t) messages; the echo
+        construction realises exactly (t+1)(n−1)."""
+        result, evaluation = run_echo(n, t)
+        assert result.metrics.messages_total == fd_nonauth_messages(n, t)
+        assert evaluation.ok and not evaluation.any_discovery
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (10, 3)])
+    def test_two_rounds(self, n, t):
+        result, _ = run_echo(n, t)
+        assert result.metrics.rounds_used == fd_nonauth_rounds() == 2
+
+    def test_all_nodes_decide_sender_value(self):
+        result, _ = run_echo(8, 2, value=1234)
+        assert result.decisions() == {i: 1234 for i in range(8)}
+
+    def test_quadratic_at_constant_fault_fraction(self):
+        """'With a constant portion of the nodes being faulty this makes
+        O(n²) messages.'"""
+        costs = {}
+        for n in (7, 13, 25):
+            t = (n - 1) // 3
+            result, _ = run_echo(n, t)
+            costs[n] = result.metrics.messages_total
+        # Doubling n should roughly quadruple the cost.
+        assert costs[13] / costs[7] > 2.5
+        assert costs[25] / costs[13] > 2.5
+
+
+class TestByzantineSender:
+    def test_equivocation_is_discovered(self):
+        n, t = 7, 2
+        script = {
+            0: [(peer, (VALUE_MSG, "a" if peer <= 3 else "b")) for peer in range(1, n)]
+        }
+        result, evaluation = run_echo(
+            n, t, adversaries={0: ScriptedProtocol(script, halt_after=3)}
+        )
+        assert evaluation.ok and evaluation.any_discovery
+
+    def test_partial_send_is_discovered(self):
+        n, t = 6, 2
+        script = {0: [(peer, (VALUE_MSG, "v")) for peer in (1, 2, 3)]}
+        result, evaluation = run_echo(
+            n, t, adversaries={0: ScriptedProtocol(script, halt_after=3)}
+        )
+        assert evaluation.ok
+        assert {4, 5} <= set(result.discoverers())
+
+    def test_silent_sender_is_discovered_by_all(self):
+        n, t = 6, 2
+        result, evaluation = run_echo(n, t, adversaries={0: SilentProtocol()})
+        assert evaluation.ok
+        assert set(result.discoverers()) == set(range(1, n))
+
+
+class TestByzantineEchoers:
+    def test_lying_echoer_is_discovered(self):
+        n, t = 7, 2
+        lie = {1: [(peer, (ECHO_MSG, "lie")) for peer in range(n) if peer != 1]}
+        result, evaluation = run_echo(
+            n, t, adversaries={1: ScriptedProtocol(lie, halt_after=3)}
+        )
+        assert evaluation.ok and evaluation.any_discovery
+
+    def test_silent_echoer_is_discovered(self):
+        n, t = 7, 2
+        result, evaluation = run_echo(n, t, adversaries={2: SilentProtocol()})
+        assert evaluation.ok and evaluation.any_discovery
+
+    def test_selective_echoer_is_discovered_by_victims(self):
+        n, t = 7, 2
+        partial = {1: [(peer, (ECHO_MSG, "v")) for peer in (2, 3)]}
+
+        class LateEcho(ScriptedProtocol):
+            pass
+
+        result, evaluation = run_echo(
+            n, t, adversaries={1: LateEcho(partial, halt_after=3)}
+        )
+        assert evaluation.ok
+        # Nodes that expected node 1's echo and got silence must discover.
+        assert {4, 5, 6} <= set(result.discoverers())
+
+    def test_sender_and_echoer_collusion_within_budget(self):
+        """Sender tells two groups different values; the one correct
+        echoer's uniform broadcast exposes one of the groups."""
+        n, t = 7, 2
+        send_script = {
+            0: [(peer, (VALUE_MSG, "a" if peer in (1, 3, 4) else "b")) for peer in range(1, n)]
+        }
+        echo_script = {1: [(peer, (ECHO_MSG, "a" if peer in (3, 4) else "b")) for peer in range(n) if peer != 1]}
+        adversaries = {
+            0: ScriptedProtocol(send_script, halt_after=3),
+            1: ScriptedProtocol(echo_script, halt_after=3),
+        }
+        result, evaluation = run_echo(n, t, adversaries=adversaries)
+        assert evaluation.ok, evaluation.detail
+        assert evaluation.any_discovery
+
+
+class TestEchoerCountBoundary:
+    """Why t echoers are necessary: with only t−1 the construction breaks.
+
+    This is the negative test pinning our reconstruction of the baseline:
+    the complexity (t+1)(n−1) is not an accident of implementation but the
+    minimum for this echo structure.
+    """
+
+    def test_fewer_echoers_admit_silent_disagreement(self):
+        # Network of 7 configured as if t=1 (one echoer) but attacked by
+        # 2 faults (sender + the echoer): the correct nodes split with no
+        # discovery.  Under the *claimed* budget t=2 this exact adversary
+        # would be within budget — demonstrating t-1 echoers are too few.
+        n = 7
+        understaffed_t = 1
+        send_script = {
+            0: [(peer, (VALUE_MSG, "a" if peer <= 3 else "b")) for peer in range(1, n)]
+        }
+        echo_script = {
+            1: [(peer, (ECHO_MSG, "a" if peer in (2, 3) else "b")) for peer in range(n) if peer != 1]
+        }
+        adversaries = {
+            0: ScriptedProtocol(send_script, halt_after=3),
+            1: ScriptedProtocol(echo_script, halt_after=3),
+        }
+        result, evaluation = run_echo(n, understaffed_t, adversaries=adversaries)
+        # F2 violated: correct nodes decided 'a' and 'b', nobody discovered.
+        assert not evaluation.weak_agreement
+        decisions = set(result.decisions().values())
+        assert decisions == {"a", "b"}

@@ -1,0 +1,111 @@
+"""F1-F3 checkers: the oracle itself must judge correctly."""
+
+from __future__ import annotations
+
+from repro.fd import (
+    check_weak_agreement,
+    check_weak_termination,
+    check_weak_validity,
+    evaluate_fd,
+)
+from repro.sim import NodeState, RunResult
+from repro.sim.metrics import Metrics
+
+
+def make_result(states: list[NodeState]) -> RunResult:
+    return RunResult(
+        n=len(states),
+        rounds_executed=1,
+        metrics=Metrics(),
+        states=states,
+        views=[],
+        seed=0,
+    )
+
+
+def node(i, decision=None, decided=False, discovered=None):
+    return NodeState(node=i, decision=decision, decided=decided, discovered=discovered)
+
+
+class TestWeakTermination:
+    def test_all_decided_passes(self):
+        result = make_result([node(0, "v", True), node(1, "v", True)])
+        assert check_weak_termination(result, {0, 1}) == []
+
+    def test_discovery_counts_as_termination(self):
+        result = make_result([node(0, "v", True), node(1, discovered="bad")])
+        assert check_weak_termination(result, {0, 1}) == []
+
+    def test_undecided_correct_node_flagged(self):
+        result = make_result([node(0, "v", True), node(1)])
+        assert check_weak_termination(result, {0, 1}) == [1]
+
+    def test_faulty_nodes_ignored(self):
+        result = make_result([node(0, "v", True), node(1)])
+        assert check_weak_termination(result, {0}) == []
+
+
+class TestWeakAgreement:
+    def test_matching_decisions_pass(self):
+        result = make_result([node(0, "v", True), node(1, "v", True)])
+        assert check_weak_agreement(result, {0, 1}) is None
+
+    def test_differing_decisions_flagged(self):
+        result = make_result([node(0, "a", True), node(1, "b", True)])
+        assert check_weak_agreement(result, {0, 1}) == (0, 1)
+
+    def test_discovery_excuses_disagreement(self):
+        """F2 binds only 'if no correct node discovers a failure'."""
+        result = make_result(
+            [node(0, "a", True), node(1, "b", True), node(2, discovered="x")]
+        )
+        assert check_weak_agreement(result, {0, 1, 2}) is None
+
+    def test_faulty_discovery_does_not_excuse(self):
+        result = make_result(
+            [node(0, "a", True), node(1, "b", True), node(2, discovered="x")]
+        )
+        assert check_weak_agreement(result, {0, 1}) == (0, 1)
+
+    def test_decision_of_none_is_a_value(self):
+        """decided=True with value None differs from value 'v'."""
+        result = make_result([node(0, None, True), node(1, "v", True)])
+        assert check_weak_agreement(result, {0, 1}) == (0, 1)
+
+
+class TestWeakValidity:
+    def test_correct_sender_value_respected(self):
+        result = make_result([node(0, "v", True), node(1, "v", True)])
+        assert check_weak_validity(result, {0, 1}, 0, "v") is None
+
+    def test_deviation_from_sender_flagged(self):
+        result = make_result([node(0, "v", True), node(1, "w", True)])
+        assert check_weak_validity(result, {0, 1}, 0, "v") == [1]
+
+    def test_faulty_sender_is_vacuous(self):
+        result = make_result([node(0, "v", True), node(1, "w", True)])
+        assert check_weak_validity(result, {1}, 0, "v") is None
+
+    def test_discovery_excuses(self):
+        result = make_result([node(0, "v", True), node(1, "w", True), node(2, discovered="x")])
+        assert check_weak_validity(result, {0, 1, 2}, 0, "v") is None
+
+
+class TestEvaluateFd:
+    def test_clean_run(self):
+        result = make_result([node(0, "v", True), node(1, "v", True)])
+        evaluation = evaluate_fd(result, {0, 1}, 0, "v")
+        assert evaluation.ok
+        assert not evaluation.any_discovery
+        assert evaluation.detail is None
+
+    def test_first_violation_reported(self):
+        result = make_result([node(0, "v", True), node(1)])
+        evaluation = evaluate_fd(result, {0, 1}, 0, "v")
+        assert not evaluation.ok
+        assert "F1" in evaluation.detail
+
+    def test_discovery_flag(self):
+        result = make_result([node(0, "v", True), node(1, discovered="bad")])
+        evaluation = evaluate_fd(result, {0, 1}, 0, "v")
+        assert evaluation.ok and evaluation.any_discovery

@@ -1,0 +1,41 @@
+"""Sweep utilities: grids, ordering, standard sizes."""
+
+from __future__ import annotations
+
+from repro.harness import grid, sizes_with_budgets, standard_sizes, sweep
+
+
+class TestGrid:
+    def test_cartesian_product_in_order(self):
+        points = grid(n=[4, 8], seed=[0, 1])
+        assert points == [
+            {"n": 4, "seed": 0},
+            {"n": 4, "seed": 1},
+            {"n": 8, "seed": 0},
+            {"n": 8, "seed": 1},
+        ]
+
+    def test_single_axis(self):
+        assert grid(x=[1]) == [{"x": 1}]
+
+    def test_empty_axis_empties_grid(self):
+        assert grid(x=[], y=[1, 2]) == []
+
+
+class TestSweep:
+    def test_applies_function_and_keeps_params(self):
+        points = sweep(grid(a=[1, 2], b=[10]), lambda a, b: a + b)
+        assert [(p.params, p.result) for p in points] == [
+            ({"a": 1, "b": 10}, 11),
+            ({"a": 2, "b": 10}, 12),
+        ]
+
+
+class TestStandardSizes:
+    def test_small_is_prefix_of_full(self):
+        small, full = standard_sizes(small=True), standard_sizes()
+        assert small == full[: len(small)]
+
+    def test_budgets(self):
+        pairs = sizes_with_budgets([4, 10, 16])
+        assert pairs == [(4, 1), (10, 3), (16, 5)]

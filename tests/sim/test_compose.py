@@ -1,0 +1,73 @@
+"""Phase composition: embedded protocols see shifted rounds, effects are
+captured, sends pass through."""
+
+from __future__ import annotations
+
+from repro.sim import Envelope, NodeContext, Protocol, run_protocols
+from repro.sim.compose import PhaseHost
+
+
+class Inner(Protocol):
+    """Decides at its round 1; sends at its round 0."""
+
+    def __init__(self) -> None:
+        self.seen_rounds: list[int] = []
+
+    def on_round(self, ctx: NodeContext, inbox):
+        self.seen_rounds.append(ctx.round)
+        if ctx.round == 0 and ctx.node == 0:
+            ctx.broadcast(("inner", "hello"))
+        if ctx.round >= 1:
+            ctx.decide(("inner-decision", ctx.node))
+            ctx.discover_failure("inner-reason")
+            ctx.halt()
+
+
+class Outer(Protocol):
+    """Hosts Inner starting at outer round 2."""
+
+    def __init__(self) -> None:
+        self.host: PhaseHost | None = None
+        self.inner = Inner()
+
+    def setup(self, ctx):
+        self.host = PhaseHost(self.inner, offset=2)
+
+    def on_round(self, ctx, inbox):
+        if ctx.round >= 2:
+            self.host.step(ctx, inbox)
+        if self.host.outcome.halted:
+            # Outer interprets the captured outcome however it wants.
+            ctx.decide(("outer-wrapped", self.host.outcome.decision))
+            ctx.halt()
+
+
+class TestPhaseHost:
+    def test_rounds_are_shifted(self):
+        protocols = [Outer(), Outer()]
+        run_protocols(protocols)
+        assert protocols[0].inner.seen_rounds == [0, 1]
+
+    def test_sends_pass_through_and_are_received(self):
+        protocols = [Outer(), Outer()]
+        result = run_protocols(protocols)
+        assert result.metrics.messages_total == 1
+        # Sent at outer round 2 (inner round 0).
+        assert result.metrics.messages_per_round[2] == 1
+
+    def test_terminal_effects_are_captured_not_applied(self):
+        protocols = [Outer(), Outer()]
+        result = run_protocols(protocols)
+        # The inner decide/discover landed in the outcome, not directly in
+        # node state; the outer protocol re-decided with its own wrapper.
+        assert result.states[0].decision == ("outer-wrapped", ("inner-decision", 0))
+        assert result.states[0].discovered is None
+        assert protocols[0].host.outcome.discovered == "inner-reason"
+
+    def test_step_after_halt_is_noop(self):
+        protocols = [Outer(), Outer()]
+        run_protocols(protocols)
+        host = protocols[0].host
+        rounds_before = list(protocols[0].inner.seen_rounds)
+        host.step(None, [])  # ctx unused when halted
+        assert protocols[0].inner.seen_rounds == rounds_before

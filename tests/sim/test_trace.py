@@ -1,0 +1,83 @@
+"""Event tracing: order, transitions, caps, rendering."""
+
+from __future__ import annotations
+
+from repro.auth import trusted_dealer_setup
+from repro.faults import SilentProtocol
+from repro.fd import make_chain_fd_protocols
+from repro.sim import Protocol, Trace, run_protocols
+from repro.sim.message import Envelope
+
+
+def chain_run(n=5, t=1, adversaries=None, seed=1):
+    keypairs, directories = trusted_dealer_setup(n, seed="trace")
+    protocols = make_chain_fd_protocols(
+        n, t, "v", keypairs, directories, adversaries=adversaries or {}
+    )
+    return run_protocols(protocols, seed=seed, record_trace=True)
+
+
+class TestRecording:
+    def test_off_by_default(self):
+        keypairs, directories = trusted_dealer_setup(4, seed="trace")
+        result = run_protocols(
+            make_chain_fd_protocols(4, 1, "v", keypairs, directories)
+        )
+        assert result.trace is None
+
+    def test_send_events_match_metrics(self):
+        result = chain_run()
+        sends = result.trace.of_kind("send")
+        assert len(sends) == result.metrics.messages_total
+
+    def test_every_decision_traced_once(self):
+        result = chain_run(n=5)
+        decides = result.trace.of_kind("decide")
+        assert len(decides) == 5
+        assert {event.node for event in decides} == set(range(5))
+
+    def test_every_halt_traced_once(self):
+        result = chain_run(n=5)
+        halts = result.trace.of_kind("halt")
+        assert len(halts) == 5
+
+    def test_discovery_traced_with_reason(self):
+        result = chain_run(adversaries={1: SilentProtocol()})
+        discoveries = result.trace.of_kind("discover")
+        assert discoveries
+        assert all(isinstance(event.detail, str) for event in discoveries)
+
+    def test_events_are_round_ordered(self):
+        result = chain_run()
+        rounds = [event.round for event in result.trace.events]
+        assert rounds == sorted(rounds)
+
+    def test_for_node_filters(self):
+        result = chain_run()
+        own = result.trace.for_node(0)
+        assert own and all(event.node == 0 for event in own)
+
+
+class TestFormatting:
+    def test_format_contains_arrows_and_kinds(self):
+        result = chain_run()
+        text = result.trace.format()
+        assert "P0 -> P1" in text
+        assert "decides" in text
+        assert "halts" in text
+
+    def test_max_lines_truncates_output(self):
+        result = chain_run()
+        text = result.trace.format(max_lines=2)
+        assert "more)" in text
+        assert len(text.splitlines()) == 3
+
+
+class TestCap:
+    def test_cap_sets_truncated_flag(self):
+        trace = Trace(max_events=2)
+        for i in range(5):
+            trace.record_halt(0, i % 2)
+        assert len(trace.events) == 2
+        assert trace.truncated
+        assert "truncated" in trace.format()

@@ -1,0 +1,102 @@
+"""CLI: every subcommand runs, reports correctly, and exits meaningfully."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fd", "--scheme", "rot13"])
+
+
+class TestKeydist:
+    def test_prints_formula_and_measured(self, capsys):
+        assert main(["keydist", "--n", "5", "--scheme", "simulated-hmac"]) == 0
+        out = capsys.readouterr().out
+        assert "60" in out  # 3*5*4
+        assert "rounds" in out
+
+
+class TestFd:
+    def test_chain_global(self, capsys):
+        assert main(
+            ["fd", "--n", "6", "--t", "1", "--scheme", "simulated-hmac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "F1-F3" in out and "ok" in out
+
+    def test_chain_local_includes_keydist(self, capsys):
+        assert main(
+            ["fd", "--n", "6", "--t", "1", "--auth", "local",
+             "--scheme", "simulated-hmac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "90" in out  # 3*6*5 keydist messages
+
+    def test_echo_protocol(self, capsys):
+        assert main(
+            ["fd", "--n", "6", "--t", "2", "--protocol", "echo"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "15" in out  # (2+1)*(6-1)
+
+
+class TestBa:
+    def test_extension(self, capsys):
+        assert main(
+            ["ba", "--n", "6", "--t", "1", "--scheme", "simulated-hmac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "agreement/validity" in out and "ok" in out
+
+
+class TestAmortize:
+    def test_ledger_and_crossover(self, capsys):
+        assert main(
+            ["amortize", "--n", "8", "--t", "2", "--runs", "14",
+             "--scheme", "simulated-hmac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "crossover: measured 13, closed form 13" in out
+
+
+class TestAttack:
+    def test_list(self, capsys):
+        assert main(["attack", "--list", "--n", "8", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-claim-chain" in out
+        assert "mixed-predicate-chain" in out
+
+    def test_run_named_attack(self, capsys):
+        assert main(
+            ["attack", "--name", "garbling-chain-node", "--n", "8", "--t", "2",
+             "--scheme", "simulated-hmac"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "discovery" in out
+
+    def test_unknown_attack_exits_2(self, capsys):
+        assert main(
+            ["attack", "--name", "no-such-attack", "--n", "8", "--t", "2"]
+        ) == 2
+
+
+class TestFormulas:
+    def test_prints_all_claims(self, capsys):
+        assert main(["formulas", "--n", "16", "--t", "5"]) == 0
+        out = capsys.readouterr().out
+        for token in ("3n(n-1)", "n-1", "(t+1)(n-1)", "720", "15", "90", "10"):
+            assert token in out
+
+    def test_t_zero_omits_crossover(self, capsys):
+        assert main(["formulas", "--n", "4", "--t", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" not in out

@@ -1,0 +1,102 @@
+"""Golden regression values: exact counts for fixed seeds.
+
+These pin the deterministic observable behaviour of every protocol so an
+accidental semantic change (an extra message, a shifted round, a changed
+decision) fails loudly.  The values were produced by the current,
+theorem-validated implementation; each is annotated with the formula it
+instantiates where one exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import (
+    make_extended_protocols,
+    make_oral_agreement_protocols,
+    make_signed_agreement_protocols,
+)
+from repro.auth import run_key_distribution, trusted_dealer_setup
+from repro.fd import make_chain_fd_protocols, make_echo_fd_protocols
+from repro.sim import run_protocols
+
+SEED = "golden-2026"
+
+
+@pytest.fixture(scope="module")
+def dealer():
+    return trusted_dealer_setup(9, seed=SEED)
+
+
+class TestGoldenCounts:
+    def test_keydist_n9(self):
+        result = run_key_distribution(9, scheme="simulated-hmac", seed=SEED)
+        assert result.messages == 216          # 3*9*8
+        assert result.rounds == 3
+        assert result.run.rounds_executed == 4  # 3 send rounds + final receive
+
+    def test_chain_fd_n9_t2(self, dealer):
+        keypairs, directories = dealer
+        result = run_protocols(
+            make_chain_fd_protocols(9, 2, "g", keypairs, directories), seed=SEED
+        )
+        assert result.metrics.messages_total == 8      # n-1
+        assert result.metrics.rounds_used == 3          # t+1
+        assert result.metrics.messages_per_round == {0: 1, 1: 1, 2: 6}
+        assert result.metrics.messages_per_sender == {0: 1, 1: 1, 2: 6}
+        assert list(result.decisions().values()) == ["g"] * 9
+
+    def test_echo_fd_n9_t2(self):
+        result = run_protocols(make_echo_fd_protocols(9, 2, "g"), seed=SEED)
+        assert result.metrics.messages_total == 24     # (t+1)(n-1)
+        assert result.metrics.messages_per_round == {0: 8, 1: 16}
+        assert result.metrics.messages_per_kind == {"fd-value": 8, "fd-echo": 16}
+
+    def test_sm_n9_t2(self, dealer):
+        keypairs, directories = dealer
+        result = run_protocols(
+            make_signed_agreement_protocols(9, 2, "g", keypairs, directories),
+            seed=SEED,
+        )
+        assert result.metrics.messages_total == 64     # (n-1) + (n-1)(n-2)
+        assert result.metrics.rounds_used == 2
+
+    def test_om_n7_t2(self):
+        result = run_protocols(make_oral_agreement_protocols(7, 2, "g"), seed=SEED)
+        assert result.metrics.messages_total == 78     # (n-1) + t(n-1)^2
+        assert result.metrics.rounds_used == 3
+        assert list(result.decisions().values()) == ["g"] * 7
+
+    def test_extension_n9_t2(self, dealer):
+        keypairs, directories = dealer
+        result = run_protocols(
+            make_extended_protocols(9, 2, "g", keypairs, directories), seed=SEED
+        )
+        assert result.metrics.messages_total == 8      # n-1, same as FD
+        assert result.metrics.rounds_used == 3
+        # Alarm window + decision point: 2t+3 rounds pass before halting.
+        assert result.rounds_executed == 2 * 2 + 3 + 1
+
+
+class TestGoldenDeterminism:
+    def test_identical_seeds_identical_byte_totals(self, dealer):
+        keypairs, directories = dealer
+        first = run_protocols(
+            make_chain_fd_protocols(9, 2, "g", keypairs, directories), seed=SEED
+        )
+        second = run_protocols(
+            make_chain_fd_protocols(9, 2, "g", keypairs, directories), seed=SEED
+        )
+        assert first.metrics.bytes_total == second.metrics.bytes_total
+
+    def test_different_values_change_bytes_not_counts(self, dealer):
+        keypairs, directories = dealer
+        short = run_protocols(
+            make_chain_fd_protocols(9, 2, "x", keypairs, directories), seed=SEED
+        )
+        long = run_protocols(
+            make_chain_fd_protocols(9, 2, "x" * 500, keypairs, directories),
+            seed=SEED,
+        )
+        assert short.metrics.messages_total == long.metrics.messages_total
+        assert short.metrics.bytes_total < long.metrics.bytes_total
