@@ -14,29 +14,34 @@ from conftest import SWEEP_SCHEME, once
 from repro.analysis import check_mark, keydist_messages, keydist_rounds, render_table
 from repro.auth import run_key_distribution
 from repro.harness import standard_sizes
+from repro.harness.workloads import keydist_point
 
 
-def test_e1_keydist_series(report, benchmark):
+def test_e1_keydist_series(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [{"n": n, "seed": n, "scheme": SWEEP_SCHEME} for n in standard_sizes()],
+            keydist_point,
+        )
         rows = []
-        for n in standard_sizes():
-            result = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
+        for point in points:
+            n, measured = point.params["n"], point.result
             predicted = keydist_messages(n)
             rows.append(
                 [
                     n,
                     predicted,
-                    result.messages,
+                    measured["messages"],
                     keydist_rounds(),
-                    result.rounds,
+                    measured["rounds"],
                     check_mark(
-                        result.messages == predicted
-                        and result.rounds == keydist_rounds()
+                        measured["messages"] == predicted
+                        and measured["rounds"] == keydist_rounds()
                     ),
                 ]
             )
-            assert result.messages == predicted
-            assert result.rounds == keydist_rounds()
+            assert measured["messages"] == predicted
+            assert measured["rounds"] == keydist_rounds()
         report(
             render_table(
                 ["n", "3n(n-1) paper", "measured", "rounds paper", "measured", "verdict"],

@@ -10,18 +10,25 @@ from conftest import SWEEP_SCHEME, once
 
 from repro.analysis import check_mark, fd_auth_messages, fd_auth_rounds, render_table
 from repro.harness import GLOBAL, LOCAL, run_fd_scenario, sizes_with_budgets, standard_sizes
+from repro.harness.workloads import fd_point
 
 
-def test_e2_chain_fd_series(report, benchmark):
+def test_e2_chain_fd_series(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "protocol": "chain", "scheme": SWEEP_SCHEME}
+                for n, t in sizes_with_budgets(standard_sizes())
+            ],
+            fd_point,
+        )
         rows = []
-        for n, t in sizes_with_budgets(standard_sizes()):
-            outcome = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
-            )
-            assert outcome.fd.ok
-            messages = outcome.run.metrics.messages_total
-            rounds = outcome.run.metrics.rounds_used
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            measured = point.result
+            assert measured["fd_ok"]
+            messages = measured["messages"]
+            rounds = measured["rounds"]
             rows.append(
                 [
                     n,

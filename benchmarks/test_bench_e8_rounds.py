@@ -17,23 +17,27 @@ from repro.analysis import (
     keydist_rounds,
     render_table,
 )
-from repro.auth import run_key_distribution
 from repro.harness import GLOBAL, run_fd_scenario, sizes_with_budgets, standard_sizes
+from repro.harness.workloads import e8_round_point
 
 
-def test_e8_round_table(report, benchmark):
+def test_e8_round_table(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
+                for n, t in sizes_with_budgets(standard_sizes())
+            ],
+            e8_round_point,
+        )
         rows = []
-        for n, t in sizes_with_budgets(standard_sizes()):
-            kd = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
-            chain = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
-            )
-            echo = run_fd_scenario(n, t, "v", protocol="echo", seed=n)
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
             measured = (
-                kd.rounds,
-                chain.run.metrics.rounds_used,
-                echo.run.metrics.rounds_used,
+                result["keydist_rounds"],
+                result["chain_rounds"],
+                result["echo_rounds"],
             )
             predicted = (keydist_rounds(), fd_auth_rounds(t), fd_nonauth_rounds())
             rows.append([n, t, *predicted, *measured, check_mark(measured == predicted)])

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Benchmark gate: refresh ``BENCH_1.json`` and fail loudly on regressions.
+
+Runs the trimmed (``standard_sizes(small=True)``) regression suite from
+``benchmarks/regress.py``, compares it against the committed
+``BENCH_1.json`` when one exists, and rewrites the file.  A fresh small
+run more than ``--threshold`` (default 20%) slower than the committed
+small numbers on any experiment exits non-zero — the loud failure CI
+wants.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_check.py                  # gate + refresh
+    PYTHONPATH=src python scripts/bench_check.py --full           # also full sizes
+    PYTHONPATH=src python scripts/bench_check.py --compare /path/to/other/src
+
+``--compare`` measures the same workloads against another source tree
+(for example a seed-commit worktree) in a subprocess and records the
+per-experiment speedups under ``speedup_vs_baseline_src`` — that is how
+the seed-vs-now numbers in the committed ``BENCH_1.json`` were produced.
+
+Wall-clock baselines are machine-relative: after moving to new hardware,
+regenerate the baseline before trusting the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import regress  # noqa: E402  (benchmarks/regress.py)
+
+
+def compare_runs(
+    baseline: dict, fresh: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Per-experiment deltas.  Returns (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    base_experiments = baseline.get("experiments", {})
+    for name, entry in fresh.get("experiments", {}).items():
+        base = base_experiments.get(name)
+        if base is None:
+            lines.append(f"  {name}: new experiment (no baseline)")
+            continue
+        old, new = base["seconds"], entry["seconds"]
+        delta = (new - old) / old if old > 0 else 0.0
+        line = f"  {name}: {old:.5f}s -> {new:.5f}s ({delta:+.1%})"
+        if base.get("counts") != entry.get("counts"):
+            regressions.append(
+                f"  {name}: COUNTS CHANGED {base.get('counts')} -> "
+                f"{entry.get('counts')} (determinism contract broken?)"
+            )
+        if delta > threshold:
+            regressions.append(line + "  REGRESSION")
+        lines.append(line)
+    return lines, regressions
+
+
+def measure_other_src(src_path: str, small: bool, repeats: int) -> dict:
+    """Run the same suite against another source tree, out of process."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        out_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_path
+    cmd = [
+        sys.executable,
+        str(REPO_ROOT / "benchmarks" / "regress.py"),
+        "--out",
+        out_path,
+        "--repeats",
+        str(repeats),
+    ]
+    if small:
+        cmd.append("--small")
+    subprocess.run(cmd, check=True, env=env, cwd=str(REPO_ROOT))
+    try:
+        return json.loads(Path(out_path).read_text())
+    finally:
+        os.unlink(out_path)
+
+
+def speedups(baseline: dict, current: dict) -> dict[str, float]:
+    """baseline seconds / current seconds, per shared experiment."""
+    result: dict[str, float] = {}
+    for name, entry in current.get("experiments", {}).items():
+        base = baseline.get("experiments", {}).get(name)
+        if base and entry["seconds"] > 0:
+            result[name] = round(base["seconds"] / entry["seconds"], 2)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_1.json"), help="report path"
+    )
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--full", action="store_true", help="also refresh the full-size section"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="SRC",
+        help="source tree to measure as the speedup baseline (subprocess)",
+    )
+    args = parser.parse_args(argv)
+
+    out_path = Path(args.out)
+    committed = json.loads(out_path.read_text()) if out_path.exists() else {}
+
+    print("== bench_check: trimmed (small=True) suite ==")
+    fresh_small = regress.run_suite(small=True, repeats=args.repeats)
+    for name, entry in fresh_small["experiments"].items():
+        print(f"  {name}: {entry['seconds']:.5f}s")
+
+    status = 0
+    if committed.get("small"):
+        lines, regressions = compare_runs(
+            committed["small"], fresh_small, args.threshold
+        )
+        print("== comparison against committed BENCH_1.json (small) ==")
+        print("\n".join(lines))
+        if regressions:
+            print(
+                f"== FAIL: regression beyond {args.threshold:.0%} threshold ==",
+                file=sys.stderr,
+            )
+            print("\n".join(regressions), file=sys.stderr)
+            status = 1
+    else:
+        print("== no committed small baseline; establishing one ==")
+
+    merged = dict(committed)
+    merged["small"] = fresh_small
+
+    if args.full:
+        print("== full-size suite ==")
+        merged["full"] = regress.run_suite(small=False, repeats=args.repeats)
+        for name, entry in merged["full"]["experiments"].items():
+            print(f"  {name}: {entry['seconds']:.5f}s")
+
+    if args.compare:
+        print(f"== measuring baseline source tree: {args.compare} ==")
+        merged["baseline_src_small"] = measure_other_src(
+            args.compare, small=True, repeats=args.repeats
+        )
+        merged["speedup_vs_baseline_src"] = {
+            "small": speedups(merged["baseline_src_small"], fresh_small)
+        }
+        if args.full:
+            merged["baseline_src_full"] = measure_other_src(
+                args.compare, small=False, repeats=args.repeats
+            )
+            merged["speedup_vs_baseline_src"]["full"] = speedups(
+                merged["baseline_src_full"], merged["full"]
+            )
+        print(json.dumps(merged["speedup_vs_baseline_src"], indent=1))
+
+    if status == 0 or not out_path.exists():
+        out_path.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+    else:
+        print(f"not rewriting {out_path} on regression", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Shared, process-level EIG path tables.
+
+The EIG tree's path sets depend only on ``(n, sender, length)`` — they are
+pure combinatorics, identical for every node and every protocol instance.
+The seed implementation rebuilt the (exponentially large) path list per
+node per round, which dominated oral-agreement wall-clock; this module
+hoists the enumeration into one memoized table shared across all
+:class:`~repro.agreement.oral.OralAgreementProtocol` instances in the
+process.
+
+Determinism invariant: the enumeration order is the canonical order of the
+seed code (extend each path by candidate node ids in ascending order), so
+every node iterates paths identically and report payloads stay
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..types import NodeId
+
+Path = tuple[NodeId, ...]
+
+
+@lru_cache(maxsize=None)
+def paths_of_length(n: int, sender: NodeId, length: int) -> tuple[Path, ...]:
+    """All structurally valid EIG paths of ``length`` in canonical order.
+
+    A valid path is a sequence of distinct node ids from ``range(n)``
+    starting at ``sender``.  Memoized per ``(n, sender, length)``; the
+    returned tuple is shared — callers must not mutate derived state into
+    it (tuples make that structural).
+    """
+    if length <= 1:
+        return ((sender,),)
+    return tuple(
+        path + (node,)
+        for path in paths_of_length(n, sender, length - 1)
+        for node in range(n)
+        if node not in path
+    )
+
+
+@lru_cache(maxsize=None)
+def path_set(n: int, sender: NodeId, length: int) -> frozenset[Path]:
+    """The same paths as :func:`paths_of_length`, as a membership set.
+
+    Used to validate incoming report paths in one hash lookup instead of
+    re-checking the structural invariants (distinctness, range, prefix)
+    item by item.  Membership is dict-key equality, which intentionally
+    matches the seed semantics for Byzantine near-miss paths (for example
+    ``True`` compares equal to ``1``, exactly as it did as a tree key).
+    """
+    return frozenset(paths_of_length(n, sender, length))
+
+
+def clear_path_tables() -> None:
+    """Drop every memoized table (tests / long-lived processes)."""
+    paths_of_length.cache_clear()
+    path_set.cache_clear()
+
+
+def path_table_info() -> dict[str, int]:
+    """Cache diagnostics: entry count and total paths held."""
+    info = paths_of_length.cache_info()
+    return {"entries": info.currsize, "hits": info.hits, "misses": info.misses}

@@ -38,6 +38,7 @@ from typing import Any
 from ..errors import ConfigurationError
 from ..sim import Envelope, NodeContext, Protocol
 from ..types import NodeId, validate_fault_budget
+from ._paths import Path, path_set, paths_of_length
 from .problem import DEFAULT_VALUE
 
 OM_VALUE = "om-value"
@@ -45,8 +46,6 @@ OM_REPORT = "om-report"
 
 #: The distinguished sender is node 0.
 SENDER: NodeId = 0
-
-Path = tuple[NodeId, ...]
 
 
 class OralAgreementProtocol(Protocol):
@@ -101,6 +100,16 @@ class OralAgreementProtocol(Protocol):
 
     def _ingest(self, ctx: NodeContext, inbox: list[Envelope], round_: int) -> None:
         """File this round's values/reports into the EIG tree."""
+        me = ctx.node
+        tree = self._tree
+        # Valid reports extend a length-(round-1) path by the relayer, with
+        # all ids distinct and starting at the sender; anything else is
+        # Byzantine noise and is simply not filed (missing -> default).
+        # Structural validity is one membership probe in the shared path
+        # set rather than per-item distinctness/range re-checks.
+        valid_prefixes = (
+            path_set(self._n, self._sender, round_ - 1) if round_ >= 2 else None
+        )
         for env in inbox:
             payload = env.payload
             if (
@@ -110,7 +119,7 @@ class OralAgreementProtocol(Protocol):
                 and len(payload) == 2
                 and payload[0] == OM_VALUE
             ):
-                self._tree[(self._sender,)] = payload[1]
+                tree[(self._sender,)] = payload[1]
             elif (
                 round_ >= 2
                 and isinstance(payload, tuple)
@@ -118,62 +127,97 @@ class OralAgreementProtocol(Protocol):
                 and payload[0] == OM_REPORT
                 and isinstance(payload[1], (tuple, list))
             ):
+                relayer = env.sender
                 for item in payload[1]:
-                    self._file_report(ctx, env.sender, item, round_)
-
-    def _file_report(
-        self, ctx: NodeContext, relayer: NodeId, item: Any, round_: int
-    ) -> None:
-        if not (isinstance(item, (tuple, list)) and len(item) == 2):
-            return
-        raw_path, value = item
-        if not isinstance(raw_path, (tuple, list)):
-            return
-        path: Path = tuple(raw_path)
-        # Valid reports extend a length-(round-1) path by the relayer, with
-        # all ids distinct and starting at the sender; anything else is
-        # Byzantine noise and is simply not filed (missing -> default).
-        if (
-            len(path) == round_ - 1
-            and path
-            and path[0] == self._sender
-            and relayer not in path
-            and ctx.node not in path
-            and len(set(path)) == len(path)
-            and all(isinstance(p, int) and 0 <= p < self._n for p in path)
-        ):
-            self._tree.setdefault(path + (relayer,), value)
+                    if not (isinstance(item, (tuple, list)) and len(item) == 2):
+                        continue
+                    raw_path, value = item
+                    if not isinstance(raw_path, (tuple, list)):
+                        continue
+                    path: Path = tuple(raw_path)
+                    try:
+                        valid = path in valid_prefixes
+                    except TypeError:
+                        # Unhashable elements can never form a valid path;
+                        # Byzantine noise, not filed.
+                        continue
+                    if valid and relayer not in path and me not in path:
+                        tree.setdefault(path + (relayer,), value)
 
     def _report(self, ctx: NodeContext, round_: int) -> None:
         """Relay every known path of length ``round_`` not containing us."""
+        me = ctx.node
+        tree = self._tree
+        default = self._default
         items = [
-            (path, self._tree.get(path, self._default))
-            for path in self._paths_of_length(round_)
-            if ctx.node not in path
+            (path, tree.get(path, default))
+            for path in paths_of_length(self._n, self._sender, round_)
+            if me not in path
         ]
         if items:
             ctx.broadcast((OM_REPORT, tuple(items)))
 
     def _paths_of_length(self, length: int) -> list[Path]:
         """All structurally valid paths of the given length, in canonical
-        order (deterministic across nodes)."""
-        paths: list[Path] = [(self._sender,)]
-        for _ in range(length - 1):
-            paths = [
-                path + (node,)
-                for path in paths
-                for node in range(self._n)
-                if node not in path
-            ]
-        return paths
+        order (deterministic across nodes).  Delegates to the shared
+        process-level table in :mod:`repro.agreement._paths`."""
+        return list(paths_of_length(self._n, self._sender, length))
 
     def _resolve(self, path: Path, me: NodeId) -> Any:
-        """Recursive majority over the EIG subtree rooted at ``path``.
+        """Majority over the EIG subtree rooted at ``path``.
 
         A node holds no stored values for paths containing itself (it never
         receives its own relays), so the subtree through ``me`` is replaced
-        by the value ``me`` itself relayed about ``path``.
+        by the value ``me`` itself relayed about ``path`` (classical EIG's
+        "own value" substitution, needed for the n > 3t margin).
+
+        Resolution runs iteratively, bottom-up over the shared path table:
+        leaves (length t+1) first, then each shorter length from the values
+        computed for the one below — no per-path recursion, and each path's
+        value is computed exactly once.
         """
+        if me in path or len(path) > self._t + 1:
+            # Degenerate calls (never made by the protocol itself): the
+            # substitution rule cannot apply, fall back to plain recursion.
+            return self._resolve_recursive(path, me)
+
+        n, sender, default = self._n, self._sender, self._default
+        tree = self._tree
+        depth = self._t + 1
+        start = len(path)
+
+        # Level-synchronous sweep over the shared tables.  Level L+1 is
+        # generated from level L parent-major with child ids ascending, so
+        # the children of parent index ``i`` at level L occupy the slice
+        # ``[i*(n-L), (i+1)*(n-L))`` of level L+1 — values align by index,
+        # no per-path dict or membership tests needed.  Values are computed
+        # for every path (even those through ``me``); the ones through
+        # ``me`` are never consumed because their parents substitute first.
+        values = [tree.get(p, default) for p in paths_of_length(n, sender, depth)]
+        for length in range(depth - 1, start - 1, -1):
+            table = paths_of_length(n, sender, length)
+            width = n - length
+            parent_values = []
+            for i, p in enumerate(table):
+                children = values[i * width : (i + 1) * width]
+                if me not in p:
+                    # The subtree through myself echoes what I relayed
+                    # about ``p`` — I know that value directly (classical
+                    # EIG's "own value" substitution, needed for the
+                    # n > 3t margin).  ``me``'s child slot is its rank
+                    # among the ids not in ``p``.
+                    slot = me
+                    for node in p:
+                        if node < me:
+                            slot -= 1
+                    children[slot] = tree.get(p, default)
+                parent_values.append(self._majority(p, children))
+            values = parent_values
+        return values[paths_of_length(n, sender, start).index(path)]
+
+    def _resolve_recursive(self, path: Path, me: NodeId) -> Any:
+        """Reference recursion (the seed semantics), used for roots that
+        already contain ``me``."""
         if len(path) == self._t + 1:
             return self._tree.get(path, self._default)
         children = []
@@ -181,21 +225,26 @@ class OralAgreementProtocol(Protocol):
             if node in path:
                 continue
             if node == me:
-                # The subtree through myself echoes what I relayed about
-                # ``path`` — I know that value directly (classical EIG's
-                # "own value" substitution, needed for the n > 3t margin).
                 children.append(self._tree.get(path, self._default))
             else:
-                children.append(self._resolve(path + (node,), me))
+                children.append(self._resolve_recursive(path + (node,), me))
+        return self._majority(path, children)
+
+    def _majority(self, path: Path, children: list[Any]) -> Any:
+        """Strict majority of ``children``; ties and pluralities fall to
+        the default (values compared by ``repr``, which tolerates
+        unhashable payloads)."""
         if not children:
             return self._tree.get(path, self._default)
-        counts = Counter(repr(value) for value in children)
-        best, best_count = counts.most_common(1)[0]
-        # Strict majority decides; ties and pluralities fall to default.
-        if best_count * 2 > len(children):
-            for value in children:
-                if repr(value) == best:
-                    return value
+        reprs = [repr(value) for value in children]
+        first = reprs[0]
+        total = len(children)
+        # Failure-free fast path: unanimous children, no counting needed.
+        if reprs.count(first) == total:
+            return children[0]
+        best, best_count = Counter(reprs).most_common(1)[0]
+        if best_count * 2 > total:
+            return children[reprs.index(best)]
         return self._default
 
 

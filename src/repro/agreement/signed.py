@@ -74,6 +74,12 @@ class SignedAgreementProtocol(Protocol):
         self._default = default
         self._extracted: list[Any] = []
         self._relayed = 0
+        # Relay filter: (outer sender, body bytes, signature) triples already
+        # processed.  A duplicate from the same immediate sender can never
+        # change state: in the same round it reaches the same verdict (the
+        # triple fixes every verification input) and extraction is
+        # idempotent; in a later round the depth check rejects it anyway.
+        self._seen: set[tuple[NodeId, bytes, bytes]] = set()
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         if ctx.round == 0:
@@ -98,6 +104,10 @@ class SignedAgreementProtocol(Protocol):
             ):
                 continue  # garbage never blocks agreement; just ignore it
             signed = payload[1]
+            dedup_key = (env.sender, signed.body_bytes(), signed.signature)
+            if dedup_key in self._seen:
+                continue
+            self._seen.add(dedup_key)
             verdict = verify_chain(
                 signed,
                 outer_signer=env.sender,

@@ -19,11 +19,33 @@ be outright impossible when ``n <= 3t``).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair, get_scheme
 from ..sim.rng import node_rng
 from ..types import NodeId, validate_node_count
 from .directory import KeyDirectory
+
+
+@lru_cache(maxsize=256)
+def _dealer_keypairs(
+    n: int, scheme: str, seed: int | str
+) -> tuple[KeyPair, ...]:
+    """Deterministic dealer key generation, memoized per configuration.
+
+    Key generation (modular exponentiation for the real schemes) is the
+    one genuinely expensive step of a dealer setup, and it is a pure
+    function of ``(scheme, seed, node)``.  Benchmark sweeps re-enter the
+    same configurations constantly; the memo amortizes the keygen the same
+    way the paper amortizes key distribution across protocol runs.
+    KeyPair is frozen, so sharing instances across setups is safe.
+    """
+    scheme_obj = get_scheme(scheme)
+    return tuple(
+        scheme_obj.generate_keypair(node_rng(seed, node, "dealer"))
+        for node in range(n)
+    )
 
 
 def trusted_dealer_setup(
@@ -35,14 +57,13 @@ def trusted_dealer_setup(
     node (including itself) to the genuine predicate.  Properties G1-G3
     hold by construction.
 
+    Directories are freshly built per call (they are mutable — attack
+    scenarios edit them); only the immutable key material is cached.
+
     :returns: ``(keypairs, directories)`` both keyed by node id.
     """
     validate_node_count(n)
-    scheme_obj = get_scheme(scheme)
-    keypairs = {
-        node: scheme_obj.generate_keypair(node_rng(seed, node, "dealer"))
-        for node in range(n)
-    }
+    keypairs = dict(enumerate(_dealer_keypairs(n, scheme, seed)))
     directories = {}
     for node in range(n):
         directory = KeyDirectory(owner=node)

@@ -107,6 +107,9 @@ def link_parts(signed: SignedMessage) -> tuple[NodeId, SignedMessage]:
     return signed.body[1], signed.body[2]
 
 
+_LAYERS_CACHE_ATTR = "_repro_chain_layers"
+
+
 def submessages(signed: SignedMessage) -> list[SignedMessage]:
     """All layers of a chain, outermost first, innermost (leaf) last.
 
@@ -114,8 +117,15 @@ def submessages(signed: SignedMessage) -> list[SignedMessage]:
     ``{P_1, {P_0, {m}_{S_0}}_{S_1}}_{S_2}`` it returns the whole message,
     then ``{P_0, {m}_{S_0}}_{S_1}``, then ``{m}_{S_0}``.
 
+    The decomposition is structural and the message immutable, so the
+    layer tuple is memoized per instance — chains get re-verified at every
+    relay hop, and only the first check walks the nesting.
+
     :raises ChainStructureError: on malformed nesting.
     """
+    cached = signed.__dict__.get(_LAYERS_CACHE_ATTR)
+    if cached is not None:
+        return list(cached)
     layers = [signed]
     current = signed
     while is_link(current):
@@ -125,6 +135,7 @@ def submessages(signed: SignedMessage) -> list[SignedMessage]:
             raise ChainStructureError("chain nesting too deep")
     if not is_leaf(current):
         raise ChainStructureError("chain does not terminate in a leaf")
+    object.__setattr__(signed, _LAYERS_CACHE_ATTR, tuple(layers))
     return layers
 
 

@@ -47,6 +47,21 @@ _TAG_OBJ = b"O"
 _TO_WIRE: dict[type, tuple[str, Callable[[Any], Any]]] = {}
 _FROM_WIRE: dict[str, Callable[[Any], Any]] = {}
 
+# Instance attribute under which a registered object's full wire encoding is
+# stashed after its first encode.  Wire values are immutable by library
+# discipline (frozen dataclasses holding scalars/tuples), which makes the
+# stash safe; `__getstate__` on the registered types strips it so pickles
+# stay canonical.
+WIRE_CACHE_ATTR = "_repro_wire_bytes"
+
+# Scalar-encoding memo for the common scalar shapes (kind tags, node ids,
+# nonces, signatures).  Keys carry the concrete type so bool/int (and any
+# future scalar subclasses) never collide.  Bounded: cleared wholesale when
+# full — entries are cheap to recompute.
+_SCALAR_CACHE: dict[tuple[type, Any], bytes] = {}
+_SCALAR_CACHE_MAX = 1 << 15
+_SCALAR_TYPES = (int, str, bytes)
+
 
 def register_codec(
     cls: type,
@@ -69,6 +84,7 @@ def register_codec(
         raise EncodingError(f"type {cls!r} already registered as {_TO_WIRE[cls][0]!r}")
     _TO_WIRE[cls] = (name, to_payload)
     _FROM_WIRE[name] = from_payload
+    _ENCODERS[cls] = _enc_registered
 
 
 def _write_uvarint(value: int, out: bytearray) -> None:
@@ -105,7 +121,115 @@ def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
             raise DecodingError("varint too long")
 
 
+def _scalar_encoding(value: Any) -> bytes:
+    """Canonical encoding of an int/str/bytes scalar.
+
+    Most scalars recur within a run (kind tags, node ids, and even
+    128-bit nonces and signatures, which are re-encoded at send, sign and
+    verify time), so everything small enough is memoized; only long byte
+    strings are encoded directly to keep the memo light.
+    """
+    if isinstance(value, int):
+        key = (int, value)
+    elif isinstance(value, bytes):
+        if len(value) <= 64:
+            key = (bytes, value)
+        else:
+            out = bytearray(_TAG_BYTES)
+            _write_uvarint(len(value), out)
+            out += value
+            return bytes(out)
+    else:
+        key = (str, value)
+    cached = _SCALAR_CACHE.get(key)
+    if cached is None:
+        out = bytearray()
+        if isinstance(value, int):
+            out += _TAG_INT
+            # Zig-zag map signed -> unsigned so varints stay compact.
+            zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
+            _write_uvarint(zigzag, out)
+        elif isinstance(value, bytes):
+            out += _TAG_BYTES
+            _write_uvarint(len(value), out)
+            out += value
+        else:
+            raw = value.encode("utf-8")
+            out += _TAG_STR
+            _write_uvarint(len(raw), out)
+            out += raw
+        cached = bytes(out)
+        if len(_SCALAR_CACHE) >= _SCALAR_CACHE_MAX:
+            _SCALAR_CACHE.clear()
+        _SCALAR_CACHE[key] = cached
+    return cached
+
+
+def _enc_none(value: Any, out: bytearray) -> None:
+    out += _TAG_NONE
+
+
+def _enc_bool(value: Any, out: bytearray) -> None:
+    out += _TAG_TRUE if value else _TAG_FALSE
+
+
+def _enc_scalar(value: Any, out: bytearray) -> None:
+    out += _scalar_encoding(value)
+
+
+def _enc_seq(value: Any, out: bytearray) -> None:
+    out += _TAG_SEQ
+    _write_uvarint(len(value), out)
+    encoders = _ENCODERS
+    for item in value:
+        handler = encoders.get(type(item))
+        if handler is not None:
+            handler(item, out)
+        else:
+            _encode_slow(item, out)
+
+
+def _enc_registered(value: Any, out: bytearray) -> None:
+    cached = getattr(value, WIRE_CACHE_ATTR, None)
+    if cached is not None:
+        out += cached
+        return
+    name, to_payload = _TO_WIRE[type(value)]
+    start = len(out)
+    out += _TAG_OBJ
+    raw = name.encode("utf-8")
+    _write_uvarint(len(raw), out)
+    out += raw
+    _encode_into(to_payload(value), out)
+    try:
+        object.__setattr__(value, WIRE_CACHE_ATTR, bytes(out[start:]))
+    except (AttributeError, TypeError):
+        pass  # slotted or otherwise uncacheable instances encode fine
+
+
+# Exact-type dispatch for the hot shapes; subclasses (bool-before-int
+# ordering, IntEnum and friends) fall through to the isinstance chain in
+# ``_encode_slow``.  Registered codecs are added by ``register_codec``.
+_ENCODERS: dict[type, Callable[[Any, bytearray], None]] = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_scalar,
+    str: _enc_scalar,
+    bytes: _enc_scalar,
+    tuple: _enc_seq,
+    list: _enc_seq,
+}
+
+
 def _encode_into(value: Any, out: bytearray) -> None:
+    handler = _ENCODERS.get(type(value))
+    if handler is not None:
+        handler(value, out)
+    else:
+        _encode_slow(value, out)
+
+
+def _encode_slow(value: Any, out: bytearray) -> None:
     # bool must be tested before int: bool is a subclass of int.
     if value is None:
         out += _TAG_NONE
@@ -113,20 +237,8 @@ def _encode_into(value: Any, out: bytearray) -> None:
         out += _TAG_TRUE
     elif value is False:
         out += _TAG_FALSE
-    elif isinstance(value, int):
-        out += _TAG_INT
-        # Zig-zag map signed -> unsigned so varints stay compact.
-        zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
-        _write_uvarint(zigzag, out)
-    elif isinstance(value, bytes):
-        out += _TAG_BYTES
-        _write_uvarint(len(value), out)
-        out += value
-    elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out += _TAG_STR
-        _write_uvarint(len(raw), out)
-        out += raw
+    elif isinstance(value, _SCALAR_TYPES):
+        out += _scalar_encoding(value)
     elif isinstance(value, (list, tuple)):
         out += _TAG_SEQ
         _write_uvarint(len(value), out)
@@ -150,14 +262,39 @@ def _encode_into(value: Any, out: bytearray) -> None:
             out += key_bytes
             out += item_bytes
     elif type(value) in _TO_WIRE:
-        name, to_payload = _TO_WIRE[type(value)]
-        out += _TAG_OBJ
-        raw = name.encode("utf-8")
-        _write_uvarint(len(raw), out)
-        out += raw
-        _encode_into(to_payload(value), out)
+        _enc_registered(value, out)
     else:
         raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def seed_sequence_object_cache(value: Any, parts: tuple[bytes, ...]) -> None:
+    """Pre-fill a registered object's wire cache from encoded payload parts.
+
+    For a registered type whose ``to_payload`` yields a sequence, the full
+    wire encoding is ``OBJ header + SEQ header + the concatenated item
+    encodings``.  Callers that already hold the item encodings (for
+    example :func:`repro.crypto.signing.sign_value`, which encodes the
+    body to sign it) can assemble the object encoding without re-walking
+    the payload.  The caller must pass exactly the canonical encodings of
+    the payload items, in order — the tests cross-check the seeded cache
+    against a cold encode.
+    """
+    entry = _TO_WIRE.get(type(value))
+    if entry is None:
+        return
+    name, _ = entry
+    out = bytearray(_TAG_OBJ)
+    raw = name.encode("utf-8")
+    _write_uvarint(len(raw), out)
+    out += raw
+    out += _TAG_SEQ
+    _write_uvarint(len(parts), out)
+    for part in parts:
+        out += part
+    try:
+        object.__setattr__(value, WIRE_CACHE_ATTR, bytes(out))
+    except (AttributeError, TypeError):
+        pass
 
 
 def encode(value: Any) -> bytes:
@@ -169,6 +306,13 @@ def encode(value: Any) -> bytes:
 
     :raises EncodingError: for unsupported types or non-canonical dicts.
     """
+    # Fast paths for the most common whole-value shapes: scalars hit the
+    # memo directly, registered objects their stashed wire bytes.
+    if value is not True and value is not False and isinstance(value, _SCALAR_TYPES):
+        return _scalar_encoding(value)
+    cached = getattr(value, WIRE_CACHE_ATTR, None)
+    if cached is not None and type(value) in _TO_WIRE:
+        return cached
     out = bytearray()
     _encode_into(value, out)
     return bytes(out)

@@ -89,7 +89,21 @@ class TestPredicate:
         return self._wire_payload() == other._wire_payload()
 
     def __hash__(self) -> int:
-        return hash((self.scheme, encoding.encode(self.material)))
+        # Hashing encodes the material; predicates key the hot
+        # signature-verification memo, so the hash itself is memoized.
+        cached = self.__dict__.get("_repro_hash")
+        if cached is None:
+            cached = hash((self.scheme, encoding.encode(self.material)))
+            object.__setattr__(self, "_repro_hash", cached)
+        return cached
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Strip cache stashes (hash, wire bytes) for canonical pickles.
+        return {"scheme": self.scheme, "material": self.material}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "scheme", state["scheme"])
+        object.__setattr__(self, "material", state["material"])
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,19 @@ A :class:`SignedMessage` bundles a structured body with the raw signature
 over the body's canonical encoding.  It is the unit the paper writes as
 ``{m}_S``: test predicates consume it whole (``T_i({m}_S)``), and chain
 signatures nest it (:mod:`repro.crypto.chain`).
+
+Hot-path caching
+----------------
+Signed messages are re-encoded and re-verified many times per run (every
+relay hop re-checks every layer of a chain), so two caches sit here:
+
+* ``body_bytes()`` is computed once per instance and stashed on the frozen
+  dataclass via ``object.__setattr__`` — sound because bodies are wire
+  values, immutable by library discipline;
+* verification verdicts are memoized process-wide, keyed by
+  ``(predicate, body bytes, signature)``.  Signature schemes are pure
+  functions of exactly that triple (axiom S2), so a cached verdict can
+  never diverge from a fresh one within a process.
 """
 
 from __future__ import annotations
@@ -13,6 +26,30 @@ from typing import Any
 
 from . import encoding
 from .keys import SecretKey, TestPredicate
+
+_BODY_CACHE_ATTR = "_repro_body_bytes"
+
+# (predicate, body bytes, signature) -> verdict.  Bounded: cleared wholesale
+# when full; entries are cheap to recompute.
+_VERIFY_CACHE: dict[tuple[TestPredicate, bytes, bytes], bool] = {}
+_VERIFY_CACHE_MAX = 1 << 16
+
+
+def cached_verify(predicate: TestPredicate, body: bytes, signature: bytes) -> bool:
+    """Evaluate ``predicate(body, signature)`` through the process memo."""
+    key = (predicate, body, signature)
+    verdict = _VERIFY_CACHE.get(key)
+    if verdict is None:
+        verdict = predicate(body, signature)
+        if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.clear()
+        _VERIFY_CACHE[key] = verdict
+    return verdict
+
+
+def clear_verify_cache() -> None:
+    """Drop all memoized verification verdicts (tests / scheme changes)."""
+    _VERIFY_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -28,17 +65,43 @@ class SignedMessage:
     signature: bytes
 
     def body_bytes(self) -> bytes:
-        """Canonical encoding of the body — the exact bytes that were signed."""
-        return encoding.encode(self.body)
+        """Canonical encoding of the body — the exact bytes that were signed.
+
+        Memoized per instance; the body is immutable wire data, so the
+        first encoding is also the last.
+        """
+        cached = self.__dict__.get(_BODY_CACHE_ATTR)
+        if cached is None:
+            cached = encoding.encode(self.body)
+            object.__setattr__(self, _BODY_CACHE_ATTR, cached)
+        return cached
 
     def check(self, predicate: TestPredicate) -> bool:
         """Evaluate the test predicate on this message: ``T({m}_S)``."""
-        return predicate(self.body_bytes(), self.signature)
+        return cached_verify(predicate, self.body_bytes(), self.signature)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Strip cache stashes so pickles are canonical: a message that was
+        # verified and one that was not serialize byte-identically.
+        return {"body": self.body, "signature": self.signature}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "body", state["body"])
+        object.__setattr__(self, "signature", state["signature"])
 
 
 def sign_value(secret: SecretKey, body: Any) -> SignedMessage:
     """Produce ``{body}_S`` — sign the canonical encoding of ``body``."""
-    return SignedMessage(body=body, signature=secret.sign(encoding.encode(body)))
+    body_bytes = encoding.encode(body)
+    signature = secret.sign(body_bytes)
+    signed = SignedMessage(body=body, signature=signature)
+    # Both component encodings are in hand; seed the per-instance body
+    # memo and the full wire-cache so later sends never re-walk the body.
+    object.__setattr__(signed, _BODY_CACHE_ATTR, body_bytes)
+    encoding.seed_sequence_object_cache(
+        signed, (body_bytes, encoding.encode(signature))
+    )
+    return signed
 
 
 def garble_signature(signed: SignedMessage) -> SignedMessage:
@@ -52,7 +115,13 @@ def garble_signature(signed: SignedMessage) -> SignedMessage:
         corrupted = bytes([signed.signature[0] ^ 0xFF]) + signed.signature[1:]
     else:
         corrupted = b"\x00"
-    return SignedMessage(body=signed.body, signature=corrupted)
+    garbled = SignedMessage(body=signed.body, signature=corrupted)
+    cached = signed.__dict__.get(_BODY_CACHE_ATTR)
+    if cached is not None:
+        # Same body, same canonical bytes — but a distinct signature, so the
+        # garbled copy gets its own (failing) verification-cache entries.
+        object.__setattr__(garbled, _BODY_CACHE_ATTR, cached)
+    return garbled
 
 
 encoding.register_codec(

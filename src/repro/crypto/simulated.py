@@ -59,7 +59,8 @@ class SimulatedScheme(SignatureScheme):
             raise SigningError(
                 f"secret key for scheme {secret.scheme!r} given to {self.name!r}"
             )
-        return hmac.new(secret.material, message, hashlib.sha256).digest()
+        # hmac.digest is the one-shot C fast path (no HMAC object setup).
+        return hmac.digest(secret.material, message, "sha256")
 
     def verify(self, predicate: TestPredicate, message: bytes, signature: bytes) -> bool:
         material = predicate.material
@@ -70,7 +71,7 @@ class SimulatedScheme(SignatureScheme):
             # Unknown commitment: the "public key" was fabricated without
             # key generation, so no secret exists and S2 says reject.
             return False
-        expected = hmac.new(k, message, hashlib.sha256).digest()
+        expected = hmac.digest(k, message, "sha256")
         return hmac.compare_digest(expected, signature)
 
 

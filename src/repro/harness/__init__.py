@@ -1,5 +1,6 @@
 """Experiment harness: scenario runner, attack catalogue, sweeps."""
 
+from .parallel import default_workers, set_default_workers, sweep_parallel
 from .runner import (
     GLOBAL,
     LOCAL,
@@ -21,11 +22,14 @@ __all__ = [
     "ScenarioOutcome",
     "SweepPoint",
     "attack_catalogue",
+    "default_workers",
     "grid",
     "run_ba_scenario",
     "run_fd_scenario",
+    "set_default_workers",
     "setup_authentication",
     "sizes_with_budgets",
     "standard_sizes",
     "sweep",
+    "sweep_parallel",
 ]

@@ -1,0 +1,98 @@
+"""Process-parallel sweep execution.
+
+Benchmark sweeps are embarrassingly parallel: every point carries its own
+parameters *and its own seed*, so points share no state and their results
+are independent of execution order.  :func:`sweep_parallel` exploits that
+with a :class:`~concurrent.futures.ProcessPoolExecutor`, while preserving
+the serial sweep's two contracts exactly:
+
+* **order** — results come back in point order (``executor.map`` keeps
+  input order regardless of completion order);
+* **determinism** — each point's result is a pure function of its params
+  (seeds travel with the points), so a parallel sweep is value-identical
+  to a serial one.  ``tests/harness/test_parallel.py`` enforces this.
+
+Serial fallback: unpicklable functions (lambdas, closures — the benchmark
+suites' inline helpers), single-worker configs, and environments where
+process pools cannot start (sandboxes without semaphore support) all fall
+back to :func:`~repro.harness.sweep.sweep` silently.  Parallelism is an
+executor choice, never a semantics choice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable
+
+from .sweep import SweepPoint, sweep
+
+#: Process-wide default worker count; ``None`` means "one per CPU".
+#: Configured by the benchmark suite's ``--sweep-workers`` option.
+_DEFAULT_WORKERS: int | None = 1
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the worker count :func:`sweep_parallel` uses when not given one.
+
+    ``1`` (the initial default) means serial; ``None`` means one worker
+    per CPU.
+    """
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = workers
+
+
+def default_workers() -> int | None:
+    """The currently configured default worker count."""
+    return _DEFAULT_WORKERS
+
+
+def _apply(item: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
+    """Worker-side shim: unpack one (fn, params) job."""
+    fn, params = item
+    return fn(**params)
+
+
+def sweep_parallel(
+    points: Iterable[dict[str, Any]],
+    fn: Callable[..., Any],
+    workers: int | None = None,
+) -> list[SweepPoint]:
+    """Apply ``fn(**params)`` to every point across worker processes.
+
+    Drop-in replacement for :func:`~repro.harness.sweep.sweep`: same
+    signature plus ``workers``, same result order, same values.
+
+    :param points: parameter dicts; seeds must travel inside the points
+        (anything the point function needs beyond its params would break
+        the determinism contract).
+    :param fn: a picklable callable (module-level function).  Unpicklable
+        callables are executed serially instead.
+    :param workers: process count; ``None`` defers to the configured
+        default (see :func:`set_default_workers`), which itself defaults
+        to serial.
+    """
+    pts = [dict(p) for p in points]
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(pts))
+    if workers <= 1:
+        return sweep(pts, fn)
+    try:
+        pickle.dumps(fn)
+    except Exception:
+        return sweep(pts, fn)  # closures/lambdas: serial fallback
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_apply, [(fn, p) for p in pts]))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # No process support (sandbox) or a worker died: the serial path
+        # computes the identical answer, just slower.
+        return sweep(pts, fn)
+    return [
+        SweepPoint(params=p, result=r) for p, r in zip(pts, results)
+    ]

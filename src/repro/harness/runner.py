@@ -122,9 +122,20 @@ def run_fd_scenario(
     :param faulty: the faulty-node set for evaluation; inferred from the
         two adversary collections when omitted.
     """
-    keypairs, directories, kd = setup_authentication(
-        n, auth=auth, scheme=scheme, seed=seed, kd_adversaries=kd_adversaries
-    )
+    if (
+        protocol == "echo"
+        and auth == GLOBAL
+        and fd_adversary_factory is None
+        and not kd_adversaries
+    ):
+        # The echo baseline is non-authenticated: no protocol or adversary
+        # consumes key material, and a global dealer contributes neither
+        # messages nor rounds — skip its (expensive) key generation.
+        keypairs, directories, kd = {}, {}, None
+    else:
+        keypairs, directories, kd = setup_authentication(
+            n, auth=auth, scheme=scheme, seed=seed, kd_adversaries=kd_adversaries
+        )
     fd_adversaries = (
         fd_adversary_factory(keypairs, directories)
         if fd_adversary_factory is not None

@@ -37,7 +37,13 @@ def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
 def sweep(
     points: Iterable[dict[str, Any]], fn: Callable[..., Any]
 ) -> list[SweepPoint]:
-    """Apply ``fn(**params)`` to every point, collecting results in order."""
+    """Apply ``fn(**params)`` to every point, collecting results in order.
+
+    Serial reference executor.  :func:`repro.harness.parallel.sweep_parallel`
+    is the drop-in process-parallel variant; both produce identical
+    :class:`SweepPoint` lists for the same points (seeds travel inside the
+    points, so results are pure functions of the params).
+    """
     return [SweepPoint(params=dict(p), result=fn(**p)) for p in points]
 
 

@@ -1,0 +1,116 @@
+"""Picklable sweep workloads: one module-level function per point kind.
+
+:func:`~repro.harness.parallel.sweep_parallel` ships jobs to worker
+processes by pickling ``(fn, params)``, which requires module-level
+functions returning plain data.  This module collects the point functions
+behind the E1–E11 benchmark sweeps and ``benchmarks/regress.py`` in that
+shape: every function takes only primitive params (seed included — the
+determinism contract), runs one scenario, and returns a flat dict of
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..agreement import make_oral_agreement_protocols
+from ..auth import run_key_distribution
+from ..sim import run_protocols
+from .runner import GLOBAL, run_ba_scenario, run_fd_scenario
+
+#: Count-measuring sweeps default to the fast HMAC simulation scheme (the
+#: measured quantities are scheme-independent; benchmark E10 verifies that).
+COUNT_SCHEME = "simulated-hmac"
+
+
+def keydist_point(n: int, seed: int | str = 0, scheme: str = COUNT_SCHEME) -> dict[str, Any]:
+    """One key-distribution run (paper Fig. 1): message/round counts."""
+    kd = run_key_distribution(n, scheme=scheme, seed=seed)
+    return {"n": n, "messages": kd.messages, "rounds": kd.rounds}
+
+
+def fd_point(
+    n: int,
+    t: int,
+    seed: int | str = 0,
+    protocol: str = "chain",
+    auth: str = GLOBAL,
+    scheme: str = COUNT_SCHEME,
+) -> dict[str, Any]:
+    """One failure-discovery scenario: rounds/messages/bytes plus verdicts."""
+    outcome = run_fd_scenario(
+        n, t, "v", protocol=protocol, auth=auth, scheme=scheme, seed=seed
+    )
+    metrics = outcome.run.metrics
+    return {
+        "n": n,
+        "t": t,
+        "protocol": protocol,
+        "rounds": metrics.rounds_used,
+        "messages": metrics.messages_total,
+        "bytes": metrics.bytes_total,
+        "total_messages": outcome.total_messages,
+        "all_decided": all(s.decided for s in outcome.run.states),
+        "fd_ok": outcome.fd.ok if outcome.fd is not None else None,
+    }
+
+
+def ba_point(
+    n: int,
+    t: int,
+    seed: int | str = 0,
+    protocol: str = "extension",
+    auth: str = GLOBAL,
+    scheme: str = COUNT_SCHEME,
+) -> dict[str, Any]:
+    """One Byzantine-agreement scenario: counts plus the BA verdict."""
+    outcome = run_ba_scenario(
+        n, t, "v", protocol=protocol, auth=auth, scheme=scheme, seed=seed
+    )
+    metrics = outcome.run.metrics
+    return {
+        "n": n,
+        "t": t,
+        "protocol": protocol,
+        "rounds": metrics.rounds_used,
+        "messages": metrics.messages_total,
+        "bytes": metrics.bytes_total,
+        "agreement": outcome.ba.agreement if outcome.ba is not None else None,
+    }
+
+
+def oral_point(
+    n: int, t: int, seed: int | str = 0, value: Any = "v"
+) -> dict[str, Any]:
+    """One OM(t) oral-agreement run over the EIG tree."""
+    run = run_protocols(
+        make_oral_agreement_protocols(n, t, value), seed=seed
+    )
+    decisions = run.decisions()
+    return {
+        "n": n,
+        "t": t,
+        "rounds": run.metrics.rounds_used,
+        "messages": run.metrics.messages_total,
+        "bytes": run.metrics.bytes_total,
+        "agreed": len(set(map(repr, decisions.values()))) == 1,
+        "decision": repr(decisions.get(1)),
+    }
+
+
+def e8_round_point(
+    n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
+) -> dict[str, Any]:
+    """One row of the E8 round-complexity table: all three round counts."""
+    kd = run_key_distribution(n, scheme=scheme, seed=seed)
+    chain = run_fd_scenario(
+        n, t, "v", protocol="chain", auth=GLOBAL, scheme=scheme, seed=seed
+    )
+    echo = run_fd_scenario(n, t, "v", protocol="echo", seed=seed)
+    return {
+        "n": n,
+        "t": t,
+        "keydist_rounds": kd.rounds,
+        "chain_rounds": chain.run.metrics.rounds_used,
+        "echo_rounds": echo.run.metrics.rounds_used,
+    }

@@ -3,13 +3,34 @@
 These counters are the measurement instrument for every experiment in
 EXPERIMENTS.md — the paper's claims are claims about *message counts* and
 *round counts*, so the simulator counts them exactly (no sampling).
+
+Byte accounting is exact but *lazy*: encoding every payload at send time
+dominated sweep wall-clock, so :meth:`Metrics.record` only stashes the
+payload reference and the encode happens on first read of
+:attr:`Metrics.bytes_total` / :attr:`Metrics.bytes_per_round`.  Two facts
+make this sound:
+
+* payloads are wire values, immutable by library discipline, so encoding
+  later yields the same bytes as encoding at send time;
+* a broadcast hands the same payload object to every recipient, so the
+  settle step deduplicates by object identity and encodes it once (the
+  references held in the deferred list keep ids stable).
+
+The trade is time for memory: until the byte counters are read (or the
+Metrics object is released with its run result), the deferred list keeps
+every payload alive — the same order of retention as view recording,
+and freed wholesale with the :class:`~repro.sim.scheduler.RunResult`.
+Callers that accumulate many run results and want the bytes anyway can
+simply read ``bytes_total`` to settle and drop the references early.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
+from ..crypto import encoding
 from ..types import NodeId, Round
 from .message import Envelope, payload_kind
 
@@ -19,34 +40,69 @@ class Metrics:
     """Aggregate counters for one run.
 
     :ivar messages_total: every envelope handed to the network.
-    :ivar bytes_total: canonical-encoding bytes across all envelopes.
     :ivar rounds_used: number of rounds in which at least one message was
         sent.  This matches the paper's round counting: its key
         distribution protocol "takes 3 rounds" — three communication steps.
     :ivar messages_per_round: round -> messages sent that round.
     :ivar messages_per_sender: node -> messages it sent.
     :ivar messages_per_kind: payload kind tag -> count.
-    :ivar bytes_per_round: round -> bytes sent that round.
+
+    ``bytes_total`` and ``bytes_per_round`` (canonical-encoding bytes) are
+    settled-on-read properties — see the module docstring.
     """
 
     messages_total: int = 0
-    bytes_total: int = 0
     rounds_used: int = 0
     messages_per_round: Counter[Round] = field(default_factory=Counter)
     messages_per_sender: Counter[NodeId] = field(default_factory=Counter)
     messages_per_kind: Counter[str] = field(default_factory=Counter)
-    bytes_per_round: Counter[Round] = field(default_factory=Counter)
+    _settled_bytes: int = 0
+    _settled_bytes_per_round: Counter[Round] = field(default_factory=Counter)
+    _deferred_payloads: list[tuple[Round, Any]] = field(
+        default_factory=list, repr=False
+    )
 
     def record(self, envelope: Envelope) -> None:
-        """Account one sent envelope."""
-        size = envelope.byte_size()
+        """Account one sent envelope (bytes deferred; see module docs)."""
         self.messages_total += 1
-        self.bytes_total += size
-        self.messages_per_round[envelope.round_sent] += 1
+        round_sent = envelope.round_sent
+        self.messages_per_round[round_sent] += 1
         self.messages_per_sender[envelope.sender] += 1
         self.messages_per_kind[payload_kind(envelope.payload)] += 1
-        self.bytes_per_round[envelope.round_sent] += size
-        self.rounds_used = max(self.rounds_used, envelope.round_sent + 1)
+        self._deferred_payloads.append((round_sent, envelope.payload))
+        if round_sent >= self.rounds_used:
+            self.rounds_used = round_sent + 1
+
+    def _settle(self) -> None:
+        """Encode all deferred payloads into the byte counters."""
+        if not self._deferred_payloads:
+            return
+        byte_size = encoding.byte_size
+        sizes_by_id: dict[int, int] = {}
+        per_round = self._settled_bytes_per_round
+        total = 0
+        for round_sent, payload in self._deferred_payloads:
+            key = id(payload)
+            size = sizes_by_id.get(key)
+            if size is None:
+                size = byte_size(payload)
+                sizes_by_id[key] = size
+            total += size
+            per_round[round_sent] += size
+        self._settled_bytes += total
+        self._deferred_payloads.clear()
+
+    @property
+    def bytes_total(self) -> int:
+        """Canonical-encoding bytes across all envelopes."""
+        self._settle()
+        return self._settled_bytes
+
+    @property
+    def bytes_per_round(self) -> Counter[Round]:
+        """round -> bytes sent that round."""
+        self._settle()
+        return self._settled_bytes_per_round
 
     def messages_from(self, nodes: set[NodeId]) -> int:
         """Messages sent by any node in ``nodes``.

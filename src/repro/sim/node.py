@@ -102,11 +102,15 @@ class NodeContext:
         self._runner.enqueue(
             Envelope(
                 sender=self.node, recipient=to, payload=payload, round_sent=self.round
-            )
+            ),
         )
 
     def broadcast(self, payload: Any, to: list[NodeId] | None = None) -> None:
-        """Send ``payload`` to every node in ``to`` (default: all others)."""
+        """Send ``payload`` to every node in ``to`` (default: all others).
+
+        Every copy shares the one payload object, which the metrics' lazy
+        byte accounting encodes exactly once.
+        """
         for recipient in (self.others() if to is None else to):
             self.send(recipient, payload)
 

@@ -20,7 +20,7 @@ orders are fixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..errors import ConfigurationError, SimulationError
@@ -124,32 +124,52 @@ class Runner:
         for ctx, protocol in zip(self._contexts, self._protocols):
             protocol.setup(ctx)
 
+        contexts = self._contexts
+        protocols = self._protocols
+        n = self.n
+        recording = self._record_views or self._trace is not None
+        # Early-exit bookkeeping: count halted nodes incrementally instead
+        # of re-scanning every context each round.
+        halted = sum(1 for ctx in contexts if ctx.state.halted)
+
         rounds_executed = 0
-        while not all(ctx.state.halted for ctx in self._contexts):
+        while halted < n:
             if rounds_executed >= self._max_rounds:
                 raise SimulationError(
                     f"run exceeded max_rounds={self._max_rounds}; "
                     "a protocol failed to halt"
                 )
-            inboxes: dict[NodeId, list[Envelope]] = {
-                node: [] for node in range(self.n)
-            }
+            # Preallocated per-recipient buckets.  Senders step in ascending
+            # id order and ``_pending`` preserves emission order, so each
+            # bucket is born sender-sorted — the per-inbox sort of the seed
+            # code is unnecessary.
+            inboxes: list[list[Envelope]] = [[] for _ in range(n)]
             for envelope in self._pending:
                 inboxes[envelope.recipient].append(envelope)
             self._pending = []
-            for node in range(self.n):
-                inboxes[node].sort(key=lambda env: env.sender)
 
-            for node in range(self.n):
-                ctx = self._contexts[node]
-                if self._record_views and not ctx.state.halted:
-                    self._views[node].record_round(inboxes[node])
-                if ctx.state.halted:
-                    continue
-                before = (ctx.state.decided, ctx.state.discovered, ctx.state.halted)
-                self._protocols[node].on_round(ctx, inboxes[node])
-                if self._trace is not None:
-                    self._record_transitions(node, before, ctx.state)
+            if not recording:
+                for node in range(n):
+                    ctx = contexts[node]
+                    state = ctx.state
+                    if state.halted:
+                        continue
+                    protocols[node].on_round(ctx, inboxes[node])
+                    if state.halted:
+                        halted += 1
+            else:
+                for node in range(n):
+                    ctx = contexts[node]
+                    if self._record_views and not ctx.state.halted:
+                        self._views[node].record_round(inboxes[node])
+                    if ctx.state.halted:
+                        continue
+                    before = (ctx.state.decided, ctx.state.discovered, ctx.state.halted)
+                    protocols[node].on_round(ctx, inboxes[node])
+                    if self._trace is not None:
+                        self._record_transitions(node, before, ctx.state)
+                    if ctx.state.halted:
+                        halted += 1
 
             self.round += 1
             rounds_executed += 1

@@ -1,0 +1,118 @@
+"""Shared EIG path tables vs the seed per-instance enumeration."""
+
+from __future__ import annotations
+
+from repro.agreement._paths import (
+    clear_path_tables,
+    path_set,
+    path_table_info,
+    paths_of_length,
+)
+
+
+def seed_paths_of_length(n: int, sender: int, length: int) -> list[tuple[int, ...]]:
+    """The seed code's per-instance enumeration, verbatim semantics."""
+    paths = [(sender,)]
+    for _ in range(length - 1):
+        paths = [
+            path + (node,)
+            for path in paths
+            for node in range(n)
+            if node not in path
+        ]
+    return paths
+
+
+class TestSharedTableMatchesSeed:
+    def test_matches_for_standard_sizes(self):
+        for n in (4, 8, 16):
+            for length in range(1, 5):
+                expected = seed_paths_of_length(n, 0, length)
+                assert list(paths_of_length(n, 0, length)) == expected
+
+    def test_matches_for_nonzero_sender(self):
+        for sender in (1, 3):
+            for length in (1, 2, 3):
+                assert list(paths_of_length(4, sender, length)) == (
+                    seed_paths_of_length(4, sender, length)
+                )
+
+    def test_protocol_method_delegates_to_shared_table(self):
+        from repro.agreement.oral import OralAgreementProtocol
+
+        protocol = OralAgreementProtocol(7, 2, value="v")
+        for length in (1, 2, 3):
+            assert protocol._paths_of_length(length) == (
+                seed_paths_of_length(7, 0, length)
+            )
+
+
+class TestTableProperties:
+    def test_memoized_instances_are_shared(self):
+        assert paths_of_length(8, 0, 3) is paths_of_length(8, 0, 3)
+
+    def test_path_set_membership(self):
+        members = path_set(5, 0, 2)
+        assert (0, 3) in members
+        assert (0, 0) not in members  # repeated id
+        assert (1, 2) not in members  # wrong root
+        assert (0,) not in members  # wrong length
+
+    def test_canonical_order_is_ascending_extension(self):
+        assert list(paths_of_length(4, 0, 2)) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_clear_path_tables(self):
+        clear_path_tables()
+        assert path_table_info()["entries"] == 0
+        paths_of_length(4, 0, 2)
+        assert path_table_info()["entries"] >= 1
+
+
+class TestByzantineReportNoise:
+    def test_unhashable_path_elements_are_dropped_not_fatal(self):
+        """A Byzantine report whose path contains unhashable elements is
+        'noise, not filed' — it must never crash an honest node (the seed
+        code tolerated unhashable heads; the shared-table probe must too)."""
+        from repro.agreement.oral import OM_REPORT, OralAgreementProtocol
+        from repro.sim import Envelope
+
+        protocol = OralAgreementProtocol(4, 1, value=None)
+        inbox = [
+            Envelope(
+                sender=2,
+                recipient=1,
+                payload=(OM_REPORT, ((([],), "x"), (([0, []]), "y"))),
+                round_sent=1,
+            )
+        ]
+
+        class _Ctx:
+            node = 1
+
+        protocol._ingest(_Ctx(), inbox, 2)
+        assert protocol._tree == {}
+
+
+class TestResolutionUnchanged:
+    def test_oral_agreement_decisions_match_reference_recursion(self):
+        """The iterative bottom-up resolve equals the seed recursion on a
+        populated tree (faulty reports included)."""
+        from repro.agreement.oral import OralAgreementProtocol
+
+        n, t = 7, 2
+        protocol = OralAgreementProtocol(n, t, value=None)
+        # Populate the tree unevenly: some paths agree, some conflict,
+        # some are missing entirely (-> default).
+        for index, path in enumerate(paths_of_length(n, 0, t + 1)):
+            if index % 3 == 0:
+                protocol._tree[path] = "a"
+            elif index % 3 == 1:
+                protocol._tree[path] = "b"
+        for path in paths_of_length(n, 0, t):
+            protocol._tree[path] = "a"
+        protocol._tree[(0,)] = "a"
+
+        for me in range(1, n):
+            fast = protocol._resolve((0,), me)
+            slow = protocol._resolve_recursive((0,), me)
+            assert fast == slow
