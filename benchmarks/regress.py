@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_1.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_2.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,12 +9,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_1.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_2.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
-worktree) to measure the same workloads on older code: the module only
-uses APIs present since the seed, so the numbers are directly comparable.
-``scripts/bench_check.py`` wraps this runner with a regression gate.
+worktree) to measure the same workloads on older code: the baseline
+experiment set only uses APIs present since the seed, so those numbers
+are directly comparable.  The *extended grid* (n=128 points for the
+polynomial-cost protocols, plus the n=128/t=3 oral point only the
+succinct engine makes feasible) is added when the running source tree
+supports it — old trees simply measure fewer experiments, and the
+comparison intersects by name.  ``scripts/bench_check.py`` wraps this
+runner with wall-clock and memory regression gates.
 
 Methodology: each experiment runs ``--repeats`` times in-process and
 records the best time (robust against scheduler noise; caches are part of
@@ -42,6 +47,13 @@ from repro.agreement import make_oral_agreement_protocols
 from repro.auth import run_key_distribution
 from repro.harness import run_ba_scenario, run_fd_scenario, sizes_with_budgets
 from repro.sim import run_protocols
+
+try:  # extended grid: succinct EIG engine (PR 2+ source trees only)
+    from repro.agreement import eigtree as _eigtree  # noqa: F401
+
+    HAS_SUCCINCT_ENGINE = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_SUCCINCT_ENGINE = False
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -122,6 +134,31 @@ def _fd_chain_deep() -> dict[str, Any]:
     }
 
 
+def _keydist_n128() -> dict[str, Any]:
+    kd = run_key_distribution(128, scheme=SCHEME, seed=128)
+    return {"messages": kd.messages, "rounds": kd.rounds}
+
+
+def _fd_chain_n128() -> dict[str, Any]:
+    outcome = run_fd_scenario(
+        128, 42, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=128
+    )
+    return {
+        "messages": outcome.run.metrics.messages_total,
+        "rounds": outcome.run.metrics.rounds_used,
+    }
+
+
+def _ba_signed_n128() -> dict[str, Any]:
+    outcome = run_ba_scenario(
+        128, 42, "v", protocol="signed", auth=GLOBAL, scheme=SCHEME, seed=128
+    )
+    return {
+        "messages": outcome.run.metrics.messages_total,
+        "rounds": outcome.run.metrics.rounds_used,
+    }
+
+
 def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
     """The measured workload set.  Names are stable across code versions."""
     suite: list[tuple[str, Callable[[], dict[str, Any]]]] = [
@@ -135,11 +172,22 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
     if small:
         suite.append(("oral_n13_t3", lambda: _oral(13, 3)))
     else:
-        # n=32, t=3 is the EIG hot spot at a feasible fault budget.  The
-        # tree is exponential in t: t=10 at n=32 would mean ~4e14 path
-        # reports per node — see PERFORMANCE.md.
+        # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
+        # budget.  The tree is exponential in t: t=10 at n=32 would mean
+        # ~4e14 path reports per node — see PERFORMANCE.md.
         suite.append(("oral_n16_t4", lambda: _oral(16, 4)))
         suite.append(("oral_n32_t3", lambda: _oral(32, 3)))
+        # Extended grid: n=128 for the polynomial-cost protocols (key
+        # distribution, chain FD, signed BA) runs on any source tree ...
+        suite.append(("keydist_n128", _keydist_n128))
+        suite.append(("fd_chain_n128_t42", _fd_chain_n128))
+        suite.append(("ba_signed_n128_t42", _ba_signed_n128))
+        if HAS_SUCCINCT_ENGINE:
+            # ... while the oral n=128 points exist only where the
+            # succinct engine does: the dense engine would materialize
+            # ~2e6 tree paths *per node* here (hundreds of GiB).
+            suite.append(("oral_n64_t3", lambda: _oral(64, 3)))
+            suite.append(("oral_n128_t3", lambda: _oral(128, 3)))
     return suite
 
 

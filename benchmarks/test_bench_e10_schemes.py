@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from conftest import once
 
-import time
-
 from repro.analysis import check_mark, render_table
 from repro.crypto import available_schemes
 from repro.harness import LOCAL, run_fd_scenario
@@ -22,23 +20,25 @@ from repro.harness import LOCAL, run_fd_scenario
 SCHEMES = ["rsa-512", "schnorr-512", "simulated-hmac"]
 
 
-def test_e10_counts_are_scheme_independent(report, benchmark):
+def test_e10_counts_are_scheme_independent(report, benchmark, psweep):
     def sweep():
         n, t = 8, 2
+        points = psweep(
+            [{"n": n, "t": t, "scheme": scheme, "seed": 5} for scheme in SCHEMES],
+            "e10-scheme",
+        )
         rows = []
         counts = set()
-        for scheme in SCHEMES:
-            outcome = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=5
-            )
-            assert outcome.fd.ok
+        for point in points:
+            result = point.result
+            assert result["fd_ok"]
             triple = (
-                outcome.kd.messages,
-                outcome.run.metrics.messages_total,
-                outcome.run.metrics.rounds_used,
+                result["keydist_messages"],
+                result["fd_messages"],
+                result["fd_rounds"],
             )
             counts.add(triple)
-            rows.append([scheme, *triple])
+            rows.append([point.params["scheme"], *triple])
         rows.append(["(all equal)", "", "", check_mark(len(counts) == 1)])
         assert len(counts) == 1
         report(
@@ -52,21 +52,22 @@ def test_e10_counts_are_scheme_independent(report, benchmark):
 
     once(benchmark, sweep)
 
-def test_e10_wallclock_per_scheme(report, benchmark):
+def test_e10_wallclock_per_scheme(report, benchmark, psweep):
     """Coarse single-shot wall-clock comparison (the precise numbers are
     in the pytest-benchmark table below)."""
     def sweep():
         n, t = 8, 2
-        rows = []
         for scheme in SCHEMES:
             assert scheme in available_schemes()
-            start = time.perf_counter()
-            outcome = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=6
-            )
-            elapsed = time.perf_counter() - start
-            assert outcome.fd.ok
-            rows.append([scheme, f"{elapsed * 1000:.1f} ms"])
+        points = psweep(
+            [{"n": n, "t": t, "scheme": scheme, "seed": 6} for scheme in SCHEMES],
+            "e10-walltime",
+        )
+        rows = []
+        for point in points:
+            result = point.result
+            assert result["fd_ok"]
+            rows.append([point.params["scheme"], f"{result['elapsed_ms']:.1f} ms"])
         report(
             render_table(
                 ["scheme", "keydist + FD wall-clock"],

@@ -19,38 +19,39 @@ from repro.analysis import keydist_messages, render_table
 from repro.auth import (
     agreement_keydist_envelopes,
     run_agreement_key_distribution,
-    run_key_distribution,
-    trusted_dealer_setup,
 )
-from repro.errors import ConfigurationError
-from repro.faults import SilentProtocol
 
 
-def test_e11_method_comparison(report, benchmark):
+def test_e11_method_comparison(report, benchmark, psweep):
     def sweep():
-        rows = []
         # (13, 4) and beyond are omitted: the n*OM(t) report payloads grow
         # factorially and one data point costs tens of seconds — the
         # blow-up itself is the measurement.
-        for n, t in [(4, 1), (7, 2), (10, 3)]:
-            local = run_key_distribution(n, scheme=SWEEP_SCHEME, seed=n)
-            agreement = run_agreement_key_distribution(
-                n, t, scheme=SWEEP_SCHEME, seed=n
-            )
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
+                for n, t in [(4, 1), (7, 2), (10, 3)]
+            ],
+            "e11-methods",
+        )
+        rows = []
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
             rows.append(
                 [
                     n,
                     t,
                     0,
-                    local.messages,
-                    agreement.messages,
-                    local.rounds,
-                    agreement.rounds,
+                    result["local_messages"],
+                    result["agreement_messages"],
+                    result["local_rounds"],
+                    result["agreement_rounds"],
                 ]
             )
-            assert local.messages == keydist_messages(n)
-            assert agreement.messages == agreement_keydist_envelopes(n, t)
-            assert agreement.messages > local.messages
+            assert result["local_messages"] == keydist_messages(n)
+            assert result["agreement_messages"] == agreement_keydist_envelopes(n, t)
+            assert result["agreement_messages"] > result["local_messages"]
         report(
             render_table(
                 [
@@ -66,33 +67,36 @@ def test_e11_method_comparison(report, benchmark):
     once(benchmark, sweep)
 
 
-def test_e11_feasibility_boundary(report, benchmark):
+def test_e11_feasibility_boundary(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
+                for n, t in [(6, 2), (9, 3), (12, 4)]
+            ],
+            "e11-feasibility",
+        )
         rows = []
-        for n, t in [(6, 2), (9, 3), (12, 4)]:
-            try:
-                run_agreement_key_distribution(n, t, scheme=SWEEP_SCHEME)
-                agreement_status = "ran (unexpected)"
-            except ConfigurationError:
-                agreement_status = "infeasible (n <= 3t)"
-            # Local authentication at the same shape, with every node
-            # beyond the first two Byzantine-silent: still authenticates.
-            adversaries = {node: SilentProtocol() for node in range(2, n)}
-            local = run_key_distribution(
-                n, scheme=SWEEP_SCHEME, adversaries=adversaries, seed=n
-            )
-            pair_ok = local.directories[0].predicates_for(1) == (
-                local.keypairs[1].predicate,
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            agreement_status = (
+                "ran (unexpected)"
+                if result["agreement_feasible"]
+                else "infeasible (n <= 3t)"
             )
             rows.append(
                 [
                     n,
                     t,
                     agreement_status,
-                    f"ok, {n - 2}/{n} nodes faulty" if pair_ok else "FAILED",
+                    f"ok, {result['faulty']}/{n} nodes faulty"
+                    if result["local_pair_ok"]
+                    else "FAILED",
                 ]
             )
-            assert pair_ok
+            assert not result["agreement_feasible"]
+            assert result["local_pair_ok"]
         report(
             render_table(
                 ["n", "t", "agreement-based", "local authentication"],

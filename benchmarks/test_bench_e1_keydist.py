@@ -14,14 +14,13 @@ from conftest import SWEEP_SCHEME, once
 from repro.analysis import check_mark, keydist_messages, keydist_rounds, render_table
 from repro.auth import run_key_distribution
 from repro.harness import standard_sizes
-from repro.harness.workloads import keydist_point
 
 
 def test_e1_keydist_series(report, benchmark, psweep):
     def sweep():
         points = psweep(
             [{"n": n, "seed": n, "scheme": SWEEP_SCHEME} for n in standard_sizes()],
-            keydist_point,
+            "keydist",
         )
         rows = []
         for point in points:

@@ -10,7 +10,6 @@ from conftest import SWEEP_SCHEME, once
 
 from repro.analysis import check_mark, fd_auth_messages, fd_auth_rounds, render_table
 from repro.harness import GLOBAL, LOCAL, run_fd_scenario, sizes_with_budgets, standard_sizes
-from repro.harness.workloads import fd_point
 
 
 def test_e2_chain_fd_series(report, benchmark, psweep):
@@ -20,7 +19,7 @@ def test_e2_chain_fd_series(report, benchmark, psweep):
                 {"n": n, "t": t, "seed": n, "protocol": "chain", "scheme": SWEEP_SCHEME}
                 for n, t in sizes_with_budgets(standard_sizes())
             ],
-            fd_point,
+            "fd",
         )
         rows = []
         for point in points:
@@ -55,16 +54,22 @@ def test_e2_chain_fd_series(report, benchmark, psweep):
 
     once(benchmark, sweep)
 
-def test_e2_local_auth_same_cost(report, benchmark):
+def test_e2_local_auth_same_cost(report, benchmark, psweep):
     """The headline theorem: identical FD cost under local authentication."""
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "protocol": "chain", "auth": LOCAL,
+                 "scheme": SWEEP_SCHEME}
+                for n, t in sizes_with_budgets(standard_sizes(small=True))
+            ],
+            "fd",
+        )
         rows = []
-        for n, t in sizes_with_budgets(standard_sizes(small=True)):
-            outcome = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=LOCAL, scheme=SWEEP_SCHEME, seed=n
-            )
-            assert outcome.fd.ok
-            messages = outcome.run.metrics.messages_total
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            assert point.result["fd_ok"]
+            messages = point.result["messages"]
             rows.append([n, t, n - 1, messages, check_mark(messages == n - 1)])
             assert messages == n - 1
         report(

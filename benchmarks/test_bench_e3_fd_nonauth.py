@@ -14,17 +14,24 @@ from __future__ import annotations
 from conftest import once
 
 from repro.analysis import check_mark, fd_nonauth_messages, render_table
-from repro.harness import run_fd_scenario, sizes_with_budgets, standard_sizes
+from repro.harness import run_fd_scenario, sizes_with_budgets, standard_sizes  # noqa: F401 (wallclock test)
 
 
-def test_e3_echo_fd_series(report, benchmark):
+def test_e3_echo_fd_series(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "protocol": "echo"}
+                for n, t in sizes_with_budgets(standard_sizes())
+            ],
+            "fd",
+        )
         rows = []
         measured = {}
-        for n, t in sizes_with_budgets(standard_sizes()):
-            outcome = run_fd_scenario(n, t, "v", protocol="echo", seed=n)
-            assert outcome.fd.ok
-            messages = outcome.run.metrics.messages_total
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            assert point.result["fd_ok"]
+            messages = point.result["messages"]
             measured[n] = messages
             predicted = fd_nonauth_messages(n, t)
             rows.append(

@@ -22,16 +22,19 @@ from repro.analysis import (
 from repro.harness import LOCAL, AmortizedSession, sizes_with_budgets
 
 
-def test_e4_measured_crossover(report, benchmark):
+def test_e4_measured_crossover(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [{"n": n, "t": t, "seed": n} for n, t in sizes_with_budgets([8, 16, 32])],
+            "e4-crossover",
+        )
         rows = []
-        for n, t in sizes_with_budgets([8, 16, 32]):
-            predicted = crossover_runs(n, t)
-            session = AmortizedSession(n=n, t=t, auth=LOCAL, scheme=SWEEP_SCHEME, seed=n)
-            for k in range(predicted + 2):
-                outcome = session.run(value=("run", k), seed=k)
-                assert outcome.fd.ok
-            measured = session.crossover_run()
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            assert result["all_ok"]
+            predicted, measured = result["predicted"], result["measured"]
+            assert predicted == crossover_runs(n, t)
             rows.append(
                 [n, t, predicted, measured, check_mark(measured == predicted)]
             )

@@ -15,26 +15,28 @@ from __future__ import annotations
 from conftest import SWEEP_SCHEME, once
 
 from repro.analysis import check_mark, render_table, smallrange_messages
-from repro.faults.behaviors import TamperingProtocol
-from repro.fd.smallrange import OptimisticBinaryChainProtocol
-from repro.harness import run_fd_scenario, standard_sizes
+from repro.harness import grid, run_fd_scenario, standard_sizes
 
 
-def test_e5_binary_message_counts(report, benchmark):
+def test_e5_binary_message_counts(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                dict(p, seed=p["n"], scheme=SWEEP_SCHEME)
+                for p in grid(n=standard_sizes(small=True), value=[0, 1])
+            ],
+            "e5-binary",
+        )
         rows = []
-        for n in standard_sizes(small=True):
-            for value in (0, 1):
-                outcome = run_fd_scenario(
-                    n, 0, value, protocol="smallrange", scheme=SWEEP_SCHEME, seed=n
-                )
-                assert outcome.fd.ok
-                messages = outcome.run.metrics.messages_total
-                predicted = smallrange_messages(n, value)
-                rows.append(
-                    [n, value, predicted, messages, n - 1, check_mark(messages == predicted)]
-                )
-                assert messages == predicted
+        for point in points:
+            n, value = point.params["n"], point.params["value"]
+            assert point.result["fd_ok"]
+            messages = point.result["messages"]
+            predicted = smallrange_messages(n, value)
+            rows.append(
+                [n, value, predicted, messages, n - 1, check_mark(messages == predicted)]
+            )
+            assert messages == predicted
         report(
             render_table(
                 ["n", "value", "predicted", "measured", "arbitrary-range (n-1)", "verdict"],
@@ -46,40 +48,37 @@ def test_e5_binary_message_counts(report, benchmark):
 
     once(benchmark, sweep)
 
-def test_e5_optimistic_counts_and_boundary(report, benchmark):
+def test_e5_optimistic_counts_and_boundary(report, benchmark, psweep):
     def sweep():
         n, t = 16, 5
-        rows = []
-        for value in (0, 1):
-            outcome = run_fd_scenario(
-                n, t, value, protocol="smallrange-optimistic",
-                scheme=SWEEP_SCHEME, seed=3,
-            )
-            assert outcome.fd.ok
-            rows.append([value, outcome.run.metrics.messages_total, "holds (failure-free)"])
-
-        # The documented negative result, measured: selective withholding by
-        # the disseminator breaks weak agreement with zero discoveries.
-        def factory(keypairs, directories):
-            disseminator = TamperingProtocol(
-                OptimisticBinaryChainProtocol(n, t, keypairs[t], directories[t]),
-                should_send=lambda rnd, to, payload: to < t + 3,
-            )
-            return {t: disseminator}
-
-        attacked = run_fd_scenario(
-            n, t, 1, protocol="smallrange-optimistic", scheme=SWEEP_SCHEME,
-            seed=3, fd_adversary_factory=factory,
+        points = psweep(
+            [
+                {"n": n, "t": t, "value": 0, "seed": 3, "scheme": SWEEP_SCHEME},
+                {"n": n, "t": t, "value": 1, "seed": 3, "scheme": SWEEP_SCHEME},
+                # The documented negative result, measured: selective
+                # withholding by the disseminator breaks weak agreement
+                # with zero discoveries.
+                {"n": n, "t": t, "value": 1, "seed": 3, "withhold": True,
+                 "scheme": SWEEP_SCHEME},
+            ],
+            "e5-optimistic",
         )
+        rows = []
+        for point in points[:2]:
+            assert point.result["fd_ok"]
+            rows.append(
+                [point.params["value"], point.result["messages"], "holds (failure-free)"]
+            )
+        attacked = points[2].result
         rows.append(
             [
                 "1 (withheld)",
-                attacked.run.metrics.messages_total,
-                "F2 BROKEN, undiscovered" if not attacked.fd.weak_agreement else "holds",
+                attacked["messages"],
+                "F2 BROKEN, undiscovered" if not attacked["weak_agreement"] else "holds",
             ]
         )
-        assert not attacked.fd.weak_agreement
-        assert not attacked.fd.any_discovery
+        assert not attacked["weak_agreement"]
+        assert not attacked["any_discovery"]
         report(
             render_table(
                 ["value", "messages", "F1-F3"],

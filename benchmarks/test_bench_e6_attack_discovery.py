@@ -16,50 +16,35 @@ from __future__ import annotations
 
 from conftest import SWEEP_SCHEME, once
 
-from repro.analysis import check_mark, render_table
-from repro.auth import check_g1, check_g2
 from repro.harness import LOCAL, attack_catalogue, run_fd_scenario
+from repro.analysis import check_mark, render_table
 
 N, T = 8, 2
 SEEDS = range(8)
 
 
-def test_e6_discovery_matrix(report, benchmark):
+def test_e6_discovery_matrix(report, benchmark, psweep):
     def sweep():
+        scenarios = [s.name for s in attack_catalogue(N, T)]
+        points = psweep(
+            [
+                {"n": N, "t": T, "scenario": name, "seed": seed}
+                for name in scenarios
+                for seed in SEEDS
+            ],
+            "e6-scenario",
+        )
         rows = []
-        for scenario in attack_catalogue(N, T):
-            ok_runs = 0
-            discoveries = 0
-            g12_violations = 0
-            for seed in SEEDS:
-                outcome = run_fd_scenario(
-                    N,
-                    T,
-                    "v",
-                    auth=LOCAL,
-                    scheme=SWEEP_SCHEME,
-                    seed=seed,
-                    kd_adversaries=scenario.kd_adversaries(),
-                    fd_adversary_factory=lambda kp, dirs: scenario.fd_adversary_factory(
-                        N, T, kp, dirs
-                    ),
-                    faulty=scenario.faulty,
-                )
-                ok_runs += outcome.fd.ok
-                discoveries += outcome.fd.any_discovery
-                genuine = {
-                    node: outcome.kd.keypairs[node].predicate
-                    for node in outcome.correct
-                }
-                g12_violations += len(
-                    check_g1(outcome.kd.directories, genuine, outcome.correct)
-                ) + len(check_g2(outcome.kd.directories, genuine, outcome.correct))
-
-            total = len(SEEDS)
-            expected_discoveries = total if scenario.expects_discovery else 0
+        total = len(SEEDS)
+        for index, name in enumerate(scenarios):
+            cells = [p.result for p in points[index * total : (index + 1) * total]]
+            ok_runs = sum(bool(c["fd_ok"]) for c in cells)
+            discoveries = sum(bool(c["any_discovery"]) for c in cells)
+            g12_violations = sum(c["g12_violations"] for c in cells)
+            expected_discoveries = total if cells[0]["expects_discovery"] else 0
             rows.append(
                 [
-                    scenario.name,
+                    name,
                     f"{ok_runs}/{total}",
                     f"{discoveries}/{total}",
                     f"{expected_discoveries}/{total}",
@@ -71,9 +56,9 @@ def test_e6_discovery_matrix(report, benchmark):
                     ),
                 ]
             )
-            assert ok_runs == total, scenario.name
-            assert discoveries == expected_discoveries, scenario.name
-            assert g12_violations == 0, scenario.name
+            assert ok_runs == total, name
+            assert discoveries == expected_discoveries, name
+            assert g12_violations == 0, name
 
         report(
             render_table(

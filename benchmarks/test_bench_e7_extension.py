@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from conftest import SWEEP_SCHEME, once
 
-from repro.agreement import evaluate_ba, make_oral_agreement_protocols
 from repro.analysis import (
     check_mark,
     extension_messages,
@@ -19,24 +18,25 @@ from repro.analysis import (
     render_table,
     sm_messages,
 )
-from repro.faults import SilentProtocol
 from repro.harness import GLOBAL, run_ba_scenario, sizes_with_budgets
-from repro.sim import run_protocols
 
 
-def test_e7_failure_free_comparison(report, benchmark):
+def test_e7_failure_free_comparison(report, benchmark, psweep):
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
+                for n, t in sizes_with_budgets([8, 16, 32])
+            ],
+            "e7-ba-compare",
+        )
         rows = []
-        for n, t in sizes_with_budgets([8, 16, 32]):
-            ext = run_ba_scenario(
-                n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
-            )
-            sm = run_ba_scenario(
-                n, t, "v", protocol="signed", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=n
-            )
-            assert ext.ba.ok and sm.ba.ok
-            ext_measured = ext.run.metrics.messages_total
-            sm_measured = sm.run.metrics.messages_total
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            assert result["ext_ok"] and result["sm_ok"]
+            ext_measured = result["ext_messages"]
+            sm_measured = result["sm_messages"]
             rows.append(
                 [
                     n,
@@ -65,18 +65,25 @@ def test_e7_failure_free_comparison(report, benchmark):
 
     once(benchmark, sweep)
 
-def test_e7_oral_baseline(report, benchmark):
+def test_e7_oral_baseline(report, benchmark, psweep):
     """The oral-messages column of the comparison (envelopes + classical
     exponential report count)."""
     def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n}
+                for n, t in [(4, 1), (7, 2), (10, 3), (13, 4)]
+            ],
+            "oral",
+        )
         rows = []
-        for n, t in [(4, 1), (7, 2), (10, 3), (13, 4)]:
-            protocols = make_oral_agreement_protocols(n, t, "v")
-            result = run_protocols(protocols, seed=n)
-            assert evaluate_ba(result, set(range(n)), 0, "v").ok
-            envelopes = result.metrics.messages_total
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            assert result["agreed"] and result["decision"] == repr("v")
+            envelopes = result["messages"]
             rows.append(
-                [n, t, n - 1, envelopes, om_reports(n, t), result.metrics.bytes_total]
+                [n, t, n - 1, envelopes, om_reports(n, t), result["bytes"]]
             )
             assert envelopes == om_envelopes(n, t)
         report(
@@ -90,22 +97,23 @@ def test_e7_oral_baseline(report, benchmark):
 
     once(benchmark, sweep)
 
-def test_e7_fallback_cost(report, benchmark):
+def test_e7_fallback_cost(report, benchmark, psweep):
     """With a fault the extension pays the alarm + SM fallback — bounded,
     and only in runs that are not failure-free."""
     def sweep():
         n, t = 8, 2
-        clean = run_ba_scenario(
-            n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=0
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": 0, "scheme": SWEEP_SCHEME},
+                {"n": n, "t": t, "seed": 0, "silent_node": 1, "scheme": SWEEP_SCHEME},
+            ],
+            "e7-fallback",
         )
-        faulty = run_ba_scenario(
-            n, t, "v", protocol="extension", auth=GLOBAL, scheme=SWEEP_SCHEME, seed=0,
-            ba_adversary_factory=lambda kp, dirs: {1: SilentProtocol()},
-        )
-        assert clean.ba.ok and faulty.ba.ok
+        clean, faulty = points[0].result, points[1].result
+        assert clean["ba_ok"] and faulty["ba_ok"]
         rows = [
-            ["failure-free", clean.run.metrics.messages_total, clean.run.metrics.rounds_used],
-            ["chain node crashed", faulty.run.metrics.messages_total, faulty.run.metrics.rounds_used],
+            ["failure-free", clean["messages"], clean["rounds"]],
+            ["chain node crashed", faulty["messages"], faulty["rounds"]],
         ]
         report(
             render_table(
@@ -114,8 +122,8 @@ def test_e7_fallback_cost(report, benchmark):
                 title=f"E7c  extension cost profile, n={n}, t={t}",
             )
         )
-        assert clean.run.metrics.messages_total == n - 1
-        assert faulty.run.metrics.messages_total > n - 1
+        assert clean["messages"] == n - 1
+        assert faulty["messages"] > n - 1
 
 
     once(benchmark, sweep)

@@ -18,7 +18,6 @@ from repro.analysis import (
     render_table,
 )
 from repro.harness import GLOBAL, run_fd_scenario, sizes_with_budgets, standard_sizes
-from repro.harness.workloads import e8_round_point
 
 
 def test_e8_round_table(report, benchmark, psweep):
@@ -28,7 +27,7 @@ def test_e8_round_table(report, benchmark, psweep):
                 {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
                 for n, t in sizes_with_budgets(standard_sizes())
             ],
-            e8_round_point,
+            "e8-rounds",
         )
         rows = []
         for point in points:

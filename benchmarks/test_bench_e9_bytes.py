@@ -7,42 +7,50 @@ not.  This bench quantifies that — with real Schnorr signatures, not the
 HMAC simulation — and contrasts the per-message byte profiles of the
 three FD protocols.  (Not a claim the paper makes numerically; it is the
 ablation DESIGN.md calls out for the chain-depth design choice.)
+
+E9c adds the EIG side of the byte story: the succinct engine ships
+run-length reports whose *dense-equivalent* size is what the meters
+charge; predicted vs measured compression comes from the closed forms in
+``repro.analysis.complexity``.
 """
 
 from __future__ import annotations
 
 from conftest import once
 
+from repro.analysis import (
+    check_mark,
+    om_collapsed_reports,
+    om_reports,
+    render_table,
+)
 from repro.harness import GLOBAL, run_fd_scenario
 
 SCHEME = "schnorr-512"  # real signatures: sizes are meaningful
 
 
-def test_e9_bytes_grow_with_chain_depth(report, benchmark):
+def test_e9_bytes_grow_with_chain_depth(report, benchmark, psweep):
     def sweep():
-        from repro.analysis import render_table
-
-        n = 16
+        points = psweep(
+            [
+                {"n": 16, "t": t, "seed": t, "scheme": SCHEME}
+                for t in (0, 1, 2, 4, 8)
+            ],
+            "e9-chain-bytes",
+        )
         rows = []
         previous_max = 0
-        for t in (0, 1, 2, 4, 8):
-            outcome = run_fd_scenario(
-                n, t, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=t
-            )
-            assert outcome.fd.ok
-            metrics = outcome.run.metrics
-            # The dissemination round carries the deepest chains.
-            last_round = max(metrics.bytes_per_round)
-            dissemination_msg_bytes = (
-                metrics.bytes_per_round[last_round]
-                / metrics.messages_per_round[last_round]
-            )
+        for point in points:
+            t = point.params["t"]
+            result = point.result
+            assert result["fd_ok"]
+            dissemination_msg_bytes = result["dissemination_msg_bytes"]
             rows.append(
                 [
                     t,
-                    metrics.messages_total,
-                    metrics.bytes_total,
-                    f"{metrics.bytes_total / metrics.messages_total:.0f}",
+                    result["messages"],
+                    result["bytes"],
+                    f"{result['bytes'] / result['messages']:.0f}",
                     f"{dissemination_msg_bytes:.0f}",
                 ]
             )
@@ -52,31 +60,33 @@ def test_e9_bytes_grow_with_chain_depth(report, benchmark):
             render_table(
                 ["t", "messages", "bytes total", "bytes/msg avg", "bytes/dissem. msg"],
                 rows,
-                title=f"E9  chain-depth byte cost, n={n}, Schnorr signatures",
+                title="E9  chain-depth byte cost, n=16, Schnorr signatures",
             )
         )
 
 
     once(benchmark, sweep)
 
-def test_e9_protocol_byte_profiles(report, benchmark):
+def test_e9_protocol_byte_profiles(report, benchmark, psweep):
     def sweep():
-        from repro.analysis import render_table
-
         n, t = 16, 5
-        rows = []
-        chain = run_fd_scenario(
-            n, t, "v", protocol="chain", auth=GLOBAL, scheme=SCHEME, seed=1
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": 1, "protocol": "chain", "auth": GLOBAL,
+                 "scheme": SCHEME},
+                {"n": n, "t": t, "seed": 1, "protocol": "echo", "scheme": SCHEME},
+            ],
+            "fd",
         )
-        echo = run_fd_scenario(n, t, "v", protocol="echo", seed=1)
-        for name, outcome in (("chain (signed)", chain), ("echo (unsigned)", echo)):
-            metrics = outcome.run.metrics
+        chain, echo = points[0].result, points[1].result
+        rows = []
+        for name, result in (("chain (signed)", chain), ("echo (unsigned)", echo)):
             rows.append(
                 [
                     name,
-                    metrics.messages_total,
-                    metrics.bytes_total,
-                    f"{metrics.bytes_total / metrics.messages_total:.0f}",
+                    result["messages"],
+                    result["bytes"],
+                    f"{result['bytes'] / result['messages']:.0f}",
                 ]
             )
         report(
@@ -87,11 +97,65 @@ def test_e9_protocol_byte_profiles(report, benchmark):
             )
         )
         # The chain sends ~t+1 times fewer messages...
-        assert chain.run.metrics.messages_total * (t + 1) == echo.run.metrics.messages_total
+        assert chain["messages"] * (t + 1) == echo["messages"]
         # ...but each carries signatures, so per-message bytes are much larger.
-        chain_per = chain.run.metrics.bytes_total / chain.run.metrics.messages_total
-        echo_per = echo.run.metrics.bytes_total / echo.run.metrics.messages_total
-        assert chain_per > 5 * echo_per
+        assert chain["bytes"] / chain["messages"] > 5 * (echo["bytes"] / echo["messages"])
+
+
+    once(benchmark, sweep)
+
+def test_e9_eig_compression_predicted_vs_measured(report, benchmark, psweep):
+    """The succinct EIG engine's run-length reports vs their dense
+    equivalents, against the closed forms: in a unanimous run every report
+    is one run, so ``om_collapsed_reports = t(n-1)^2`` runs stand for
+    ``om_reports`` dense path reports."""
+    def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n}
+                for n, t in [(7, 2), (10, 3), (13, 4), (16, 4)]
+            ],
+            "e9-compression",
+        )
+        rows = []
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            assert result["agreed"]
+            predicted_runs = om_collapsed_reports(n, t)
+            predicted_items = om_reports(n, t)
+            byte_ratio = result["dense_bytes"] / result["wire_bytes"]
+            rows.append(
+                [
+                    n,
+                    t,
+                    predicted_items,
+                    result["dense_items"],
+                    predicted_runs,
+                    result["runs_total"],
+                    f"{byte_ratio:.1f}x",
+                    check_mark(
+                        result["runs_total"] == predicted_runs
+                        and result["dense_items"] == predicted_items
+                    ),
+                ]
+            )
+            assert result["runs_total"] == predicted_runs
+            assert result["dense_items"] == predicted_items
+            assert result["wire_bytes"] < result["dense_bytes"]
+        report(
+            render_table(
+                [
+                    "n", "t",
+                    "dense reports (formula)", "measured",
+                    "collapsed runs (formula)", "measured",
+                    "byte compression",
+                    "verdict",
+                ],
+                rows,
+                title="E9c  EIG report compression: collapsed tree vs dense (unanimous runs)",
+            )
+        )
 
 
     once(benchmark, sweep)

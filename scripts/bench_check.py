@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_1.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_2.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_1.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_2.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -12,12 +12,20 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_check.py                  # gate + refresh
     PYTHONPATH=src python scripts/bench_check.py --full           # also full sizes
+    PYTHONPATH=src python scripts/bench_check.py --memory         # also memory gate
     PYTHONPATH=src python scripts/bench_check.py --compare /path/to/other/src
 
+``--memory`` measures tracemalloc peaks for the EIG memory probes (the
+succinct engine's headline win is *memory*: the dense engine's per-node
+path dicts are exponential in t) and gates them against the committed
+baseline with ``--memory-threshold`` — so the succinct-tree memory
+reduction is regression-guarded, not just the wall-clock.
+
 ``--compare`` measures the same workloads against another source tree
-(for example a seed-commit worktree) in a subprocess and records the
-per-experiment speedups under ``speedup_vs_baseline_src`` — that is how
-the seed-vs-now numbers in the committed ``BENCH_1.json`` were produced.
+(for example a prior-PR worktree) in a subprocess and records the
+per-experiment speedups under ``speedup_vs_baseline_src``.  Historical
+note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers; this
+PR's gate file is ``BENCH_2.json``, which adds the extended n=128 grid.
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -26,12 +34,15 @@ regenerate the baseline before trusting the gate.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import subprocess
 import sys
 import tempfile
+import tracemalloc
 from pathlib import Path
+from typing import Any, Callable
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
@@ -62,6 +73,61 @@ def compare_runs(
             )
         if delta > threshold:
             regressions.append(line + "  REGRESSION")
+        lines.append(line)
+    return lines, regressions
+
+
+def memory_probes() -> dict[str, Callable[[], Any]]:
+    """The tracemalloc-gated workloads.
+
+    The oral probes are the point of the gate: succinct-engine peaks must
+    stay flat as the grid grows.  The dense probe documents the engine
+    gap at a size the dense engine can still afford (its n=32/t=3 peak is
+    already ~two orders of magnitude above the succinct engine's;
+    PERFORMANCE.md tabulates the comparison).
+    """
+    from repro.harness.workloads import oral_point
+
+    return {
+        "oral_succinct_n32_t3": lambda: oral_point(32, 3, seed=1),
+        "oral_succinct_n64_t3": lambda: oral_point(64, 3, seed=1),
+        "oral_succinct_n128_t3": lambda: oral_point(128, 3, seed=1),
+        "oral_dense_n16_t4": lambda: oral_point(16, 4, seed=1, engine="dense"),
+    }
+
+
+def measure_memory() -> dict[str, int]:
+    """Peak tracemalloc KiB per probe, caches cleared for reproducibility."""
+    from repro.agreement._paths import clear_path_tables
+
+    peaks: dict[str, int] = {}
+    for name, fn in memory_probes().items():
+        clear_path_tables()
+        gc.collect()
+        tracemalloc.start()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[name] = round(peak / 1024)
+    clear_path_tables()
+    return peaks
+
+
+def compare_memory(
+    baseline: dict[str, int], fresh: dict[str, int], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Per-probe peak deltas.  Returns (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    for name, peak in fresh.items():
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"  {name}: {peak} KiB (new probe, no baseline)")
+            continue
+        delta = (peak - base) / base if base > 0 else 0.0
+        line = f"  {name}: {base} KiB -> {peak} KiB ({delta:+.1%})"
+        if delta > threshold:
+            regressions.append(line + "  MEMORY REGRESSION")
         lines.append(line)
     return lines, regressions
 
@@ -102,12 +168,24 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_1.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_2.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--full", action="store_true", help="also refresh the full-size section"
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="also gate tracemalloc peaks for the EIG memory probes",
+    )
+    parser.add_argument(
+        "--memory-threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional peak-memory growth before failing",
     )
     parser.add_argument(
         "--compare",
@@ -130,7 +208,7 @@ def main(argv: list[str] | None = None) -> int:
         lines, regressions = compare_runs(
             committed["small"], fresh_small, args.threshold
         )
-        print("== comparison against committed BENCH_1.json (small) ==")
+        print("== comparison against committed BENCH_2.json (small) ==")
         print("\n".join(lines))
         if regressions:
             print(
@@ -150,6 +228,29 @@ def main(argv: list[str] | None = None) -> int:
         merged["full"] = regress.run_suite(small=False, repeats=args.repeats)
         for name, entry in merged["full"]["experiments"].items():
             print(f"  {name}: {entry['seconds']:.5f}s")
+
+    if args.memory:
+        print("== memory probes (tracemalloc peaks) ==")
+        fresh_memory = measure_memory()
+        for name, peak in fresh_memory.items():
+            print(f"  {name}: {peak} KiB")
+        if committed.get("memory"):
+            lines, regressions = compare_memory(
+                committed["memory"], fresh_memory, args.memory_threshold
+            )
+            print("== memory comparison against committed BENCH_2.json ==")
+            print("\n".join(lines))
+            if regressions:
+                print(
+                    f"== FAIL: memory regression beyond "
+                    f"{args.memory_threshold:.0%} threshold ==",
+                    file=sys.stderr,
+                )
+                print("\n".join(regressions), file=sys.stderr)
+                status = 1
+        else:
+            print("== no committed memory baseline; establishing one ==")
+        merged["memory"] = fresh_memory
 
     if args.compare:
         print(f"== measuring baseline source tree: {args.compare} ==")

@@ -24,7 +24,15 @@ from .extension import (
     ExtendedAgreementProtocol,
     make_extended_protocols,
 )
-from .oral import OM_REPORT, OM_VALUE, OralAgreementProtocol, make_oral_agreement_protocols
+from .eigtree import RleReport, SuccinctEigStore
+from .oral import (
+    DENSE,
+    OM_REPORT,
+    OM_VALUE,
+    SUCCINCT,
+    OralAgreementProtocol,
+    make_oral_agreement_protocols,
+)
 from .problem import DEFAULT_VALUE, BAEvaluation, evaluate_ba
 from .signed import (
     SM_MSG,
@@ -37,10 +45,14 @@ __all__ = [
     "ALARM_MSG",
     "BAEvaluation",
     "DEFAULT_VALUE",
+    "DENSE",
     "DegradableSignedAgreement",
     "ExtendedAgreementProtocol",
     "OM_REPORT",
     "OM_VALUE",
+    "RleReport",
+    "SUCCINCT",
+    "SuccinctEigStore",
     "OUTPUT_DEGRADED",
     "OUTPUT_FD_DISCOVERY",
     "OUTPUT_PATH",

@@ -17,6 +17,7 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import NamedTuple
 
 from ..types import NodeId
 
@@ -55,10 +56,68 @@ def path_set(n: int, sender: NodeId, length: int) -> frozenset[Path]:
     return frozenset(paths_of_length(n, sender, length))
 
 
+class LevelWireStats(NamedTuple):
+    """Aggregate canonical-encoding statistics for one path level.
+
+    Lets the succinct engine account a run-length report at its *dense
+    equivalent* byte size in O(#runs), without materializing the dense
+    item list: the encoding is additive (tag + varint length + item
+    encodings), so the byte total of "every level-``length`` path not
+    containing ``q``" is ``path_bytes - path_bytes_with[q]``.
+
+    :ivar count: number of paths at this level.
+    :ivar path_bytes: sum of ``byte_size(path)`` over all of them.
+    :ivar count_with: per node id, how many paths contain it.
+    :ivar path_bytes_with: per node id, the byte sum of paths containing it.
+    """
+
+    count: int
+    path_bytes: int
+    count_with: tuple[int, ...]
+    path_bytes_with: tuple[int, ...]
+
+    def count_avoiding(self, node: NodeId) -> int:
+        """How many paths at this level do not contain ``node``."""
+        return self.count - self.count_with[node]
+
+    def path_bytes_avoiding(self, node: NodeId) -> int:
+        """Byte sum of the paths at this level not containing ``node``."""
+        return self.path_bytes - self.path_bytes_with[node]
+
+
+@lru_cache(maxsize=None)
+def level_wire_stats(n: int, sender: NodeId, length: int) -> LevelWireStats:
+    """Wire-size aggregates for ``paths_of_length(n, sender, length)``.
+
+    Enumerates the level exactly once per process.  Only report levels
+    (length <= t) ever need these; the exponential leaf level ``t + 1`` is
+    never passed here by the engine.
+    """
+    from ..crypto.encoding import byte_size
+
+    count_with = [0] * n
+    path_bytes_with = [0] * n
+    total = 0
+    paths = paths_of_length(n, sender, length)
+    for path in paths:
+        size = byte_size(path)
+        total += size
+        for node in path:
+            count_with[node] += 1
+            path_bytes_with[node] += size
+    return LevelWireStats(
+        count=len(paths),
+        path_bytes=total,
+        count_with=tuple(count_with),
+        path_bytes_with=tuple(path_bytes_with),
+    )
+
+
 def clear_path_tables() -> None:
     """Drop every memoized table (tests / long-lived processes)."""
     paths_of_length.cache_clear()
     path_set.cache_clear()
+    level_wire_stats.cache_clear()
 
 
 def path_table_info() -> dict[str, int]:

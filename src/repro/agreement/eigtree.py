@@ -1,0 +1,477 @@
+"""Succinct EIG tree engine: collapse unanimous subtrees, compress reports.
+
+The dense EIG formulation (:mod:`repro.agreement.oral` with
+``engine="dense"``) stores one dict entry per received path and ships one
+``(path, value)`` pair per report item — exponential in ``t`` by
+construction, which caps oral runs around n=32.  This module provides the
+*succinct* representation that makes n=128 feasible:
+
+* **storage** — a node's received values at level ``L`` are a per-relayer
+  "uniform" entry (one relayer's whole report was a single value — the
+  failure-free case) plus a sparse ``overrides`` dict for paths whose
+  value deviates.  A failure-free run stores O(n·t) values per node
+  instead of O(n^t).
+* **wire form** — reports travel as :class:`RleReport`: run-length
+  encoded values over the canonical path order, decoded transparently by
+  the receiving engine.  A unanimous report is a single run regardless of
+  the level's path count.
+* **resolution** — the bottom-up majority walk short-circuits: when every
+  stored value agrees with the root value (checked per level against the
+  uniform entries, O(n·t) total), the decision is that value without
+  touching the exponential leaf level.  Any deviation falls back to the
+  level-synchronous sweep over the shared path tables, which is exactly
+  the dense engine's algorithm reading values through this store.
+
+Observable equivalence contract
+-------------------------------
+Decisions, round counts, envelope counts, payload-kind tallies and *byte*
+counts are bit-for-bit identical to the dense engine: the metrics layer
+accounts an :class:`RleReport` at :meth:`RleReport.dense_byte_size` — the
+exact canonical-encoding size of the ``(OM_REPORT, ((path, value), ...))``
+payload the dense engine would have sent — computed in O(#runs) from the
+additive encoding and the per-level aggregates in
+:func:`repro.agreement._paths.level_wire_stats`.
+``tests/agreement/test_eigtree.py`` enforces the equivalence property
+under random Byzantine behaviour.
+
+Values are grouped into runs by ``repr`` — the same identity the engines'
+majority vote uses.  For every wire value shape in this library
+(scalars, tuples, registered frozen dataclasses) ``repr`` equality implies
+canonical-encoding equality, which keeps the dense-equivalent byte
+accounting exact; the property tests cross-check it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterator
+
+from ..crypto.encoding import byte_size, uvarint_size
+from ..types import NodeId
+from ._paths import Path, level_wire_stats, path_set, paths_of_length
+
+#: Payload kind shared with the dense wire form — metrics breakdowns must
+#: not distinguish the engines (see ``repro.sim.message.payload_kind``).
+OM_REPORT = "om-report"
+
+#: Tag of the encodable tuple form (views, diagnostics, E9's compression
+#: measurements).  Not a dense-engine payload tag: the dense engine
+#: ignores run-length reports entirely, engines are homogeneous per run.
+OM_REPORT_RLE = "om-report-rle"
+
+_MISSING = object()
+
+# Encoded size of the constant parts of the dense payload
+# ``(OM_REPORT, items)``: the 2-tuple header and the kind tag.
+_DENSE_HEADER = 1 + uvarint_size(2) + byte_size(OM_REPORT)
+# Per dense item ``(path, value)``: the pair's own 2-tuple header.
+_DENSE_ITEM_HEADER = 1 + uvarint_size(2)
+
+
+def _repr_key(value: Any) -> str:
+    """The engines' value identity: how majority votes compare values."""
+    return repr(value)
+
+
+class RleReport:
+    """A run-length encoded EIG report: the succinct wire form.
+
+    Semantically identical to the dense payload ``(OM_REPORT, ((path,
+    value) for path in paths_of_length(n, sender, level) if exclude not in
+    path))`` with the values read off the runs in canonical path order.
+    ``exclude`` is the reporting relayer (a node never relays paths
+    containing itself).
+
+    Instances are immutable by library discipline (wire value).  They are
+    deliberately *not* plain tuples: the dense engine's ingest must treat
+    them as unknown noise, not mis-parse them as dense items.
+
+    The dense-equivalent size is computed *at construction* (the honest
+    encoder has just built the level aggregates anyway) so that reading
+    the byte meters later is a field access: a crafted report with
+    absurd ``(n, level)`` fields pays its own enumeration cost in the
+    constructing protocol's round, never in the metrics settle of every
+    other node's run result.
+    """
+
+    __slots__ = ("n", "sender", "level", "exclude", "runs", "_dense_size")
+
+    kind = OM_REPORT  # payload-kind hook for metrics breakdowns
+
+    def __init__(
+        self,
+        n: int,
+        sender: NodeId,
+        level: int,
+        exclude: NodeId,
+        runs: tuple[tuple[int, Any], ...],
+    ) -> None:
+        if not (0 <= sender < n and 0 <= exclude < n):
+            raise ValueError(f"ids out of range: sender={sender}, exclude={exclude}")
+        if level < 1:
+            raise ValueError(f"level must be >= 1, got {level}")
+        if not all(
+            type(count) is int and count > 0 for count, _ in runs
+        ):
+            raise ValueError("run counts must be positive ints")
+        self.n = n
+        self.sender = sender
+        self.level = level
+        self.exclude = exclude
+        self.runs = tuple((count, value) for count, value in runs)
+        self._dense_size = self._compute_dense_size()
+
+    @property
+    def item_count(self) -> int:
+        """Number of dense ``(path, value)`` items this report stands for."""
+        return sum(count for count, _ in self.runs)
+
+    def values(self) -> Iterator[Any]:
+        """The dense value sequence, in canonical path order."""
+        for count, value in self.runs:
+            for _ in range(count):
+                yield value
+
+    def dense_byte_size(self) -> int:
+        """Canonical-encoding size of the equivalent dense payload.
+
+        Precomputed at construction; this is what the metrics layer
+        records, so byte counters match the dense engine exactly.
+        """
+        return self._dense_size
+
+    def _compute_dense_size(self) -> int:
+        """O(#runs): the encoding is additive, so the paths' byte total
+        comes from the level aggregates and each run contributes
+        ``count * byte_size(value)``."""
+        stats = level_wire_stats(self.n, self.sender, self.level)
+        count = stats.count_avoiding(self.exclude)
+        total = (
+            _DENSE_HEADER
+            + 1  # items sequence tag
+            + uvarint_size(count)
+            + count * _DENSE_ITEM_HEADER
+            + stats.path_bytes_avoiding(self.exclude)
+        )
+        for run_count, value in self.runs:
+            total += run_count * byte_size(value)
+        return total
+
+    def wire_tuple(self) -> tuple:
+        """An encodable tuple form (views, E9's compression probes)."""
+        return (OM_REPORT_RLE, self.n, self.sender, self.level, self.exclude, self.runs)
+
+    def compressed_byte_size(self) -> int:
+        """Actual bytes of the run-length form — what really crossed the
+        simulated wire, contrasted with :meth:`dense_byte_size` in E9."""
+        return byte_size(self.wire_tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"RleReport(n={self.n}, sender={self.sender}, level={self.level}, "
+            f"exclude={self.exclude}, runs={len(self.runs)}, items={self.item_count})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RleReport) and self.wire_tuple() == other.wire_tuple()
+
+    def __hash__(self) -> int:
+        return hash((OM_REPORT_RLE, self.n, self.sender, self.level, self.exclude))
+
+
+class SuccinctEigStore:
+    """Per-node succinct EIG tree: uniform-per-relayer entries + overrides.
+
+    The invariant mirrored from the dense dict: a path ``σ + (q,)`` at
+    level ``L`` holds the *first* value relayer ``q`` reported for ``σ``
+    (``setdefault`` semantics), or nothing.  Lookup order realises that:
+    an explicit override (filed earlier or from a partial report) wins
+    over the relayer's uniform entry, and a uniform entry, once set,
+    blocks later overrides for that relayer.
+
+    Contract: :meth:`get` is only ever asked about structurally valid
+    paths that avoid the owning node — the same paths the dense dict
+    could contain.
+    """
+
+    __slots__ = ("n", "t", "sender", "default", "root", "uniform", "overrides")
+
+    def __init__(self, n: int, t: int, sender: NodeId, default: Any) -> None:
+        self.n = n
+        self.t = t
+        self.sender = sender
+        self.default = default
+        self.root: Any = _MISSING
+        # level -> {relayer: value} / {path: value}, levels 2 .. t+1.
+        self.uniform: dict[int, dict[NodeId, Any]] = {
+            level: {} for level in range(2, t + 2)
+        }
+        self.overrides: dict[int, dict[Path, Any]] = {
+            level: {} for level in range(2, t + 2)
+        }
+
+    # -- filing ---------------------------------------------------------
+
+    def set_root(self, value: Any) -> None:
+        """File the round-1 sender value (assignment semantics: last
+        write in the round wins, exactly as the dense dict did)."""
+        self.root = value
+
+    def file_uniform(self, level: int, relayer: NodeId, value: Any) -> None:
+        """File "relayer ``q`` reported ``value`` for every valid path" —
+        first uniform report per (level, relayer) wins."""
+        self.uniform[level].setdefault(relayer, value)
+
+    def file_override(self, level: int, path: Path, value: Any) -> None:
+        """File one path value with the dense ``setdefault`` semantics."""
+        if path[-1] in self.uniform[level]:
+            return  # every path ending in this relayer is already set
+        self.overrides[level].setdefault(path, value)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, path: Path) -> Any:
+        """The stored value for ``path``, or the protocol default."""
+        if len(path) == 1:
+            return self.default if self.root is _MISSING else self.root
+        level = len(path)
+        value = self.overrides[level].get(path, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = self.uniform[level].get(path[-1], _MISSING)
+        return self.default if value is _MISSING else value
+
+    def stored_entries(self) -> int:
+        """Number of explicit entries held (diagnostics / memory tests)."""
+        return (
+            (0 if self.root is _MISSING else 1)
+            + sum(len(d) for d in self.uniform.values())
+            + sum(len(d) for d in self.overrides.values())
+        )
+
+    # -- level summaries ---------------------------------------------------
+
+    def _level_uniform_value(self, level: int, me: NodeId) -> Any:
+        """The single value every queried level-``level`` path holds, or
+        ``_MISSING`` if the level is not unanimous / not fully covered.
+
+        Queried paths avoid ``me`` and end in any relayer outside
+        ``{sender, me}``, so full coverage means a uniform entry for every
+        such relayer — exactly the failure-free report pattern.
+        """
+        if level == 1:
+            return self.get((self.sender,))
+        if self.overrides[level]:
+            return _MISSING
+        uniform = self.uniform[level]
+        value = _MISSING
+        key = None
+        for q in range(self.n):
+            if q == self.sender or q == me:
+                continue
+            held = uniform.get(q, _MISSING)
+            if held is _MISSING:
+                return _MISSING
+            if value is _MISSING:
+                value, key = held, _repr_key(held)
+            elif held is not value and _repr_key(held) != key:
+                return _MISSING
+        return value
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, me: NodeId) -> Any:
+        """The node's decision: majority over the tree rooted at
+        ``(sender,)`` with the classical own-value substitution.
+
+        Fast path: if every level (2 .. t+1) is unanimously the root
+        value, the whole tree collapses and the decision is that value —
+        O(n·t), never touching the leaf level.  Any deviation falls back
+        to the dense engine's level-synchronous sweep reading values
+        through :meth:`get` (exponential in t, like the dense engine —
+        Byzantine runs at large n pay the dense price either way).
+        """
+        root = self.get((self.sender,))
+        root_key = _repr_key(root)
+        for level in range(2, self.t + 2):
+            value = self._level_uniform_value(level, me)
+            if value is _MISSING or (
+                value is not root and _repr_key(value) != root_key
+            ):
+                return self._resolve_sweep(me)
+        return root
+
+    def _resolve_sweep(self, me: NodeId) -> Any:
+        """Reference bottom-up majority sweep, reading through the store."""
+        return resolve_sweep(
+            self.n, self.t, self.sender, self.default, self.get, me, (self.sender,)
+        )
+
+
+def resolve_sweep(
+    n: int,
+    t: int,
+    sender: NodeId,
+    default: Any,
+    lookup: Any,
+    me: NodeId,
+    path: Path,
+) -> Any:
+    """Level-synchronous bottom-up majority over the EIG tree: the one
+    resolution sweep both engines share (so their slot arithmetic cannot
+    drift; the vote itself is :func:`majority_value`).
+
+    ``lookup(path)`` returns the stored value or the default — a dict
+    ``get`` closure for the dense engine, :meth:`SuccinctEigStore.get`
+    for the succinct one.  Level L+1 of the shared table is generated
+    from level L parent-major with child ids ascending, so the children
+    of parent index ``i`` occupy the slice ``[i*(n-L), (i+1)*(n-L))`` —
+    values align by index, no per-path dict or membership tests needed.
+    At each parent not containing ``me``, ``me``'s child slot (its rank
+    among the ids not in the parent) is substituted with the parent's own
+    stored value — classical EIG's "own value" substitution, needed for
+    the n > 3t margin.  Values for paths through ``me`` are computed but
+    never consumed, because their parents substitute first.
+
+    Requires ``me not in path`` and ``len(path) <= t + 1`` (the callers'
+    degenerate cases fall back to plain recursion before reaching here).
+    """
+    depth = t + 1
+    start = len(path)
+    values = [lookup(p) for p in paths_of_length(n, sender, depth)]
+    for length in range(depth - 1, start - 1, -1):
+        table = paths_of_length(n, sender, length)
+        width = n - length
+        parent_values = []
+        for i, p in enumerate(table):
+            children = values[i * width : (i + 1) * width]
+            if me not in p:
+                slot = me
+                for node in p:
+                    if node < me:
+                        slot -= 1
+                children[slot] = lookup(p)
+            parent_values.append(majority_value(children, default))
+        values = parent_values
+    if start == 1:
+        return values[0]
+    return values[paths_of_length(n, sender, start).index(path)]
+
+
+def majority_value(children: list[Any], default: Any) -> Any:
+    """Strict majority of ``children`` by ``repr``; ties fall to the
+    default.  Shared by both engines so their votes cannot drift."""
+    reprs = [repr(value) for value in children]
+    first = reprs[0]
+    total = len(children)
+    if reprs.count(first) == total:
+        return children[0]
+    best, best_count = Counter(reprs).most_common(1)[0]
+    if best_count * 2 > total:
+        return children[reprs.index(best)]
+    return default
+
+
+# -- wire form: encode -----------------------------------------------------
+
+
+def encode_report(store: SuccinctEigStore, me: NodeId, level: int) -> RleReport | None:
+    """Build the run-length report ``me`` broadcasts about level ``level``.
+
+    Returns ``None`` when there is nothing to report (every path contains
+    ``me`` — i.e. ``me`` is the sender), matching the dense engine's
+    skipped broadcast.  A fully uniform level emits a single run without
+    enumerating paths; otherwise runs are built over the canonical
+    filtered order (levels are <= t, polynomially sized).
+    """
+    n, sender = store.n, store.sender
+    stats = level_wire_stats(n, sender, level)
+    count = stats.count_avoiding(me)
+    if count == 0:
+        return None
+    value = store._level_uniform_value(level, me)
+    if value is not _MISSING:
+        return RleReport(n, sender, level, me, ((count, value),))
+    runs: list[tuple[int, Any]] = []
+    run_value: Any = _MISSING
+    run_key = None
+    run_count = 0
+    for path in paths_of_length(n, sender, level):
+        if me in path:
+            continue
+        held = store.get(path)
+        if run_count and (held is run_value or _repr_key(held) == run_key):
+            run_count += 1
+            continue
+        if run_count:
+            runs.append((run_count, run_value))
+        run_value, run_key, run_count = held, _repr_key(held), 1
+    runs.append((run_count, run_value))
+    return RleReport(n, sender, level, me, tuple(runs))
+
+
+# -- wire form: decode / ingest ---------------------------------------------
+
+
+def ingest_rle(
+    store: SuccinctEigStore, report: Any, relayer: NodeId, me: NodeId, round_: int
+) -> None:
+    """File one received run-length report; malformed reports are
+    Byzantine noise and are dropped whole (missing -> default), mirroring
+    the dense engine's per-item validation.
+
+    Validity: the report must describe level ``round_ - 1`` (a report
+    relayed in round ``round_ - 1`` and received now), the run counts must
+    cover exactly the paths of that level avoiding ``relayer``, and the
+    shape fields must match this run's ``(n, sender)``.
+    """
+    if not isinstance(report, RleReport):
+        return
+    n, sender = store.n, store.sender
+    level = round_ - 1
+    if report.level != level or not (1 <= level <= store.t):
+        return
+    if report.n != n or report.sender != sender or report.exclude != relayer:
+        return
+    if relayer == sender:
+        return  # every valid path contains the sender; nothing to file
+    stats = level_wire_stats(n, sender, level)
+    if report.item_count != stats.count_avoiding(relayer):
+        return
+    runs = report.runs
+    if len(runs) == 1:
+        # Unanimous report: one uniform entry covers the whole level.
+        store.file_uniform(level + 1, relayer, runs[0][1])
+        return
+    values = report.values()
+    file_override = store.file_override
+    for path in paths_of_length(n, sender, level):
+        if relayer in path:
+            continue
+        value = next(values)
+        if me not in path:
+            file_override(level + 1, path + (relayer,), value)
+
+
+def ingest_dense_items(
+    store: SuccinctEigStore, items: Any, relayer: NodeId, me: NodeId, round_: int
+) -> None:
+    """File a dense ``(path, value)`` item list (the legacy wire form —
+    Byzantine nodes and the dense engine still speak it), with the exact
+    per-item validation and ``setdefault`` semantics of the dense ingest."""
+    n, sender = store.n, store.sender
+    valid_prefixes = path_set(n, sender, round_ - 1)
+    file_override = store.file_override
+    for item in items:
+        if not (isinstance(item, (tuple, list)) and len(item) == 2):
+            continue
+        raw_path, value = item
+        if not isinstance(raw_path, (tuple, list)):
+            continue
+        path: Path = tuple(raw_path)
+        try:
+            valid = path in valid_prefixes
+        except TypeError:
+            continue  # unhashable elements: noise, not filed
+        if valid and relayer not in path and me not in path:
+            file_override(round_, path + (relayer,), value)

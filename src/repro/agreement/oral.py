@@ -15,6 +15,23 @@ report relayed by ``q`` about path ``σ`` under ``σ + (q,)``.  After
 ``t + 1`` rounds each node resolves the tree bottom-up by recursive
 majority (missing values become the default) and decides ``resolve((0,))``.
 
+Engines
+-------
+Two interchangeable engines realise the tree (``engine=`` parameter):
+
+* ``"succinct"`` (default) — :mod:`repro.agreement.eigtree`: unanimous
+  subtrees collapse to per-relayer uniform entries, reports travel
+  run-length encoded, and resolution short-circuits the failure-free
+  case.  This is what makes n=128 oral runs feasible.
+* ``"dense"`` — the reference dict-of-paths engine (the seed semantics),
+  kept as the oracle the property tests compare against.
+
+Every observable is engine-independent: decisions, round counts, envelope
+counts, payload kinds and byte counts are bit-for-bit identical (the
+metrics layer accounts compressed reports at their dense-equivalent
+size).  Engines are homogeneous per run — the dense ingest treats
+run-length payloads as unknown Byzantine noise.
+
 Message accounting
 ------------------
 The simulator counts *envelopes*: one per (sender, recipient, round), with
@@ -22,7 +39,9 @@ all of a round's path reports batched inside.  The classical "message"
 count of OM(t) refers to individual path reports, which grow as
 ``(n-1)(n-2)...(n-k)``; :func:`repro.analysis.complexity.om_reports`
 gives that closed form, and the metrics' byte counters show the blow-up
-empirically (the envelope payloads grow exponentially with ``t``).
+empirically (the envelope payloads grow exponentially with ``t``) —
+:func:`repro.analysis.complexity.om_collapsed_reports` gives the
+run-length count the succinct engine actually ships in unanimous runs.
 
 This protocol is the "may not work because of too many faulty nodes"
 option for key distribution the paper mentions: to authentically agree on
@@ -32,13 +51,14 @@ only if ``n > 3t`` holds at all.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any
 
 from ..errors import ConfigurationError
 from ..sim import Envelope, NodeContext, Protocol
 from ..types import NodeId, validate_fault_budget
+from . import eigtree
 from ._paths import Path, path_set, paths_of_length
+from .eigtree import RleReport, SuccinctEigStore
 from .problem import DEFAULT_VALUE
 
 OM_VALUE = "om-value"
@@ -47,14 +67,22 @@ OM_REPORT = "om-report"
 #: The distinguished sender is node 0.
 SENDER: NodeId = 0
 
+#: Engine names (see module docstring).
+SUCCINCT = "succinct"
+DENSE = "dense"
+DEFAULT_ENGINE = SUCCINCT
+
 
 class OralAgreementProtocol(Protocol):
     """One node's behaviour in OM(t) / EIG.
 
+    :param engine: ``"succinct"`` (default; collapsed tree, run-length
+        reports) or ``"dense"`` (reference dict-of-paths engine).
+
     :raises ConfigurationError: if ``n <= 3t`` (the oral bound) — this is
         the impossibility the paper leans on when it says agreement-based
         key distribution "may not be feasible because of an insufficient
-        number of correct nodes".
+        number of correct nodes" — or for an unknown engine.
     """
 
     def __init__(
@@ -64,25 +92,37 @@ class OralAgreementProtocol(Protocol):
         value: Any = None,
         default: Any = DEFAULT_VALUE,
         sender: NodeId = SENDER,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         validate_fault_budget(t, n)
         if n <= 3 * t:
             raise ConfigurationError(
                 f"oral agreement requires n > 3t, got n={n}, t={t}"
             )
+        if engine not in (SUCCINCT, DENSE):
+            raise ConfigurationError(
+                f"unknown EIG engine {engine!r}; expected {SUCCINCT!r} or {DENSE!r}"
+            )
         self._n = n
         self._t = t
         self._value = value
         self._default = default
         self._sender = sender
+        self._engine = engine
         self._tree: dict[Path, Any] = {}
+        self._store = (
+            SuccinctEigStore(n, t, sender, default) if engine == SUCCINCT else None
+        )
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         round_ = ctx.round
         if round_ == 0:
             if ctx.node == self._sender:
                 ctx.broadcast((OM_VALUE, self._value))
-                self._tree[(self._sender,)] = self._value
+                if self._store is not None:
+                    self._store.set_root(self._value)
+                else:
+                    self._tree[(self._sender,)] = self._value
             return
 
         self._ingest(ctx, inbox, round_)
@@ -101,6 +141,7 @@ class OralAgreementProtocol(Protocol):
     def _ingest(self, ctx: NodeContext, inbox: list[Envelope], round_: int) -> None:
         """File this round's values/reports into the EIG tree."""
         me = ctx.node
+        store = self._store
         tree = self._tree
         # Valid reports extend a length-(round-1) path by the relayer, with
         # all ids distinct and starting at the sender; anything else is
@@ -108,18 +149,25 @@ class OralAgreementProtocol(Protocol):
         # Structural validity is one membership probe in the shared path
         # set rather than per-item distinctness/range re-checks.
         valid_prefixes = (
-            path_set(self._n, self._sender, round_ - 1) if round_ >= 2 else None
+            path_set(self._n, self._sender, round_ - 1)
+            if round_ >= 2 and store is None
+            else None
         )
         for env in inbox:
             payload = env.payload
-            if (
+            if store is not None and round_ >= 2 and isinstance(payload, RleReport):
+                eigtree.ingest_rle(store, payload, env.sender, me, round_)
+            elif (
                 round_ == 1
                 and env.sender == self._sender
                 and isinstance(payload, tuple)
                 and len(payload) == 2
                 and payload[0] == OM_VALUE
             ):
-                tree[(self._sender,)] = payload[1]
+                if store is not None:
+                    store.set_root(payload[1])
+                else:
+                    tree[(self._sender,)] = payload[1]
             elif (
                 round_ >= 2
                 and isinstance(payload, tuple)
@@ -128,6 +176,9 @@ class OralAgreementProtocol(Protocol):
                 and isinstance(payload[1], (tuple, list))
             ):
                 relayer = env.sender
+                if store is not None:
+                    eigtree.ingest_dense_items(store, payload[1], relayer, me, round_)
+                    continue
                 for item in payload[1]:
                     if not (isinstance(item, (tuple, list)) and len(item) == 2):
                         continue
@@ -147,6 +198,11 @@ class OralAgreementProtocol(Protocol):
     def _report(self, ctx: NodeContext, round_: int) -> None:
         """Relay every known path of length ``round_`` not containing us."""
         me = ctx.node
+        if self._store is not None:
+            report = eigtree.encode_report(self._store, me, round_)
+            if report is not None:
+                ctx.broadcast(report)
+            return
         tree = self._tree
         default = self._default
         items = [
@@ -171,61 +227,46 @@ class OralAgreementProtocol(Protocol):
         by the value ``me`` itself relayed about ``path`` (classical EIG's
         "own value" substitution, needed for the n > 3t margin).
 
-        Resolution runs iteratively, bottom-up over the shared path table:
-        leaves (length t+1) first, then each shorter length from the values
-        computed for the one below — no per-path recursion, and each path's
-        value is computed exactly once.
+        Succinct engine: delegated to
+        :meth:`repro.agreement.eigtree.SuccinctEigStore.resolve` — a
+        failure-free run short-circuits in O(n·t).  Dense engine (and
+        succinct non-root calls): the shared level-synchronous sweep
+        :func:`repro.agreement.eigtree.resolve_sweep`, reading values
+        through this engine's :meth:`_lookup` — leaves (length t+1)
+        first, then each shorter length from the values computed for the
+        one below; no per-path recursion, each path's value computed
+        exactly once.
         """
+        if self._store is not None and path == (self._sender,) and me not in path:
+            return self._store.resolve(me)
         if me in path or len(path) > self._t + 1:
             # Degenerate calls (never made by the protocol itself): the
             # substitution rule cannot apply, fall back to plain recursion.
             return self._resolve_recursive(path, me)
+        lookup = self._lookup()
+        return eigtree.resolve_sweep(
+            self._n, self._t, self._sender, self._default, lookup, me, path
+        )
 
-        n, sender, default = self._n, self._sender, self._default
-        tree = self._tree
-        depth = self._t + 1
-        start = len(path)
-
-        # Level-synchronous sweep over the shared tables.  Level L+1 is
-        # generated from level L parent-major with child ids ascending, so
-        # the children of parent index ``i`` at level L occupy the slice
-        # ``[i*(n-L), (i+1)*(n-L))`` of level L+1 — values align by index,
-        # no per-path dict or membership tests needed.  Values are computed
-        # for every path (even those through ``me``); the ones through
-        # ``me`` are never consumed because their parents substitute first.
-        values = [tree.get(p, default) for p in paths_of_length(n, sender, depth)]
-        for length in range(depth - 1, start - 1, -1):
-            table = paths_of_length(n, sender, length)
-            width = n - length
-            parent_values = []
-            for i, p in enumerate(table):
-                children = values[i * width : (i + 1) * width]
-                if me not in p:
-                    # The subtree through myself echoes what I relayed
-                    # about ``p`` — I know that value directly (classical
-                    # EIG's "own value" substitution, needed for the
-                    # n > 3t margin).  ``me``'s child slot is its rank
-                    # among the ids not in ``p``.
-                    slot = me
-                    for node in p:
-                        if node < me:
-                            slot -= 1
-                    children[slot] = tree.get(p, default)
-                parent_values.append(self._majority(p, children))
-            values = parent_values
-        return values[paths_of_length(n, sender, start).index(path)]
+    def _lookup(self):
+        """The engine's (path -> stored value or default) reader."""
+        if self._store is not None:
+            return self._store.get
+        tree, default = self._tree, self._default
+        return lambda p: tree.get(p, default)
 
     def _resolve_recursive(self, path: Path, me: NodeId) -> Any:
         """Reference recursion (the seed semantics), used for roots that
         already contain ``me``."""
+        lookup = self._lookup()
         if len(path) == self._t + 1:
-            return self._tree.get(path, self._default)
+            return lookup(path)
         children = []
         for node in range(self._n):
             if node in path:
                 continue
             if node == me:
-                children.append(self._tree.get(path, self._default))
+                children.append(lookup(path))
             else:
                 children.append(self._resolve_recursive(path + (node,), me))
         return self._majority(path, children)
@@ -233,19 +274,14 @@ class OralAgreementProtocol(Protocol):
     def _majority(self, path: Path, children: list[Any]) -> Any:
         """Strict majority of ``children``; ties and pluralities fall to
         the default (values compared by ``repr``, which tolerates
-        unhashable payloads)."""
+        unhashable payloads).  The vote itself is
+        :func:`repro.agreement.eigtree.majority_value` — one shared
+        implementation, so the engines cannot drift."""
         if not children:
+            if self._store is not None:
+                return self._store.get(path)
             return self._tree.get(path, self._default)
-        reprs = [repr(value) for value in children]
-        first = reprs[0]
-        total = len(children)
-        # Failure-free fast path: unanimous children, no counting needed.
-        if reprs.count(first) == total:
-            return children[0]
-        best, best_count = Counter(reprs).most_common(1)[0]
-        if best_count * 2 > total:
-            return children[reprs.index(best)]
-        return self._default
+        return eigtree.majority_value(children, self._default)
 
 
 def make_oral_agreement_protocols(
@@ -254,6 +290,7 @@ def make_oral_agreement_protocols(
     value: Any,
     adversaries: dict[NodeId, Protocol] | None = None,
     default: Any = DEFAULT_VALUE,
+    engine: str = DEFAULT_ENGINE,
 ) -> list[Protocol]:
     """Assemble the per-node protocol list for one OM(t) run."""
     adversaries = adversaries or {}
@@ -261,7 +298,11 @@ def make_oral_agreement_protocols(
         adversaries.get(
             node,
             OralAgreementProtocol(
-                n, t, value=value if node == SENDER else None, default=default
+                n,
+                t,
+                value=value if node == SENDER else None,
+                default=default,
+                engine=engine,
             ),
         )
         for node in range(n)

@@ -17,7 +17,9 @@ from .complexity import (
     fd_nonauth_rounds,
     keydist_messages,
     keydist_rounds,
+    om_collapsed_reports,
     om_envelopes,
+    om_report_compression,
     om_reports,
     sm_messages,
     smallrange_messages,
@@ -43,7 +45,9 @@ __all__ = [
     "fd_nonauth_rounds",
     "keydist_messages",
     "keydist_rounds",
+    "om_collapsed_reports",
     "om_envelopes",
+    "om_report_compression",
     "om_reports",
     "render_series",
     "render_table",

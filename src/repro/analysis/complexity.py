@@ -133,6 +133,37 @@ def om_reports(n: int, t: int) -> int:
     return total
 
 
+def om_collapsed_reports(n: int, t: int) -> int:
+    """OM(t)/EIG report count under the succinct engine's run-length wire
+    form, in a *unanimous* (failure-free) run: **t·(n−1)²**.
+
+    Every honest report about a fully uniform level collapses to a single
+    run, so the per-recipient report count is one per (relayer, recipient,
+    round) triple: ``n − 1`` relayers (every non-sender holds reportable
+    paths) × ``n − 1`` recipients × ``t`` report rounds.  Compare
+    :func:`om_reports`, the dense count the same run *stands for* — the
+    byte meters still charge the dense equivalent (see
+    ``repro.agreement.eigtree``), so this formula predicts representation
+    compression, not a protocol change.
+    """
+    validate_fault_budget(t, n)
+    return t * (n - 1) * (n - 1)
+
+
+def om_report_compression(n: int, t: int) -> float:
+    """Predicted dense-to-collapsed report ratio for a unanimous OM(t)
+    run: ``om_reports / om_collapsed_reports``.  Benchmark E9 prints this
+    against the measured run counts.
+
+    :raises ValueError: for ``t == 0`` (no report rounds, nothing to
+        compress).
+    """
+    collapsed = om_collapsed_reports(n, t)
+    if collapsed == 0:
+        raise ValueError("no report rounds at t=0; compression is undefined")
+    return om_reports(n, t) / collapsed
+
+
 def amortized_messages_local(n: int, t: int, runs: int) -> int:
     """Total messages for ``runs`` FD instances under local authentication:
     one key distribution plus ``runs`` chain-FD runs (Summary claim)."""

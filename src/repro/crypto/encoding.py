@@ -403,3 +403,23 @@ def byte_size(value: Any) -> int:
     Used by the simulator's metrics to account bytes-on-wire (experiment E9).
     """
     return len(encode(value))
+
+
+def uvarint_size(value: int) -> int:
+    """Encoded length of an unsigned LEB128 varint, in bytes.
+
+    The encoding is additive (every container is ``tag + varint(length) +
+    concatenated item encodings``), so callers holding per-item byte sums
+    can derive a container's exact size without encoding it; the succinct
+    EIG engine uses this to account compressed reports at their dense
+    equivalent size.
+
+    :raises EncodingError: for negative values (not encodable).
+    """
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

@@ -12,8 +12,12 @@ from .runner import (
 from .scenarios import AttackScenario, attack_catalogue
 from .session import AmortizedSession, LedgerEntry
 from .sweep import SweepPoint, grid, sizes_with_budgets, standard_sizes, sweep
+from .workloads import available_workloads, get_workload, resolve_workload
 
 __all__ = [
+    "available_workloads",
+    "get_workload",
+    "resolve_workload",
     "AmortizedSession",
     "AttackScenario",
     "GLOBAL",

@@ -12,17 +12,25 @@ the serial sweep's two contracts exactly:
   (seeds travel with the points), so a parallel sweep is value-identical
   to a serial one.  ``tests/harness/test_parallel.py`` enforces this.
 
-Serial fallback: unpicklable functions (lambdas, closures — the benchmark
-suites' inline helpers), single-worker configs, and environments where
-process pools cannot start (sandboxes without semaphore support) all fall
-back to :func:`~repro.harness.sweep.sweep` silently.  Parallelism is an
-executor choice, never a semantics choice.
+Registry dispatch: a workload *name* (see
+:mod:`repro.harness.workloads`) is the preferred ``fn`` — the name is
+what gets pickled, so a registry-dispatched sweep can never degrade to
+the serial fallback.  The E1–E11 suites all dispatch by name.
+
+Serial fallback: unpicklable callables (lambdas, closures), single-worker
+configs, and environments where process pools cannot start (sandboxes
+without semaphore support) fall back to :func:`~repro.harness.sweep.sweep`.
+Degraded runs are *visible*: the unpicklable-workload fallback emits a
+:class:`RuntimeWarning` naming the offending workload (registering it in
+``repro.harness.workloads`` and sweeping by name is the fix).
+Parallelism is an executor choice, never a semantics choice.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable
@@ -49,15 +57,19 @@ def default_workers() -> int | None:
     return _DEFAULT_WORKERS
 
 
-def _apply(item: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
-    """Worker-side shim: unpack one (fn, params) job."""
+def _apply(item: tuple[str | Callable[..., Any], dict[str, Any]]) -> Any:
+    """Worker-side shim: unpack one (fn-or-name, params) job."""
     fn, params = item
+    if isinstance(fn, str):
+        from .workloads import resolve_workload
+
+        fn = resolve_workload(fn)
     return fn(**params)
 
 
 def sweep_parallel(
     points: Iterable[dict[str, Any]],
-    fn: Callable[..., Any],
+    fn: str | Callable[..., Any],
     workers: int | None = None,
 ) -> list[SweepPoint]:
     """Apply ``fn(**params)`` to every point across worker processes.
@@ -68,8 +80,9 @@ def sweep_parallel(
     :param points: parameter dicts; seeds must travel inside the points
         (anything the point function needs beyond its params would break
         the determinism contract).
-    :param fn: a picklable callable (module-level function).  Unpicklable
-        callables are executed serially instead.
+    :param fn: a registered workload name (preferred — always picklable)
+        or a picklable callable.  Unpicklable callables are executed
+        serially instead, with a :class:`RuntimeWarning` naming them.
     :param workers: process count; ``None`` defers to the configured
         default (see :func:`set_default_workers`), which itself defaults
         to serial.
@@ -82,10 +95,22 @@ def sweep_parallel(
     workers = min(workers, len(pts))
     if workers <= 1:
         return sweep(pts, fn)
-    try:
-        pickle.dumps(fn)
-    except Exception:
-        return sweep(pts, fn)  # closures/lambdas: serial fallback
+    if not isinstance(fn, str):
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            # Closures/lambdas cannot cross the process boundary; run
+            # serially, but say so — a silently degraded benchmark sweep
+            # looks exactly like a slow machine otherwise.
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            warnings.warn(
+                f"sweep_parallel: workload {name!r} is not picklable; "
+                "falling back to serial execution (register it in "
+                "repro.harness.workloads and sweep by name to parallelize)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return sweep(pts, fn)
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(_apply, [(fn, p) for p in pts]))

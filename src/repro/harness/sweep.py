@@ -35,15 +35,23 @@ def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
 
 
 def sweep(
-    points: Iterable[dict[str, Any]], fn: Callable[..., Any]
+    points: Iterable[dict[str, Any]], fn: str | Callable[..., Any]
 ) -> list[SweepPoint]:
     """Apply ``fn(**params)`` to every point, collecting results in order.
+
+    ``fn`` is a callable or the name of a workload registered in
+    :mod:`repro.harness.workloads` — the registry is how the benchmark
+    suites dispatch (names are stable and always picklable).
 
     Serial reference executor.  :func:`repro.harness.parallel.sweep_parallel`
     is the drop-in process-parallel variant; both produce identical
     :class:`SweepPoint` lists for the same points (seeds travel inside the
     points, so results are pure functions of the params).
     """
+    if isinstance(fn, str):
+        from .workloads import resolve_workload
+
+        fn = resolve_workload(fn)
     return [SweepPoint(params=dict(p), result=fn(**p)) for p in points]
 
 

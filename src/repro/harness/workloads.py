@@ -1,34 +1,97 @@
-"""Picklable sweep workloads: one module-level function per point kind.
+"""The central workload registry: every benchmark sweep as a named,
+picklable point function.
 
 :func:`~repro.harness.parallel.sweep_parallel` ships jobs to worker
 processes by pickling ``(fn, params)``, which requires module-level
 functions returning plain data.  This module collects the point functions
-behind the E1–E11 benchmark sweeps and ``benchmarks/regress.py`` in that
-shape: every function takes only primitive params (seed included — the
+behind *all* E1–E11 benchmark sweeps and ``benchmarks/regress.py`` in that
+shape — every function takes only primitive params (seed included — the
 determinism contract), runs one scenario, and returns a flat dict of
-counts.
+counts — and registers each under a stable name.
+
+Sweeps dispatch by name: :func:`repro.harness.sweep.sweep` and
+:func:`~repro.harness.parallel.sweep_parallel` accept either a callable
+or a registered workload name.  Names are what the benchmark suites pass
+(``psweep(points, "fd")``), and names are what travels to worker
+processes — a name is always picklable, so registry-dispatched sweeps
+never degrade to the serial fallback.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable
 
 from ..agreement import make_oral_agreement_protocols
-from ..auth import run_key_distribution
+from ..analysis.complexity import crossover_runs
+from ..auth import (
+    check_g1,
+    check_g2,
+    run_agreement_key_distribution,
+    run_key_distribution,
+)
+from ..errors import ConfigurationError
+from ..faults import SilentProtocol, TamperingProtocol
+from ..fd.smallrange import OptimisticBinaryChainProtocol
 from ..sim import run_protocols
-from .runner import GLOBAL, run_ba_scenario, run_fd_scenario
+from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
+from .scenarios import attack_catalogue
+from .session import AmortizedSession
 
 #: Count-measuring sweeps default to the fast HMAC simulation scheme (the
 #: measured quantities are scheme-independent; benchmark E10 verifies that).
 COUNT_SCHEME = "simulated-hmac"
 
+#: name -> point function.  Populated by :func:`workload`.
+WORKLOADS: dict[str, Callable[..., dict[str, Any]]] = {}
 
+
+def workload(name: str) -> Callable[[Callable], Callable]:
+    """Register a point function under a stable sweep name."""
+
+    def register(fn: Callable) -> Callable:
+        if name in WORKLOADS:
+            raise ConfigurationError(f"workload {name!r} registered twice")
+        WORKLOADS[name] = fn
+        return fn
+
+    return register
+
+
+def available_workloads() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str) -> Callable[..., dict[str, Any]]:
+    """Look up a registered point function.
+
+    :raises ConfigurationError: for unknown names.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+
+
+def resolve_workload(fn: str | Callable) -> Callable:
+    """Registry dispatch: a name resolves through :func:`get_workload`,
+    a callable passes through unchanged."""
+    if isinstance(fn, str):
+        return get_workload(fn)
+    return fn
+
+
+@workload("keydist")
 def keydist_point(n: int, seed: int | str = 0, scheme: str = COUNT_SCHEME) -> dict[str, Any]:
     """One key-distribution run (paper Fig. 1): message/round counts."""
     kd = run_key_distribution(n, scheme=scheme, seed=seed)
     return {"n": n, "messages": kd.messages, "rounds": kd.rounds}
 
 
+@workload("fd")
 def fd_point(
     n: int,
     t: int,
@@ -55,6 +118,7 @@ def fd_point(
     }
 
 
+@workload("ba")
 def ba_point(
     n: int,
     t: int,
@@ -79,12 +143,18 @@ def ba_point(
     }
 
 
+@workload("oral")
 def oral_point(
-    n: int, t: int, seed: int | str = 0, value: Any = "v"
+    n: int, t: int, seed: int | str = 0, value: Any = "v", engine: str = "succinct"
 ) -> dict[str, Any]:
-    """One OM(t) oral-agreement run over the EIG tree."""
+    """One OM(t) oral-agreement run over the EIG tree.
+
+    ``engine="succinct"`` (default) is what makes the n=128 grid points
+    feasible; ``engine="dense"`` runs the reference engine — identical
+    counts, exponential memory (see PERFORMANCE.md).
+    """
     run = run_protocols(
-        make_oral_agreement_protocols(n, t, value), seed=seed
+        make_oral_agreement_protocols(n, t, value, engine=engine), seed=seed
     )
     decisions = run.decisions()
     return {
@@ -98,6 +168,173 @@ def oral_point(
     }
 
 
+@workload("e4-crossover")
+def e4_crossover_point(n: int, t: int, seed: int | str = 0) -> dict[str, Any]:
+    """One amortization-session measurement: runs until local auth wins."""
+    predicted = crossover_runs(n, t)
+    session = AmortizedSession(n=n, t=t, auth=LOCAL, scheme=COUNT_SCHEME, seed=seed)
+    all_ok = True
+    for k in range(predicted + 2):
+        outcome = session.run(value=("run", k), seed=k)
+        all_ok = all_ok and bool(outcome.fd.ok)
+    return {
+        "n": n,
+        "t": t,
+        "predicted": predicted,
+        "measured": session.crossover_run(),
+        "all_ok": all_ok,
+    }
+
+
+@workload("e5-binary")
+def e5_binary_point(
+    n: int, value: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
+) -> dict[str, Any]:
+    """One binary small-range FD run (t=0): silence carries the 0."""
+    outcome = run_fd_scenario(
+        n, 0, value, protocol="smallrange", scheme=scheme, seed=seed
+    )
+    return {
+        "n": n,
+        "value": value,
+        "messages": outcome.run.metrics.messages_total,
+        "fd_ok": outcome.fd.ok,
+    }
+
+
+@workload("e5-optimistic")
+def e5_optimistic_point(
+    n: int,
+    t: int,
+    value: int,
+    seed: int | str = 0,
+    withhold: bool = False,
+    scheme: str = COUNT_SCHEME,
+) -> dict[str, Any]:
+    """One optimistic binary chain run; ``withhold=True`` reproduces the
+    documented F2 break (disseminator sends to low ids only)."""
+    factory = None
+    if withhold:
+
+        def factory(keypairs, directories):
+            disseminator = TamperingProtocol(
+                OptimisticBinaryChainProtocol(n, t, keypairs[t], directories[t]),
+                should_send=lambda rnd, to, payload: to < t + 3,
+            )
+            return {t: disseminator}
+
+    outcome = run_fd_scenario(
+        n,
+        t,
+        value,
+        protocol="smallrange-optimistic",
+        scheme=scheme,
+        seed=seed,
+        fd_adversary_factory=factory,
+    )
+    return {
+        "n": n,
+        "t": t,
+        "value": value,
+        "withhold": withhold,
+        "messages": outcome.run.metrics.messages_total,
+        "fd_ok": outcome.fd.ok,
+        "weak_agreement": outcome.fd.weak_agreement,
+        "any_discovery": outcome.fd.any_discovery,
+    }
+
+
+@workload("e6-scenario")
+def e6_scenario_point(n: int, t: int, scenario: str, seed: int | str = 0) -> dict[str, Any]:
+    """One (attack scenario, seed) cell of the E6 discovery matrix."""
+    match = [s for s in attack_catalogue(n, t) if s.name == scenario]
+    if not match:
+        raise ConfigurationError(f"unknown attack scenario {scenario!r}")
+    sc = match[0]
+    outcome = run_fd_scenario(
+        n,
+        t,
+        "v",
+        auth=LOCAL,
+        scheme=COUNT_SCHEME,
+        seed=seed,
+        kd_adversaries=sc.kd_adversaries(),
+        fd_adversary_factory=lambda kp, dirs: sc.fd_adversary_factory(n, t, kp, dirs),
+        faulty=sc.faulty,
+    )
+    genuine = {
+        node: outcome.kd.keypairs[node].predicate for node in outcome.correct
+    }
+    g12_violations = len(
+        check_g1(outcome.kd.directories, genuine, outcome.correct)
+    ) + len(check_g2(outcome.kd.directories, genuine, outcome.correct))
+    return {
+        "n": n,
+        "t": t,
+        "scenario": scenario,
+        "expects_discovery": sc.expects_discovery,
+        "fd_ok": outcome.fd.ok,
+        "any_discovery": outcome.fd.any_discovery,
+        "g12_violations": g12_violations,
+    }
+
+
+@workload("e7-ba-compare")
+def e7_ba_compare_point(
+    n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
+) -> dict[str, Any]:
+    """One failure-free row: FD→BA extension vs direct SM(t)."""
+    ext = run_ba_scenario(
+        n, t, "v", protocol="extension", auth=GLOBAL, scheme=scheme, seed=seed
+    )
+    sm = run_ba_scenario(
+        n, t, "v", protocol="signed", auth=GLOBAL, scheme=scheme, seed=seed
+    )
+    return {
+        "n": n,
+        "t": t,
+        "ext_messages": ext.run.metrics.messages_total,
+        "sm_messages": sm.run.metrics.messages_total,
+        "ext_ok": ext.ba.ok,
+        "sm_ok": sm.ba.ok,
+    }
+
+
+@workload("e7-fallback")
+def e7_fallback_point(
+    n: int,
+    t: int,
+    seed: int | str = 0,
+    silent_node: int | None = None,
+    scheme: str = COUNT_SCHEME,
+) -> dict[str, Any]:
+    """Extension cost profile: failure-free vs a crashed chain node."""
+    factory = None
+    if silent_node is not None:
+        def factory(keypairs, directories):
+            return {silent_node: SilentProtocol()}
+
+    outcome = run_ba_scenario(
+        n,
+        t,
+        "v",
+        protocol="extension",
+        auth=GLOBAL,
+        scheme=scheme,
+        seed=seed,
+        ba_adversary_factory=factory,
+    )
+    return {
+        "n": n,
+        "t": t,
+        "silent_node": silent_node,
+        "messages": outcome.run.metrics.messages_total,
+        "rounds": outcome.run.metrics.rounds_used,
+        "ba_ok": outcome.ba.ok,
+    }
+
+
+@workload("e8-rounds")
 def e8_round_point(
     n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -113,4 +350,149 @@ def e8_round_point(
         "keydist_rounds": kd.rounds,
         "chain_rounds": chain.run.metrics.rounds_used,
         "echo_rounds": echo.run.metrics.rounds_used,
+    }
+
+
+@workload("e9-chain-bytes")
+def e9_chain_bytes_point(
+    n: int, t: int, seed: int | str = 0, scheme: str = "schnorr-512"
+) -> dict[str, Any]:
+    """One chain-depth byte measurement (real signatures by default)."""
+    outcome = run_fd_scenario(
+        n, t, "v", protocol="chain", auth=GLOBAL, scheme=scheme, seed=seed
+    )
+    metrics = outcome.run.metrics
+    last_round = max(metrics.bytes_per_round)
+    return {
+        "n": n,
+        "t": t,
+        "messages": metrics.messages_total,
+        "bytes": metrics.bytes_total,
+        "dissemination_msg_bytes": (
+            metrics.bytes_per_round[last_round]
+            / metrics.messages_per_round[last_round]
+        ),
+        "fd_ok": outcome.fd.ok,
+    }
+
+
+@workload("e9-compression")
+def e9_compression_point(
+    n: int, t: int, seed: int | str = 0, value: Any = "v"
+) -> dict[str, Any]:
+    """One succinct-engine OM(t) run instrumented for compression:
+    dense-equivalent bytes (what the meters charge) vs the run-length
+    bytes that actually crossed the wire, plus run/item counts for the
+    closed-form check against
+    :func:`repro.analysis.complexity.om_collapsed_reports`."""
+    from ..agreement.eigtree import OM_REPORT_RLE
+    from ..crypto.encoding import decode
+
+    run = run_protocols(
+        make_oral_agreement_protocols(n, t, value, engine="succinct"),
+        seed=seed,
+        record_views=True,
+    )
+    reports = runs_total = dense_items = wire_bytes = 0
+    for view in run.views:
+        for round_msgs in view.rounds:
+            for msg in round_msgs:
+                wire_bytes += len(msg.payload_encoding)
+                payload = decode(msg.payload_encoding)
+                if (
+                    isinstance(payload, tuple)
+                    and payload
+                    and payload[0] == OM_REPORT_RLE
+                ):
+                    reports += 1
+                    rle_runs = payload[5]
+                    runs_total += len(rle_runs)
+                    dense_items += sum(count for count, _ in rle_runs)
+    decisions = run.decisions()
+    return {
+        "n": n,
+        "t": t,
+        "reports": reports,
+        "runs_total": runs_total,
+        "dense_items": dense_items,
+        "dense_bytes": run.metrics.bytes_total,
+        "wire_bytes": wire_bytes,
+        "agreed": len(set(map(repr, decisions.values()))) == 1,
+    }
+
+
+@workload("e10-scheme")
+def e10_scheme_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict[str, Any]:
+    """One scheme-ablation cell: the three counts that must not depend on
+    the signature scheme."""
+    outcome = run_fd_scenario(
+        n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=seed
+    )
+    return {
+        "n": n,
+        "t": t,
+        "scheme": scheme,
+        "keydist_messages": outcome.kd.messages,
+        "fd_messages": outcome.run.metrics.messages_total,
+        "fd_rounds": outcome.run.metrics.rounds_used,
+        "fd_ok": outcome.fd.ok,
+    }
+
+
+@workload("e10-walltime")
+def e10_walltime_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict[str, Any]:
+    """Coarse single-shot wall-clock of one keydist+FD run per scheme."""
+    start = time.perf_counter()
+    outcome = run_fd_scenario(
+        n, t, "v", protocol="chain", auth=LOCAL, scheme=scheme, seed=seed
+    )
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    return {
+        "n": n,
+        "t": t,
+        "scheme": scheme,
+        "elapsed_ms": elapsed_ms,
+        "fd_ok": outcome.fd.ok,
+    }
+
+
+@workload("e11-methods")
+def e11_methods_point(
+    n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
+) -> dict[str, Any]:
+    """One key-distribution method-comparison row: local auth vs n·OM(t)."""
+    local = run_key_distribution(n, scheme=scheme, seed=seed)
+    agreement = run_agreement_key_distribution(n, t, scheme=scheme, seed=seed)
+    return {
+        "n": n,
+        "t": t,
+        "local_messages": local.messages,
+        "local_rounds": local.rounds,
+        "agreement_messages": agreement.messages,
+        "agreement_rounds": agreement.rounds,
+    }
+
+
+@workload("e11-feasibility")
+def e11_feasibility_point(
+    n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
+) -> dict[str, Any]:
+    """One feasibility-boundary row: agreement-based distribution at
+    ``n <= 3t`` vs local authentication under a faulty majority."""
+    try:
+        run_agreement_key_distribution(n, t, scheme=scheme)
+        agreement_feasible = True
+    except ConfigurationError:
+        agreement_feasible = False
+    adversaries = {node: SilentProtocol() for node in range(2, n)}
+    local = run_key_distribution(n, scheme=scheme, adversaries=adversaries, seed=seed)
+    pair_ok = local.directories[0].predicates_for(1) == (
+        local.keypairs[1].predicate,
+    )
+    return {
+        "n": n,
+        "t": t,
+        "agreement_feasible": agreement_feasible,
+        "local_pair_ok": pair_ok,
+        "faulty": n - 2,
     }

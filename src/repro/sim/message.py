@@ -9,6 +9,18 @@ Envelopes are named tuples rather than dataclasses: the runner constructs
 one per (sender, recipient, round) and frozen-dataclass construction was a
 measurable share of large-sweep wall-clock.  The type is still immutable
 and field-addressable; only construction got cheaper.
+
+Succinct payloads
+-----------------
+Payloads are canonical-encodable wire values by library discipline, with
+one sanctioned exception: a payload object exposing ``dense_byte_size()``
+(the succinct EIG engine's :class:`~repro.agreement.eigtree.RleReport`) is
+a *compressed stand-in* for a dense wire value, and the byte meters charge
+it at the dense value's exact size.  :func:`wire_byte_size` implements
+that accounting, including compressed payloads nested inside composition
+wrappers such as ``("akd", instance, payload)``; :func:`payload_kind`
+honours the object's ``kind`` tag so per-kind tallies stay
+engine-independent.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from __future__ import annotations
 from typing import Any, NamedTuple
 
 from ..crypto import encoding
+from ..crypto.encoding import EncodingError, uvarint_size
 from ..types import NodeId, Round
 
 
@@ -36,17 +49,57 @@ class Envelope(NamedTuple):
     round_sent: Round
 
     def byte_size(self) -> int:
-        """Bytes-on-wire of the payload under the canonical encoding."""
-        return encoding.byte_size(self.payload)
+        """Bytes-on-wire of the payload under the canonical encoding
+        (compressed payloads count at their dense-equivalent size)."""
+        return wire_byte_size(self.payload)
 
 
 def payload_kind(payload: Any) -> str:
     """Classify a payload for metrics breakdowns.
 
     Protocol payloads are tuples tagged with a string head (for example
-    ``("predicate", ...)`` or ``("chain", ...)``); anything else is grouped
-    under its type name.
+    ``("predicate", ...)`` or ``("chain", ...)``); payload objects may tag
+    themselves via a string ``kind`` attribute (the succinct EIG report
+    declares the same kind as its dense form, keeping per-kind counts
+    engine-independent); anything else is grouped under its type name.
     """
     if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
         return payload[0]
+    kind = getattr(payload, "kind", None)
+    if isinstance(kind, str):
+        return kind
     return type(payload).__name__
+
+
+def wire_byte_size(payload: Any) -> int:
+    """Byte accounting for one payload: canonical-encoding size, with
+    compressed stand-ins charged at their dense equivalent.
+
+    The common cases stay on the fast paths: a compressed payload answers
+    ``dense_byte_size()`` directly, every ordinary payload goes through
+    :func:`repro.crypto.encoding.byte_size` unchanged.  Only a payload the
+    encoder rejects — a composition wrapper with a compressed payload
+    nested inside — takes the structural walk, which prices containers by
+    the additive encoding rule (tag + varint length + items).
+    """
+    dense = getattr(payload, "dense_byte_size", None)
+    if dense is not None:
+        return dense()
+    try:
+        return encoding.byte_size(payload)
+    except EncodingError:
+        return _structural_size(payload)
+
+
+def _structural_size(value: Any) -> int:
+    """Additive size of a container holding compressed payload objects."""
+    dense = getattr(value, "dense_byte_size", None)
+    if dense is not None:
+        return dense()
+    if isinstance(value, (tuple, list)):
+        return (
+            1
+            + uvarint_size(len(value))
+            + sum(_structural_size(item) for item in value)
+        )
+    return encoding.byte_size(value)

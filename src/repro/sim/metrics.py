@@ -16,6 +16,13 @@ make this sound:
   settle step deduplicates by object identity and encodes it once (the
   references held in the deferred list keep ids stable).
 
+Compressed payloads (the succinct EIG engine's run-length reports) are
+charged at their *dense equivalent* size via
+:func:`repro.sim.message.wire_byte_size`: the byte counters measure the
+protocol's information content, not the engine's representation choice,
+so they stay bit-for-bit identical across engines (experiment E9 reports
+the dense-vs-compressed gap separately).
+
 The trade is time for memory: until the byte counters are read (or the
 Metrics object is released with its run result), the deferred list keeps
 every payload alive — the same order of retention as view recording,
@@ -30,9 +37,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..crypto import encoding
 from ..types import NodeId, Round
-from .message import Envelope, payload_kind
+from .message import Envelope, payload_kind, wire_byte_size
 
 
 @dataclass
@@ -77,7 +83,7 @@ class Metrics:
         """Encode all deferred payloads into the byte counters."""
         if not self._deferred_payloads:
             return
-        byte_size = encoding.byte_size
+        byte_size = wire_byte_size
         sizes_by_id: dict[int, int] = {}
         per_round = self._settled_bytes_per_round
         total = 0

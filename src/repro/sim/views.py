@@ -28,7 +28,11 @@ class ReceivedMessage:
     """One element of a round's received set: ``(sender, payload)``.
 
     Payload equality is by canonical encoding so views compare reliably
-    even for payloads containing nested structures.
+    even for payloads containing nested structures.  Payload objects that
+    are not directly encodable but expose an encodable ``wire_tuple()``
+    (the succinct EIG engine's run-length reports) are recorded through
+    that form — the stored bytes are then exactly what crossed the
+    simulated wire, which is what E9's compression probes measure.
     """
 
     sender: NodeId
@@ -36,14 +40,33 @@ class ReceivedMessage:
 
     @classmethod
     def from_envelope(cls, envelope: Envelope) -> "ReceivedMessage":
-        return cls(
-            sender=envelope.sender,
-            payload_encoding=encoding.encode(envelope.payload),
-        )
+        payload = envelope.payload
+        wire = getattr(payload, "wire_tuple", None)
+        if wire is not None:
+            payload = wire()
+        try:
+            raw = encoding.encode(payload)
+        except encoding.EncodingError:
+            # A wire_tuple payload nested inside a composition wrapper
+            # (e.g. ("akd", instance, RleReport)) — unwrap recursively,
+            # mirroring repro.sim.message.wire_byte_size.
+            raw = encoding.encode(_unwrap_wire_tuples(payload))
+        return cls(sender=envelope.sender, payload_encoding=raw)
 
     def payload(self) -> Any:
         """Decode the payload back to its structured form."""
         return encoding.decode(self.payload_encoding)
+
+
+def _unwrap_wire_tuples(value: Any) -> Any:
+    """Replace nested ``wire_tuple()`` payload objects with their
+    encodable tuple forms inside list/tuple containers."""
+    wire = getattr(value, "wire_tuple", None)
+    if wire is not None:
+        return wire()
+    if isinstance(value, (list, tuple)):
+        return tuple(_unwrap_wire_tuples(item) for item in value)
+    return value
 
 
 @dataclass

@@ -1,0 +1,344 @@
+"""Succinct EIG engine: wire-form round-trips and engine equivalence.
+
+The contract under test is the one PERFORMANCE.md and the benchmarks rely
+on: the succinct engine is *observably identical* to the dense reference —
+decisions, round counts, envelope counts, per-kind tallies and byte
+counters all match bit-for-bit, for honest runs and under arbitrary
+(engine-agnostic) Byzantine behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import make_oral_agreement_protocols
+from repro.agreement._paths import paths_of_length
+from repro.agreement.eigtree import (
+    OM_REPORT_RLE,
+    RleReport,
+    SuccinctEigStore,
+    encode_report,
+    ingest_rle,
+)
+from repro.agreement.oral import OM_REPORT, OM_VALUE, OralAgreementProtocol
+from repro.crypto.encoding import byte_size, encode
+from repro.errors import ConfigurationError
+from repro.faults import ScriptedProtocol, SilentProtocol
+from repro.sim import run_protocols
+from repro.sim.message import payload_kind, wire_byte_size
+
+N, T = 7, 2
+
+
+def run_engine(engine, adversaries=None, seed=0, n=N, t=T, value="v"):
+    protocols = make_oral_agreement_protocols(
+        n, t, value, adversaries=adversaries or {}, engine=engine
+    )
+    return run_protocols(protocols, seed=seed)
+
+
+def observables(result):
+    """Everything the equivalence contract promises, as one comparable."""
+    return {
+        "decisions": {k: repr(v) for k, v in result.decisions().items()},
+        "rounds": result.metrics.rounds_used,
+        "messages": result.metrics.messages_total,
+        "per_round": dict(result.metrics.messages_per_round),
+        "per_sender": dict(result.metrics.messages_per_sender),
+        "per_kind": dict(result.metrics.messages_per_kind),
+        "bytes": result.metrics.bytes_total,
+        "bytes_per_round": dict(result.metrics.bytes_per_round),
+    }
+
+
+# -- wire-form unit tests ----------------------------------------------------
+
+
+class TestRleRoundTrip:
+    @given(
+        values=st.lists(
+            st.sampled_from(["a", "b", "c", 0, 1, None]), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_runs_reproduce_value_sequence(self, values):
+        """Grouping into runs and expanding back is the identity."""
+        runs = []
+        for value in values:
+            if runs and repr(runs[-1][1]) == repr(value):
+                runs[-1] = (runs[-1][0] + 1, runs[-1][1])
+            else:
+                runs.append((1, value))
+        report = RleReport(40, 0, 2, 1, tuple(runs))
+        assert [repr(v) for v in report.values()] == [repr(v) for v in values]
+        assert report.item_count == len(values)
+
+    def test_wire_tuple_encodes_and_is_stable(self):
+        report = RleReport(7, 0, 2, 3, ((30, "v"),))
+        wire = report.wire_tuple()
+        assert wire[0] == OM_REPORT_RLE
+        assert report.compressed_byte_size() == len(encode(wire))
+
+    def test_rejects_malformed_runs(self):
+        with pytest.raises(ValueError):
+            RleReport(7, 0, 2, 1, ((0, "v"),))
+        with pytest.raises(ValueError):
+            RleReport(7, 0, 2, 1, ((True, "v"),))  # bool is not a count
+        with pytest.raises(ValueError):
+            RleReport(7, 0, 0, 1, ((1, "v"),))
+
+    def test_encode_then_ingest_matches_direct_transfer(self):
+        """A report encoded from one store and ingested by another files
+        exactly the values a dense transfer would."""
+        n, t = 7, 2
+        src = SuccinctEigStore(n, t, 0, "d")
+        src.set_root("v")
+        # Make level 2 non-uniform so the report has multiple runs.
+        for q in range(1, n):
+            src.file_uniform(2, q, "v" if q % 2 else "w")
+        me_src, me_dst = 3, 5
+        report = encode_report(src, me_src, 2)
+        assert report is not None and len(report.runs) > 1
+        dst = SuccinctEigStore(n, t, 0, "d")
+        ingest_rle(dst, report, relayer=me_src, me=me_dst, round_=3)
+        for path in paths_of_length(n, 0, 2):
+            if me_src in path or me_dst in path:
+                continue
+            assert repr(dst.get(path + (me_src,))) == repr(src.get(path))
+
+    def test_uniform_report_is_single_run(self):
+        n, t = 7, 2
+        store = SuccinctEigStore(n, t, 0, "d")
+        store.set_root("v")
+        for q in range(1, n):
+            store.file_uniform(2, q, "v")
+        report = encode_report(store, 3, 2)
+        assert len(report.runs) == 1
+
+    def test_sender_has_nothing_to_report(self):
+        store = SuccinctEigStore(7, 2, 0, "d")
+        assert encode_report(store, 0, 1) is None
+
+    def test_malformed_rle_is_dropped_whole(self):
+        n, t = 7, 2
+        store = SuccinctEigStore(n, t, 0, "d")
+        # Wrong item count for the claimed (level, relayer).
+        bad = RleReport(n, 0, 1, 2, ((5, "x"),))
+        ingest_rle(store, bad, relayer=2, me=1, round_=2)
+        assert store.stored_entries() == 0
+        # Wrong level for the round.
+        bad = RleReport(n, 0, 2, 2, ((20, "x"),))
+        ingest_rle(store, bad, relayer=2, me=1, round_=2)
+        assert store.stored_entries() == 0
+        # Mismatched shape fields (crafted n).
+        bad = RleReport(n + 1, 0, 1, 2, ((1, "x"),))
+        ingest_rle(store, bad, relayer=2, me=1, round_=2)
+        assert store.stored_entries() == 0
+
+
+class TestDenseByteEquivalence:
+    @given(
+        n=st.integers(4, 10),
+        me=st.integers(1, 3),
+        level=st.integers(1, 3),
+        uniform=st.booleans(),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dense_byte_size_is_exact(self, n, me, level, uniform, seed):
+        """``dense_byte_size`` equals the canonical size of the dense
+        payload the report stands for, materialized the hard way."""
+        import random
+
+        rng = random.Random(seed)
+        store = SuccinctEigStore(n, 3, 0, "d")
+        store.set_root("v")
+        values = ["v"] if uniform else ["v", "w", None, 1]
+        for lvl in range(2, min(level, 3) + 1):
+            for q in range(1, n):
+                store.file_uniform(lvl, q, rng.choice(values))
+        report = encode_report(store, me, level)
+        if report is None:
+            return
+        dense_items = tuple(
+            (path, store.get(path))
+            for path in paths_of_length(n, 0, level)
+            if me not in path
+        )
+        assert report.dense_byte_size() == byte_size((OM_REPORT, dense_items))
+
+    def test_wire_byte_size_handles_nesting(self):
+        """A compressed report wrapped in a composition tag is charged at
+        the dense-equivalent size of the whole wrapper."""
+        dense_items = tuple(
+            (path, "v") for path in paths_of_length(7, 0, 2) if 3 not in path
+        )
+        report = RleReport(7, 0, 2, 3, ((len(dense_items), "v"),))
+        wrapped_dense = ("akd", 4, (OM_REPORT, dense_items))
+        assert wire_byte_size(("akd", 4, report)) == byte_size(wrapped_dense)
+
+    def test_payload_kind_matches_dense(self):
+        report = RleReport(7, 0, 2, 3, ((30, "v"),))
+        assert payload_kind(report) == OM_REPORT
+        assert payload_kind((OM_REPORT, ())) == OM_REPORT
+
+
+# -- engine equivalence: honest and Byzantine --------------------------------
+
+
+class TestEngineEquivalenceHonest:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3), (3, 0)])
+    def test_identical_observables(self, n, t):
+        dense = run_engine("dense", n=n, t=t, seed=n)
+        succinct = run_engine("succinct", n=n, t=t, seed=n)
+        assert observables(dense) == observables(succinct)
+
+    def test_store_stays_small_on_honest_runs(self):
+        """The collapse claim, asserted: a failure-free run stores O(n·t)
+        entries per node, not one per path."""
+        n, t = 16, 4
+        protocols = make_oral_agreement_protocols(n, t, "v", engine="succinct")
+        run_protocols(protocols, seed=1)
+        dense_paths = sum(
+            len(paths_of_length(n, 0, length)) for length in range(2, t + 2)
+        )
+        for protocol in protocols[1:]:
+            entries = protocol._store.stored_entries()
+            assert entries <= (n - 1) * t + 1
+            assert entries < dense_paths / 500
+
+
+def om_noise():
+    """Engine-agnostic Byzantine payload pool (both engines must treat
+    every element identically; run-length payloads are deliberately
+    excluded — engines are homogeneous per run, and a crafted RleReport
+    would only be understood by the succinct side)."""
+    return st.sampled_from(
+        [
+            (OM_VALUE, "forged"),
+            (OM_VALUE, None),
+            (OM_REPORT, (((0,), "lie"),)),
+            (OM_REPORT, (((0, 3), "z"), ((0, 2), "z"), ((0, 2), "zz"))),
+            (OM_REPORT, (((0, 1, 2), "deep"),)),
+            (OM_REPORT, (((0,), True), ((0,), 1))),
+            (OM_REPORT, "garbage"),
+            (OM_REPORT, ((("bad",), "v"), (([],), "v"))),
+            (OM_REPORT, (((9, 9), "v"),)),
+            ("unrelated", 7),
+            b"raw-bytes",
+        ]
+    )
+
+
+@st.composite
+def om_adversary_specs(draw):
+    """Up to T faulty nodes; each either silent or scripted noise.
+
+    Returns a plain spec (no protocol objects) so each engine run builds
+    its *own* adversary instances from identical data.
+    """
+    faulty = draw(
+        st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=T)
+    )
+    specs = {}
+    for node in sorted(faulty):
+        kind = draw(st.sampled_from(["silent", "script"]))
+        if kind == "silent":
+            specs[node] = None
+        else:
+            script = {}
+            for rnd in draw(st.lists(st.integers(0, T + 2), max_size=4)):
+                recipients = draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=N - 1).filter(
+                            lambda v: v != node
+                        ),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+                payload = draw(om_noise())
+                script.setdefault(rnd, []).extend(
+                    (recipient, payload) for recipient in recipients
+                )
+            specs[node] = script
+    return specs
+
+
+def build_adversaries(specs):
+    return {
+        node: SilentProtocol()
+        if script is None
+        else ScriptedProtocol(script, halt_after=T + 2)
+        for node, script in specs.items()
+    }
+
+
+class TestEngineEquivalenceByzantine:
+    @given(specs=om_adversary_specs(), seed=st.integers(0, 2**16))
+    @settings(max_examples=120, deadline=None)
+    def test_engines_identical_under_random_byzantine_behaviour(self, specs, seed):
+        dense = run_engine("dense", adversaries=build_adversaries(specs), seed=seed)
+        succinct = run_engine(
+            "succinct", adversaries=build_adversaries(specs), seed=seed
+        )
+        assert observables(dense) == observables(succinct), (
+            f"engines diverged; adversaries at {sorted(specs)}"
+        )
+
+    @given(seed=st.integers(0, 2**16), lying=st.integers(1, N - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_engines_identical_under_flooded_reports(self, seed, lying):
+        """A relayer that floods full valid-looking (but false) report
+        tables exercises the multi-run and override paths of both engines."""
+        table2 = tuple(
+            (path, "fake") for path in paths_of_length(N, 0, 2) if lying not in path
+        )
+        script = {
+            1: [(p, (OM_REPORT, (((0,), "fake"),))) for p in range(N) if p != lying],
+            2: [(p, (OM_REPORT, table2)) for p in range(N) if p != lying],
+        }
+        adversaries = lambda: {lying: ScriptedProtocol(script, halt_after=T + 2)}
+        dense = run_engine("dense", adversaries=adversaries(), seed=seed)
+        succinct = run_engine("succinct", adversaries=adversaries(), seed=seed)
+        assert observables(dense) == observables(succinct)
+
+
+class TestEngineConfig:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OralAgreementProtocol(7, 2, engine="sparse")
+
+    def test_dense_engine_ignores_rle_payloads(self):
+        """Homogeneity contract: the dense ingest treats a run-length
+        report as unknown noise (it is not a tagged tuple)."""
+        protocol = OralAgreementProtocol(4, 1, value=None, engine="dense")
+        report = RleReport(4, 0, 1, 2, ((1, "x"),))
+
+        class _Ctx:
+            node = 1
+
+        from repro.sim import Envelope
+
+        protocol._ingest(
+            _Ctx(), [Envelope(sender=2, recipient=1, payload=report, round_sent=1)], 2
+        )
+        assert protocol._tree == {}
+
+    def test_succinct_ingest_drops_unhashable_noise(self):
+        """The succinct dense-items ingest mirrors the dense engine's
+        tolerance for unhashable Byzantine path elements."""
+        protocol = OralAgreementProtocol(4, 1, value=None, engine="succinct")
+
+        class _Ctx:
+            node = 1
+
+        from repro.sim import Envelope
+
+        payload = (OM_REPORT, ((([],), "x"), (([0, []]), "y")))
+        protocol._ingest(
+            _Ctx(), [Envelope(sender=2, recipient=1, payload=payload, round_sent=1)], 2
+        )
+        assert protocol._store.stored_entries() == 0

@@ -72,11 +72,12 @@ class TestByzantineReportNoise:
     def test_unhashable_path_elements_are_dropped_not_fatal(self):
         """A Byzantine report whose path contains unhashable elements is
         'noise, not filed' — it must never crash an honest node (the seed
-        code tolerated unhashable heads; the shared-table probe must too)."""
+        code tolerated unhashable heads; the shared-table probe must too).
+        The succinct-engine analog lives in ``test_eigtree.py``."""
         from repro.agreement.oral import OM_REPORT, OralAgreementProtocol
         from repro.sim import Envelope
 
-        protocol = OralAgreementProtocol(4, 1, value=None)
+        protocol = OralAgreementProtocol(4, 1, value=None, engine="dense")
         inbox = [
             Envelope(
                 sender=2,
@@ -100,7 +101,7 @@ class TestResolutionUnchanged:
         from repro.agreement.oral import OralAgreementProtocol
 
         n, t = 7, 2
-        protocol = OralAgreementProtocol(n, t, value=None)
+        protocol = OralAgreementProtocol(n, t, value=None, engine="dense")
         # Populate the tree unevenly: some paths agree, some conflict,
         # some are missing entirely (-> default).
         for index, path in enumerate(paths_of_length(n, 0, t + 1)):

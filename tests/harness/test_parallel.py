@@ -1,9 +1,13 @@
-"""Parallel sweep executor: determinism, ordering, fallbacks."""
+"""Parallel sweep executor: determinism, ordering, fallbacks, registry."""
 
 from __future__ import annotations
 
 import json
+import warnings
 
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.harness import (
     default_workers,
     grid,
@@ -64,6 +68,31 @@ class TestSweepParallelContract:
         assert [p.result["value"] for p in results] == [x * x for x in range(8)]
 
 
+class TestRegistryDispatch:
+    def test_sweep_by_name_matches_sweep_by_function(self):
+        points = grid(n=[4, 8], seed=[0])
+        assert sweep(points, "keydist") == sweep(points, keydist_point)
+
+    def test_parallel_by_name_matches_serial(self):
+        points = grid(n=[4, 8], seed=[0, 1])
+        assert sweep_parallel(points, "keydist", workers=2) == sweep(
+            points, keydist_point
+        )
+
+    def test_name_dispatch_never_warns_or_degrades(self):
+        """A registered name is always picklable: no fallback warning."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = sweep_parallel(
+                [{"n": 4, "seed": 0}, {"n": 4, "seed": 1}], "keydist", workers=2
+            )
+        assert [p.result["n"] for p in results] == [4, 4]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            sweep([{"n": 4, "seed": 0}], "no-such-workload")
+
+
 class TestFallbacks:
     def test_unpicklable_fn_falls_back_to_serial(self):
         captured = []
@@ -72,9 +101,21 @@ class TestFallbacks:
             captured.append(x)
             return x + seed
 
-        results = sweep_parallel([{"x": 1, "seed": 2}], closure, workers=4)
+        with pytest.warns(RuntimeWarning, match="closure.*not picklable"):
+            results = sweep_parallel(
+                [{"x": 1, "seed": 2}, {"x": 2, "seed": 2}], closure, workers=4
+            )
         assert results[0].result == 3
-        assert captured == [1]  # ran in this process
+        assert captured == [1, 2]  # ran in this process
+
+    def test_fallback_warning_names_the_workload(self):
+        offender = lambda x, seed: x  # noqa: E731
+
+        with pytest.warns(RuntimeWarning) as caught:
+            sweep_parallel(
+                [{"x": 1, "seed": 0}, {"x": 2, "seed": 0}], offender, workers=2
+            )
+        assert any("<lambda>" in str(w.message) for w in caught)
 
     def test_single_worker_is_serial(self):
         assert sweep_parallel([{"x": 2, "seed": 0}], _square, workers=1) == sweep(
