@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_2.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_3.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,17 +9,19 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_2.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_3.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
 worktree) to measure the same workloads on older code: the baseline
 experiment set only uses APIs present since the seed, so those numbers
 are directly comparable.  The *extended grid* (n=128 points for the
-polynomial-cost protocols, plus the n=128/t=3 oral point only the
-succinct engine makes feasible) is added when the running source tree
-supports it — old trees simply measure fewer experiments, and the
-comparison intersects by name.  ``scripts/bench_check.py`` wraps this
-runner with wall-clock and memory regression gates.
+polynomial-cost protocols, the n=128/t=3 oral point only the succinct
+engine makes feasible, and the agreement-based key-distribution mux
+points only the instance multiplexer makes expressible) is added when
+the running source tree supports it — old trees simply measure fewer
+experiments, and the comparison intersects by name.
+``scripts/bench_check.py`` wraps this runner with wall-clock and memory
+regression gates.
 
 Methodology: each experiment runs ``--repeats`` times in-process and
 records the best time (robust against scheduler noise; caches are part of
@@ -54,6 +56,13 @@ try:  # extended grid: succinct EIG engine (PR 2+ source trees only)
     HAS_SUCCINCT_ENGINE = True
 except ImportError:  # pragma: no cover - only on old source trees
     HAS_SUCCINCT_ENGINE = False
+
+try:  # AKD mux grid: instance multiplexer (PR 3+ source trees only)
+    from repro.sim import multiplex as _multiplex  # noqa: F401
+
+    HAS_INSTANCE_MUX = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_INSTANCE_MUX = False
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -159,6 +168,26 @@ def _ba_signed_n128() -> dict[str, Any]:
     }
 
 
+def _akd(n: int, t: int) -> dict[str, Any]:
+    """One agreement-based key-distribution mux run (flat counts)."""
+    from repro.harness.workloads import akd_point
+
+    result = akd_point(n, t, seed=n)
+    return {
+        "messages": result["messages"],
+        "bytes": result["bytes"],
+        "rounds": result["rounds"],
+        "instance_messages": result["instance_messages_max"],
+    }
+
+
+#: Experiments too heavy for best-of-``--repeats`` timing: measured once.
+#: Bounds the full-suite wall-clock; single-shot numbers are noisier, so
+#: the gate only ever compares these by *count* (full sections are
+#: refreshed, not regression-gated).
+HEAVY_EXPERIMENTS = {"akd_n128_t3"}
+
+
 def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
     """The measured workload set.  Names are stable across code versions."""
     suite: list[tuple[str, Callable[[], dict[str, Any]]]] = [
@@ -171,6 +200,9 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
     ]
     if small:
         suite.append(("oral_n13_t3", lambda: _oral(13, 3)))
+        if HAS_INSTANCE_MUX:
+            # The mux hot path at CI size: 7 concurrent OM(2) instances.
+            suite.append(("akd_n7_t2", lambda: _akd(7, 2)))
     else:
         # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
         # budget.  The tree is exponential in t: t=10 at n=32 would mean
@@ -188,16 +220,30 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             # ~2e6 tree paths *per node* here (hundreds of GiB).
             suite.append(("oral_n64_t3", lambda: _oral(64, 3)))
             suite.append(("oral_n128_t3", lambda: _oral(128, 3)))
+        if HAS_INSTANCE_MUX and HAS_SUCCINCT_ENGINE:
+            # Agreement-based key distribution at scale: n concurrent
+            # OM(t) instances through the instance multiplexer.  The
+            # n=128 point was infeasible before this pairing — 128
+            # instances x dense trees; with the succinct engine it is
+            # ~6.2M envelopes, the heaviest point in the suite (hence
+            # HEAVY_EXPERIMENTS).
+            suite.append(("akd_n64_t3", lambda: _akd(64, 3)))
+            suite.append(("akd_n128_t3", lambda: _akd(128, 3)))
     return suite
 
 
 def run_suite(small: bool = False, repeats: int = 3) -> dict[str, Any]:
-    """Time every experiment; return the report dict."""
+    """Time every experiment; return the report dict.
+
+    Experiments in :data:`HEAVY_EXPERIMENTS` run once regardless of
+    ``repeats`` (single-shot wall-clock, identical counts).
+    """
     results: dict[str, Any] = {}
     for name, fn in experiments(small):
         best = float("inf")
         counts: dict[str, Any] = {}
-        for _ in range(max(1, repeats)):
+        runs = 1 if name in HEAVY_EXPERIMENTS else max(1, repeats)
+        for _ in range(runs):
             t0 = time.perf_counter()
             counts = fn()
             best = min(best, time.perf_counter() - t0)

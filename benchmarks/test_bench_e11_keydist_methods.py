@@ -16,6 +16,7 @@ from __future__ import annotations
 from conftest import SWEEP_SCHEME, once
 
 from repro.analysis import keydist_messages, render_table
+from repro.analysis.complexity import akd_envelopes, akd_instance_envelopes
 from repro.auth import (
     agreement_keydist_envelopes,
     run_agreement_key_distribution,
@@ -67,6 +68,62 @@ def test_e11_method_comparison(report, benchmark, psweep):
     once(benchmark, sweep)
 
 
+def test_e11b_mux_per_instance_costs(report, benchmark, psweep):
+    """E11b — the mux subsystem's per-instance meters vs the closed forms.
+
+    The paper prices agreement-based key distribution as *n instances of*
+    OM(t); since the instance multiplexer attributes every envelope to
+    its instance, that sentence is now directly measurable: each of the n
+    instances costs exactly ``(n-1) + t(n-1)²`` envelopes and the
+    aggregate exactly n times that."""
+
+    def sweep():
+        points = psweep(
+            [
+                {"n": n, "t": t, "seed": n, "scheme": SWEEP_SCHEME}
+                for n, t in [(4, 1), (7, 2), (10, 3)]
+            ],
+            "akd",
+        )
+        rows = []
+        for point in points:
+            n, t = point.params["n"], point.params["t"]
+            result = point.result
+            per_instance = akd_instance_envelopes(n, t)
+            aggregate = akd_envelopes(n, t)
+            rows.append(
+                [
+                    n,
+                    t,
+                    per_instance,
+                    f"{result['instance_messages_min']}"
+                    f"..{result['instance_messages_max']}",
+                    aggregate,
+                    result["messages"],
+                    result["instance_bytes_max"],
+                    result["bytes"],
+                ]
+            )
+            assert result["instance_messages_min"] == per_instance
+            assert result["instance_messages_max"] == per_instance
+            assert result["messages"] == aggregate
+            assert result["agreed"]
+        report(
+            render_table(
+                [
+                    "n", "t",
+                    "per-inst (n-1)+t(n-1)^2", "per-inst measured",
+                    "aggregate n*[...]", "aggregate measured",
+                    "per-inst bytes", "aggregate bytes",
+                ],
+                rows,
+                title="E11b  n*OM(t) mux: per-instance vs aggregate envelopes",
+            )
+        )
+
+    once(benchmark, sweep)
+
+
 def test_e11_feasibility_boundary(report, benchmark, psweep):
     def sweep():
         points = psweep(
@@ -101,7 +158,7 @@ def test_e11_feasibility_boundary(report, benchmark, psweep):
             render_table(
                 ["n", "t", "agreement-based", "local authentication"],
                 rows,
-                title="E11b  feasibility: the oral bound vs arbitrary faults",
+                title="E11c  feasibility: the oral bound vs arbitrary faults",
             )
         )
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_2.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_3.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_2.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_3.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -11,9 +11,18 @@ wants.
 Usage::
 
     PYTHONPATH=src python scripts/bench_check.py                  # gate + refresh
+    PYTHONPATH=src python scripts/bench_check.py --quick          # pre-PR smoke
     PYTHONPATH=src python scripts/bench_check.py --full           # also full sizes
     PYTHONPATH=src python scripts/bench_check.py --memory         # also memory gate
     PYTHONPATH=src python scripts/bench_check.py --compare /path/to/other/src
+
+``--quick`` is the smoke mode ``scripts/check.sh`` runs before every PR:
+the small-n suite once (``--repeats 1``), gating only the *count*
+determinism contract — counts must match the committed baseline exactly —
+while skipping the wall-clock threshold (single-shot timings are noise),
+the memory probes and the baseline rewrite.  It answers "did I change
+observable behaviour?" in a couple of seconds; the full gate stays the
+pre-merge answer to "did I slow anything down?".
 
 ``--memory`` measures tracemalloc peaks for the EIG memory probes (the
 succinct engine's headline win is *memory*: the dense engine's per-node
@@ -24,8 +33,11 @@ reduction is regression-guarded, not just the wall-clock.
 ``--compare`` measures the same workloads against another source tree
 (for example a prior-PR worktree) in a subprocess and records the
 per-experiment speedups under ``speedup_vs_baseline_src``.  Historical
-note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers; this
-PR's gate file is ``BENCH_2.json``, which adds the extended n=128 grid.
+note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers,
+``BENCH_2.json`` (PR 2) added the extended n=128 grid; this PR's gate
+file is ``BENCH_3.json``, which adds the agreement-based
+key-distribution mux points (``akd_n7_t2`` small, ``akd_n64_t3`` /
+``akd_n128_t3`` full).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -168,10 +180,16 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_2.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_3.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="pre-PR smoke: small suite once, gate counts only, no "
+        "memory probes, no baseline rewrite",
+    )
     parser.add_argument(
         "--full", action="store_true", help="also refresh the full-size section"
     )
@@ -198,6 +216,27 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out)
     committed = json.loads(out_path.read_text()) if out_path.exists() else {}
 
+    if args.quick:
+        print("== bench_check --quick: small-n smoke (counts gate only) ==")
+        fresh_small = regress.run_suite(small=True, repeats=1)
+        for name, entry in fresh_small["experiments"].items():
+            print(f"  {name}: {entry['seconds']:.5f}s  {entry['counts']}")
+        status = 0
+        if committed.get("small"):
+            # Infinite threshold: only the counts-changed branch can fire.
+            _, regressions = compare_runs(
+                committed["small"], fresh_small, float("inf")
+            )
+            if regressions:
+                print("== FAIL: counts diverged from baseline ==", file=sys.stderr)
+                print("\n".join(regressions), file=sys.stderr)
+                status = 1
+            else:
+                print("== counts match committed baseline ==")
+        else:
+            print("== no committed baseline; smoke ran clean ==")
+        return status
+
     print("== bench_check: trimmed (small=True) suite ==")
     fresh_small = regress.run_suite(small=True, repeats=args.repeats)
     for name, entry in fresh_small["experiments"].items():
@@ -208,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
         lines, regressions = compare_runs(
             committed["small"], fresh_small, args.threshold
         )
-        print("== comparison against committed BENCH_2.json (small) ==")
+        print(f"== comparison against committed {out_path.name} (small) ==")
         print("\n".join(lines))
         if regressions:
             print(
@@ -238,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
             lines, regressions = compare_memory(
                 committed["memory"], fresh_memory, args.memory_threshold
             )
-            print("== memory comparison against committed BENCH_2.json ==")
+            print(f"== memory comparison against committed {out_path.name} ==")
             print("\n".join(lines))
             if regressions:
                 print(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything that must be green before a change ships.
+#
+#   scripts/check.sh
+#
+# Runs, in order:
+#   1. python -m compileall src     — no syntax-broken modules slip in;
+#   2. the tier-1 test suite        — semantics (ROADMAP.md's verify line);
+#   3. bench_check --quick          — count determinism vs BENCH_3.json
+#                                     (smoke wall-clock, no --memory).
+#
+# The full wall-clock/memory gate (scripts/bench_check.py --memory, and
+# --full for the n=128 grid) stays a pre-merge step; this script is the
+# fast loop.  See PERFORMANCE.md ("Measuring and gating").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== check: compileall =="
+python -m compileall -q src
+
+echo "== check: tier-1 tests =="
+python -m pytest -x -q
+
+echo "== check: bench smoke =="
+python scripts/bench_check.py --quick
+
+echo "== check: all green =="

@@ -183,6 +183,12 @@ class ExtendedAgreementProtocol(Protocol):
             ctx.halt()
             return
         ctx.state.outputs[OUTPUT_PATH] = "fallback"
+        # The fallback phase shares the wire with straggling alarm (and
+        # Byzantine) traffic; the host's kind filter — the same
+        # demultiplexing notion the instance mux applies per instance —
+        # hands SM(t) only its own tagged payloads.  The FD host above
+        # deliberately has no filter: failure discovery treats unexpected
+        # traffic as evidence.
         self._sm_host = PhaseHost(
             SignedAgreementProtocol(
                 self._n,
@@ -193,17 +199,11 @@ class ExtendedAgreementProtocol(Protocol):
                 default=self._default,
             ),
             offset=self._alarm_end,
+            kinds=("ba-signed",),
         )
 
     def _run_fallback(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
-        relevant = [
-            env
-            for env in inbox
-            if isinstance(env.payload, tuple)
-            and env.payload
-            and env.payload[0] == "ba-signed"
-        ]
-        self._sm_host.step(ctx, relevant)
+        self._sm_host.step(ctx, inbox)
         outcome = self._sm_host.outcome
         if outcome.halted:
             ctx.decide(

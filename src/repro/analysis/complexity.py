@@ -133,6 +133,29 @@ def om_reports(n: int, t: int) -> int:
     return total
 
 
+def akd_envelopes(n: int, t: int) -> int:
+    """Agreement-based key distribution, aggregate:
+    **n·[(n−1) + t(n−1)²]** envelopes (paper section 3's cost argument).
+
+    n concurrent OM(t) instances, one per key, each costing
+    :func:`om_envelopes`.  Benchmark E11 checks the measured aggregate
+    against this and the per-instance counts against
+    :func:`akd_instance_envelopes`.
+    """
+    return n * om_envelopes(n, t)
+
+
+def akd_instance_envelopes(n: int, t: int) -> int:
+    """One agreement-based key-distribution instance: **(n−1) + t(n−1)²**.
+
+    Exactly :func:`om_envelopes` — named separately so the E11 mux table
+    reads as the paper's per-instance claim.  The instance multiplexer's
+    per-instance meters (:mod:`repro.sim.multiplex`) measure this
+    directly.
+    """
+    return om_envelopes(n, t)
+
+
 def om_collapsed_reports(n: int, t: int) -> int:
     """OM(t)/EIG report count under the succinct engine's run-length wire
     form, in a *unanimous* (failure-free) run: **t·(n−1)²**.

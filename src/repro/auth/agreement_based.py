@@ -21,47 +21,126 @@ The two drawbacks the paper names, reproduced:
   whereas local authentication works under *any* number of faults;
 * **cost** — n agreement instances cost ``n · [(n-1) + t(n-1)²]``
   envelopes (and exponentially many path reports), versus ``3n(n-1)``
-  for local authentication.  Benchmark E11 prints the comparison.
+  for local authentication.  Benchmark E11 prints the comparison, per
+  instance and in aggregate, against the closed forms in
+  :mod:`repro.analysis.complexity`.
 
 The n agreement instances run *concurrently* in one simulated execution
-(each tagged with its sender), which is the charitable reading — serial
-execution would also multiply the round count by n.
+through the simulator's first-class instance multiplexer
+(:class:`repro.sim.multiplex.InstanceMux`) — the charitable reading;
+serial execution would also multiply the round count by n.  Because the
+instances are causally independent (instance ``i`` is one OM(t) run
+about node ``i``'s key, on its own wire tags and its own rng streams),
+any *subset* of them reproduces bit-for-bit in isolation, which is what
+:func:`repro.harness.parallel.run_mux_shards` exploits to shard one
+logical n-instance run across worker processes (the ``akd-shard``
+workload).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
-from ..agreement.oral import OralAgreementProtocol
+from ..agreement.oral import OM_REPORT, OM_VALUE, OralAgreementProtocol
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair, TestPredicate, get_scheme
 from ..errors import ConfigurationError
-from ..sim import Envelope, NodeContext, Protocol, RunResult, run_protocols
+from ..faults.behaviors import RandomNoiseProtocol, SilentProtocol
+from ..sim import (
+    InstanceAggregate,
+    InstanceMux,
+    NodeContext,
+    Protocol,
+    RunResult,
+    collect_instances,
+    run_protocols,
+)
 from ..sim.compose import PhaseHost
 from ..types import NodeId, validate_fault_budget
 from .directory import KeyDirectory
 
+#: Wire-tag channel shared by all agreement-based key distribution muxes.
+AKD_CHANNEL = "akd"
 
-class _TaggedOralHost:
-    """One OM instance, demultiplexed by a sender tag on every payload."""
+#: Byzantine behaviour names accepted by the picklable ``byzantine`` spec.
+BYZANTINE_KINDS = ("silent", "noise")
 
-    def __init__(self, tag: NodeId, inner: OralAgreementProtocol) -> None:
-        self.tag = tag
-        self.host = PhaseHost(inner, offset=0)
+
+def akd_noise_pool(n: int) -> tuple:
+    """OM-shaped Byzantine payload candidates for AKD noise adversaries.
+
+    Forged sender values, malformed reports, valid-looking lies and plain
+    garbage — the same engine-agnostic families the EIG equivalence tests
+    exercise.  A noise adversary wraps these in the mux extension by
+    construction (it runs *inside* an :class:`InstanceMux`), so each lie
+    lands in exactly one instance's demuxed inbox.
+    """
+    return (
+        (OM_VALUE, "forged"),
+        (OM_VALUE, None),
+        (OM_REPORT, (((0,), "lie"),)),
+        (OM_REPORT, (((0, min(3, n - 1)), "z"), ((0, 2 % n), "zz"))),
+        (OM_REPORT, "garbage"),
+        ("unrelated", 7),
+        b"raw-bytes",
+    )
+
+
+def akd_byzantine_protocol(
+    kind: str, n: int, t: int, instances: Sequence[int]
+) -> Protocol:
+    """Build one Byzantine node behaviour from its picklable spec name.
+
+    ``"silent"`` crashes before the run; ``"noise"`` runs an
+    :class:`InstanceMux` of :class:`RandomNoiseProtocol` instances on the
+    AKD channel, so its per-instance noise draws from the instance's
+    namespaced rng stream — the property that keeps a sharded run
+    bit-identical to the in-process run.
+
+    :raises ConfigurationError: for unknown kind names.
+    """
+    if kind == "silent":
+        return SilentProtocol()
+    if kind == "noise":
+        pool = akd_noise_pool(n)
+        return InstanceMux(
+            {
+                instance: RandomNoiseProtocol(pool, halt_after=t + 1)
+                for instance in instances
+            },
+            channel=AKD_CHANNEL,
+        )
+    raise ConfigurationError(
+        f"unknown byzantine kind {kind!r}; expected one of {BYZANTINE_KINDS}"
+    )
 
 
 class AgreementKeyDistributionProtocol(Protocol):
     """One node's side of n concurrent OM instances, one per key.
 
     Instance ``i`` has node ``i`` as sender, broadcasting its own test
-    predicate.  All instances share the rounds; payloads are wrapped as
-    ``("akd", instance, inner_payload)`` and demultiplexed per instance.
+    predicate.  All instances run under one
+    :class:`~repro.sim.multiplex.InstanceMux` on the ``"akd"`` channel,
+    embedded through a :class:`~repro.sim.compose.PhaseHost` so this
+    protocol can post-process the captured outcomes into a directory.
+
+    :param instances: optional subset of instance ids to participate in
+        (default: all n).  Subsets are how shard workers run their slice
+        of one logical n-instance execution; the resulting directory then
+        only binds the subset's keys (plus this node's own).
 
     Output: ``outputs["directory"]`` — bindings for every node whose
     instance decided a predicate value; ``outputs["keypair"]``.
     """
 
-    def __init__(self, n: int, t: int, scheme: str = DEFAULT_SCHEME) -> None:
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        scheme: str = DEFAULT_SCHEME,
+        instances: Sequence[int] | None = None,
+    ) -> None:
         validate_fault_budget(t, n)
         if n <= 3 * t:
             raise ConfigurationError(
@@ -72,127 +151,98 @@ class AgreementKeyDistributionProtocol(Protocol):
         self._n = n
         self._t = t
         self._scheme_name = scheme
+        self._instance_ids = validate_akd_instances(n, instances)
         self._keypair: KeyPair | None = None
-        self._instances: dict[NodeId, _TaggedOralHost] = {}
+        self._mux: InstanceMux | None = None
+        self._host: PhaseHost | None = None
 
     def setup(self, ctx: NodeContext) -> None:
+        """Generate the keypair; assemble the per-instance OM protocols."""
         scheme = get_scheme(self._scheme_name)
         self._keypair = scheme.generate_keypair(ctx.rng)
-        for instance in range(self._n):
-            value = self._keypair.predicate if instance == ctx.node else None
-            inner = OralAgreementProtocol(
-                self._n, self._t, value=value, default=None, sender=instance
+        inner: dict[int, Protocol] = {
+            instance: OralAgreementProtocol(
+                self._n,
+                self._t,
+                value=self._keypair.predicate if instance == ctx.node else None,
+                default=None,
+                sender=instance,
             )
-            self._instances[instance] = _TaggedOralHost(
-                instance, _InstanceFacade(inner, instance)
-            )
-
-    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
-        per_instance: dict[NodeId, list[Envelope]] = {
-            instance: [] for instance in self._instances
+            for instance in self._instance_ids
         }
-        for env in inbox:
-            payload = env.payload
-            if (
-                isinstance(payload, tuple)
-                and len(payload) == 3
-                and payload[0] == "akd"
-                and isinstance(payload[1], int)
-                and payload[1] in per_instance
-            ):
-                per_instance[payload[1]].append(
-                    Envelope(
-                        sender=env.sender,
-                        recipient=env.recipient,
-                        payload=payload[2],
-                        round_sent=env.round_sent,
-                    )
-                )
-        for instance, tagged in self._instances.items():
-            tagged.host.step(ctx, per_instance[instance])
+        self._mux = InstanceMux(inner, channel=AKD_CHANNEL)
+        self._host = PhaseHost(self._mux, offset=0)
 
-        if all(t.host.outcome.halted for t in self._instances.values()):
-            directory = KeyDirectory(owner=ctx.node)
-            directory.accept(ctx.node, self._keypair.predicate)
-            for instance, tagged in self._instances.items():
-                decided = tagged.host.outcome.decision
-                if isinstance(decided, TestPredicate):
-                    directory.accept(instance, decided)
-            ctx.state.outputs["directory"] = directory
-            ctx.state.outputs["keypair"] = self._keypair
-            ctx.halt()
+    def on_round(self, ctx: NodeContext, inbox: list) -> None:
+        """Step the mux; on completion, fold decisions into a directory."""
+        self._host.step(ctx, inbox)
+        if not self._host.outcome.halted:
+            return
+        directory = KeyDirectory(owner=ctx.node)
+        directory.accept(ctx.node, self._keypair.predicate)
+        for instance, outcome in self._mux.outcomes.items():
+            if isinstance(outcome.decision, TestPredicate):
+                directory.accept(instance, outcome.decision)
+        ctx.state.outputs["directory"] = directory
+        ctx.state.outputs["keypair"] = self._keypair
+        ctx.halt()
 
 
-class _InstanceFacade(Protocol):
-    """Wraps an OM protocol so its sends are tagged with the instance id."""
+def validate_akd_instances(
+    n: int, instances: Sequence[int] | None
+) -> tuple[int, ...]:
+    """Normalise an instance-subset spec: sorted, deduplicated, in range.
 
-    def __init__(self, inner: OralAgreementProtocol, tag: int) -> None:
-        self.inner = inner
-        self.tag = tag
-
-    def setup(self, ctx) -> None:
-        self.inner.setup(ctx)
-
-    def on_round(self, ctx, inbox) -> None:
-        facade = _TaggingContext(ctx, self.tag)
-        self.inner.on_round(facade, inbox)  # type: ignore[arg-type]
-
-
-class _TaggingContext:
-    def __init__(self, ctx, tag: int) -> None:
-        self._ctx = ctx
-        self._tag = tag
-
-    def __getattr__(self, item):
-        return getattr(self._ctx, item)
-
-    @property
-    def round(self):
-        return self._ctx.round
-
-    @property
-    def node(self):
-        return self._ctx.node
-
-    @property
-    def n(self):
-        return self._ctx.n
-
-    def others(self):
-        return self._ctx.others()
-
-    def send(self, to, payload) -> None:
-        self._ctx.send(to, ("akd", self._tag, payload))
-
-    def broadcast(self, payload, to=None) -> None:
-        for recipient in (self._ctx.others() if to is None else to):
-            self.send(recipient, payload)
-
-    def decide(self, value) -> None:
-        self._ctx.decide(value)
-
-    def discover_failure(self, reason) -> None:
-        self._ctx.discover_failure(reason)
-
-    def halt(self) -> None:
-        self._ctx.halt()
+    :raises ConfigurationError: for out-of-range ids or an empty subset.
+    """
+    if instances is None:
+        return tuple(range(n))
+    ids = tuple(sorted(set(int(i) for i in instances)))
+    if not ids:
+        raise ConfigurationError("instance subset must not be empty")
+    if ids[0] < 0 or ids[-1] >= n:
+        raise ConfigurationError(
+            f"instance ids must lie in [0, {n}); got {ids}"
+        )
+    return ids
 
 
 @dataclass
 class AgreementKeyDistributionResult:
-    """Outputs of agreement-based key distribution."""
+    """Outputs of agreement-based key distribution.
+
+    :ivar per_instance: run-level per-instance aggregates — every
+        participating node's decision and the instance's merged metrics
+        (see :class:`repro.sim.multiplex.InstanceAggregate`).  The same
+        objects a sharded execution returns, enabling bit-for-bit
+        equivalence checks.
+    """
 
     run: RunResult
     directories: dict[NodeId, KeyDirectory]
     keypairs: dict[NodeId, KeyPair]
+    per_instance: dict[int, InstanceAggregate] = field(default_factory=dict)
 
     @property
     def messages(self) -> int:
+        """Envelopes across the whole run (all instances, all nodes)."""
         return self.run.metrics.messages_total
 
     @property
     def rounds(self) -> int:
+        """Rounds used by the slowest instance."""
         return self.run.metrics.rounds_used
+
+
+def _normalise_byzantine(
+    byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None,
+) -> dict[NodeId, str]:
+    """Accept a mapping or (node, kind) pairs; return a plain dict."""
+    if byzantine is None:
+        return {}
+    if isinstance(byzantine, Mapping):
+        return {int(node): kind for node, kind in byzantine.items()}
+    return {int(node): kind for node, kind in byzantine}
 
 
 def run_agreement_key_distribution(
@@ -201,19 +251,45 @@ def run_agreement_key_distribution(
     scheme: str = DEFAULT_SCHEME,
     adversaries: dict[NodeId, Protocol] | None = None,
     seed: int | str = 0,
+    byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None = None,
+    instances: Sequence[int] | None = None,
 ) -> AgreementKeyDistributionResult:
     """Distribute all n public keys via n concurrent OM(t) instances.
 
+    :param adversaries: node -> arbitrary Byzantine :class:`Protocol`
+        (in-process use; takes precedence over ``byzantine``).
+    :param byzantine: picklable spec, node -> kind name (see
+        :func:`akd_byzantine_protocol`) — the form shard workers can
+        rebuild in another process.
+    :param instances: optional instance subset (shard slice); the full
+        run is the default.
     :raises ConfigurationError: when ``n <= 3t`` — the feasibility boundary
         the paper contrasts local authentication against.
     """
     adversaries = adversaries or {}
-    protocols: list[Protocol] = [
-        adversaries.get(node, AgreementKeyDistributionProtocol(n, t, scheme))
-        for node in range(n)
-    ]
+    spec = _normalise_byzantine(byzantine)
+    instance_ids = validate_akd_instances(n, instances)
+    protocols: list[Protocol] = []
+    for node in range(n):
+        if node in adversaries:
+            protocols.append(adversaries[node])
+        elif node in spec:
+            protocols.append(
+                akd_byzantine_protocol(spec[node], n, t, instance_ids)
+            )
+        else:
+            protocols.append(
+                AgreementKeyDistributionProtocol(
+                    n, t, scheme, instances=instance_ids
+                )
+            )
     run = run_protocols(protocols, seed=seed)
-    result = AgreementKeyDistributionResult(run=run, directories={}, keypairs={})
+    result = AgreementKeyDistributionResult(
+        run=run,
+        directories={},
+        keypairs={},
+        per_instance=collect_instances(run),
+    )
     for state in run.states:
         if "directory" in state.outputs:
             result.directories[state.node] = state.outputs["directory"]
@@ -225,14 +301,13 @@ def run_agreement_key_distribution(
 def agreement_keydist_envelopes(n: int, t: int) -> int:
     """Closed-form envelope count: n concurrent OM(t) instances.
 
-    Each instance costs (n-1) sender envelopes + t rounds of (n-1)
-    reporters broadcasting to (n-1) peers — but reporters with nothing to
-    say (no stored paths) stay silent, which for the instance whose sender
-    is the reporter itself trims one report round participant.  The exact
-    measured count is asserted in the tests; this formula gives the
-    dominant term used in benchmark E11's comparison.
+    Delegates to :func:`repro.analysis.complexity.akd_envelopes`
+    (``n · [(n-1) + t(n-1)²]``); benchmark E11 checks the measured
+    aggregate against it and the per-instance counts against
+    :func:`repro.analysis.complexity.om_envelopes`.
     """
-    validate_fault_budget(t, n)
-    from ..analysis.complexity import om_envelopes
+    # Imported lazily: the analysis package's __init__ pulls the
+    # experiment catalogue, which reaches back into repro.auth.
+    from ..analysis.complexity import akd_envelopes
 
-    return n * om_envelopes(n, t)
+    return akd_envelopes(n, t)

@@ -10,6 +10,8 @@ Installed as the ``repro-fd`` console script::
     repro-fd attack --list                      # the §3.2 attack catalogue
     repro-fd attack --name cross-claim-chain    # run one attack
     repro-fd formulas --n 16 --t 5              # every complexity claim
+    repro-fd list-workloads                     # the sweep registry
+    repro-fd run --workload oral --param n=7 --param t=2
 
 Every command prints the measured counts next to the paper's formula and
 exits non-zero if any FD/BA condition is violated, so the CLI can serve
@@ -254,6 +256,81 @@ def _cmd_formulas(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    import pickle
+
+    from .harness import available_workloads, get_workload, workload_suite
+
+    rows = []
+    for name in available_workloads():
+        fn = get_workload(name)
+        try:
+            pickle.dumps(fn)
+            picklable = "yes"
+        except Exception:
+            picklable = "NO"
+        rows.append([name, workload_suite(name), picklable])
+    print(
+        render_table(
+            ["workload", "suite", "picklable"],
+            rows,
+            title="registered workloads (repro.harness.workloads)",
+        )
+    )
+    return 0
+
+
+def _parse_workload_params(raw: Sequence[str]) -> dict[str, object]:
+    """``key=value`` pairs with int/float/bool coercion (else string)."""
+    params: dict[str, object] = {}
+    for item in raw:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        if value.lower() in ("true", "false"):
+            params[key] = value.lower() == "true"
+            continue
+        for cast in (int, float):
+            try:
+                params[key] = cast(value)
+                break
+            except ValueError:
+                continue
+        else:
+            params[key] = value
+    return params
+
+
+def _cmd_run_workload(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .harness import get_workload
+
+    try:
+        fn = get_workload(args.workload)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        result = fn(**_parse_workload_params(args.param))
+    except (ConfigurationError, TypeError, ValueError) as exc:
+        # Bad parameter names or infeasible (n, t) combinations: report
+        # like every other subcommand — message + nonzero exit, no
+        # traceback (the CLI doubles as an automation smoke-check).
+        print(f"workload {args.workload}: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(result, dict) and all(isinstance(k, str) for k in result):
+        print(
+            render_table(
+                ["key", "value"],
+                [[key, value] for key, value in result.items()],
+                title=f"workload {args.workload}",
+            )
+        )
+    else:
+        print(result)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis import run_all_experiments
 
@@ -319,6 +396,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("formulas", help="print every complexity claim")
     _add_common(p)
     p.set_defaults(func=_cmd_formulas)
+
+    p = sub.add_parser(
+        "list-workloads", help="list the registered sweep workloads"
+    )
+    p.set_defaults(func=_cmd_list_workloads)
+
+    p = sub.add_parser(
+        "run", help="run one registered workload outside pytest"
+    )
+    p.add_argument("--workload", required=True, help="registered name")
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="workload parameter (repeatable); ints/floats/bools coerced",
+    )
+    p.set_defaults(func=_cmd_run_workload)
 
     p = sub.add_parser(
         "report", help="regenerate all count experiments (E1-E8, E11)"

@@ -11,6 +11,7 @@
 
 from .behaviors import (
     CrashProtocol,
+    RandomNoiseProtocol,
     ScriptedProtocol,
     SilentProtocol,
     TamperingProtocol,
@@ -42,6 +43,7 @@ __all__ = [
     "FabricatingChainNode",
     "ImpersonatingChainNode",
     "MixedPredicateAttack",
+    "RandomNoiseProtocol",
     "ScriptedProtocol",
     "SharedKeyAttack",
     "SilentProtocol",

@@ -146,3 +146,40 @@ class ScriptedProtocol(Protocol):
             ctx.send(recipient, payload)
         if ctx.round >= self._halt_after:
             ctx.halt()
+
+
+class RandomNoiseProtocol(Protocol):
+    """Sends random payloads from a pool to random peers, every round.
+
+    All randomness is drawn from ``ctx.rng`` — the node's stream in a
+    plain run, the *instance's* namespaced stream when hosted in an
+    :class:`~repro.sim.multiplex.InstanceMux`.  The latter is what makes
+    this the reference Byzantine behaviour for mux equivalence tests: an
+    instance's noise is a pure function of ``(master seed, node,
+    instance)``, so it replays identically whichever other instances
+    share the run or the shard.
+
+    :param pool: payload candidates (drawn uniformly, with replacement).
+    :param halt_after: round after which the node halts.
+    :param max_sends: upper bound on messages per round (at least one
+        draw is made per round; a draw of zero recipients sends nothing).
+    """
+
+    def __init__(
+        self, pool: tuple[Any, ...], halt_after: Round, max_sends: int = 3
+    ) -> None:
+        if not pool:
+            raise ValueError("noise pool must not be empty")
+        self._pool = tuple(pool)
+        self._halt_after = halt_after
+        self._max_sends = max_sends
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        rng = ctx.rng
+        others = ctx.others()
+        for _ in range(rng.randrange(self._max_sends + 1)):
+            recipient = rng.choice(others)
+            payload = self._pool[rng.randrange(len(self._pool))]
+            ctx.send(recipient, payload)
+        if ctx.round >= self._halt_after:
+            ctx.halt()

@@ -1,6 +1,12 @@
 """Experiment harness: scenario runner, attack catalogue, sweeps."""
 
-from .parallel import default_workers, set_default_workers, sweep_parallel
+from .parallel import (
+    default_workers,
+    run_mux_shards,
+    set_default_workers,
+    shard_instances,
+    sweep_parallel,
+)
 from .runner import (
     GLOBAL,
     LOCAL,
@@ -12,7 +18,12 @@ from .runner import (
 from .scenarios import AttackScenario, attack_catalogue
 from .session import AmortizedSession, LedgerEntry
 from .sweep import SweepPoint, grid, sizes_with_budgets, standard_sizes, sweep
-from .workloads import available_workloads, get_workload, resolve_workload
+from .workloads import (
+    available_workloads,
+    get_workload,
+    resolve_workload,
+    workload_suite,
+)
 
 __all__ = [
     "available_workloads",
@@ -30,10 +41,13 @@ __all__ = [
     "grid",
     "run_ba_scenario",
     "run_fd_scenario",
+    "run_mux_shards",
     "set_default_workers",
     "setup_authentication",
+    "shard_instances",
     "sizes_with_budgets",
     "standard_sizes",
     "sweep",
     "sweep_parallel",
+    "workload_suite",
 ]

@@ -24,6 +24,21 @@ Degraded runs are *visible*: the unpicklable-workload fallback emits a
 :class:`RuntimeWarning` naming the offending workload (registering it in
 ``repro.harness.workloads`` and sweeping by name is the fix).
 Parallelism is an executor choice, never a semantics choice.
+
+Instance sharding
+-----------------
+:func:`run_mux_shards` is the second executor in this module: where
+``sweep_parallel`` fans out *independent parameter points*, the mux
+shard executor fans out *the K instances of one logical run*
+(:mod:`repro.sim.multiplex`).  It partitions the instance ids into
+contiguous shards, runs ``fn(instances=shard, **params)`` per shard —
+pipelined through a process pool, or in-process under the same fallback
+rules — and merges the per-instance results.  Causal independence of
+the instances (per-instance wire tags + namespaced rng streams) makes
+every shard's per-instance decisions, rounds and metrics bit-for-bit
+identical to the unsharded run, so merging is a disjoint dict union;
+the sharding property tests enforce that equivalence under random
+Byzantine behaviour.
 """
 
 from __future__ import annotations
@@ -33,7 +48,7 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from .sweep import SweepPoint, sweep
 
@@ -121,3 +136,96 @@ def sweep_parallel(
     return [
         SweepPoint(params=p, result=r) for p, r in zip(pts, results)
     ]
+
+
+def shard_instances(
+    instances: Sequence[int], shards: int
+) -> list[tuple[int, ...]]:
+    """Partition instance ids into contiguous, near-equal shards.
+
+    Deterministic: ids keep their given order, sizes differ by at most
+    one, earlier shards take the remainder.  At most ``len(instances)``
+    shards are produced (never an empty shard).
+    """
+    ids = list(instances)
+    if not ids:
+        return []
+    shards = max(1, min(shards, len(ids)))
+    base, extra = divmod(len(ids), shards)
+    out: list[tuple[int, ...]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(tuple(ids[start : start + size]))
+        start += size
+    return out
+
+
+def run_mux_shards(
+    fn: str | Callable[..., Mapping[int, Any]],
+    params: dict[str, Any],
+    instances: Sequence[int],
+    workers: int | None = None,
+    in_process: bool = False,
+) -> dict[int, Any]:
+    """Pipelined instance-shard executor for multiplexed runs.
+
+    Splits ``instances`` into up to ``workers`` contiguous shards and
+    evaluates ``fn(instances=shard, **params)`` for each — the function
+    must run its shard as a self-contained simulation (all n nodes, the
+    shard's instances only) and return a per-instance mapping, e.g. the
+    ``akd-shard`` workload returning
+    :class:`~repro.sim.multiplex.InstanceAggregate` objects.  Results
+    merge by disjoint union in instance-id order; because instance
+    streams are causally independent, the merged map is bit-for-bit the
+    unsharded run's (the property tests enforce this).
+
+    :param fn: registered workload name (preferred) or picklable callable.
+    :param params: the run's parameters, shards included verbatim in each
+        job (seed travels here — the determinism contract).
+    :param workers: shard/process count; ``None`` defers to the
+        configured default (see :func:`set_default_workers`).
+    :param in_process: evaluate the shards serially in this process while
+        keeping the exact shard boundaries — the transport-free mode the
+        equivalence property tests (and pool-less sandboxes) use.
+    :raises ValueError: if a shard result claims an instance outside its
+        shard or two shards claim the same instance.
+    """
+    ids = list(instances)
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    if workers is None:
+        workers = os.cpu_count() or 1
+    shards = shard_instances(ids, max(1, workers))
+    jobs = [(fn, {**params, "instances": shard}) for shard in shards]
+    if not in_process and len(jobs) > 1 and not isinstance(fn, str):
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            warnings.warn(
+                f"run_mux_shards: workload {name!r} is not picklable; "
+                "running shards in-process (register it in "
+                "repro.harness.workloads and dispatch by name to "
+                "parallelize)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            in_process = True
+    if in_process or len(jobs) <= 1:
+        results = [_apply(job) for job in jobs]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+                results = list(pool.map(_apply, jobs))
+        except (OSError, PermissionError, BrokenProcessPool):
+            results = [_apply(job) for job in jobs]
+    from ..sim.multiplex import merge_instance_aggregates
+
+    for shard, result in zip(shards, results):
+        foreign = set(result) - set(shard)
+        if foreign:
+            raise ValueError(
+                f"shard {shard} returned foreign instances {sorted(foreign)}"
+            )
+    return merge_instance_aggregates(results)

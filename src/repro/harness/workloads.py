@@ -45,14 +45,23 @@ COUNT_SCHEME = "simulated-hmac"
 #: name -> point function.  Populated by :func:`workload`.
 WORKLOADS: dict[str, Callable[..., dict[str, Any]]] = {}
 
+#: name -> benchmark suite label (e.g. ``"E11"``).  Populated alongside
+#: :data:`WORKLOADS`; surfaced by ``repro-fd list-workloads``.
+WORKLOAD_SUITES: dict[str, str] = {}
 
-def workload(name: str) -> Callable[[Callable], Callable]:
-    """Register a point function under a stable sweep name."""
+
+def workload(name: str, suite: str = "-") -> Callable[[Callable], Callable]:
+    """Register a point function under a stable sweep name.
+
+    :param suite: the benchmark suite(s) the workload backs (``"E1/E2"``,
+        ``"regress"`` ...), shown by ``repro-fd list-workloads``.
+    """
 
     def register(fn: Callable) -> Callable:
         if name in WORKLOADS:
             raise ConfigurationError(f"workload {name!r} registered twice")
         WORKLOADS[name] = fn
+        WORKLOAD_SUITES[name] = suite
         return fn
 
     return register
@@ -61,6 +70,12 @@ def workload(name: str) -> Callable[[Callable], Callable]:
 def available_workloads() -> list[str]:
     """Registered workload names, sorted."""
     return sorted(WORKLOADS)
+
+
+def workload_suite(name: str) -> str:
+    """The suite label a workload was registered under."""
+    get_workload(name)  # raise uniformly for unknown names
+    return WORKLOAD_SUITES.get(name, "-")
 
 
 def get_workload(name: str) -> Callable[..., dict[str, Any]]:
@@ -84,14 +99,14 @@ def resolve_workload(fn: str | Callable) -> Callable:
     return fn
 
 
-@workload("keydist")
+@workload("keydist", suite="E1/E8/regress")
 def keydist_point(n: int, seed: int | str = 0, scheme: str = COUNT_SCHEME) -> dict[str, Any]:
     """One key-distribution run (paper Fig. 1): message/round counts."""
     kd = run_key_distribution(n, scheme=scheme, seed=seed)
     return {"n": n, "messages": kd.messages, "rounds": kd.rounds}
 
 
-@workload("fd")
+@workload("fd", suite="E2/E3/regress")
 def fd_point(
     n: int,
     t: int,
@@ -118,7 +133,7 @@ def fd_point(
     }
 
 
-@workload("ba")
+@workload("ba", suite="E7/regress")
 def ba_point(
     n: int,
     t: int,
@@ -143,7 +158,7 @@ def ba_point(
     }
 
 
-@workload("oral")
+@workload("oral", suite="E9/regress")
 def oral_point(
     n: int, t: int, seed: int | str = 0, value: Any = "v", engine: str = "succinct"
 ) -> dict[str, Any]:
@@ -168,7 +183,7 @@ def oral_point(
     }
 
 
-@workload("e4-crossover")
+@workload("e4-crossover", suite="E4")
 def e4_crossover_point(n: int, t: int, seed: int | str = 0) -> dict[str, Any]:
     """One amortization-session measurement: runs until local auth wins."""
     predicted = crossover_runs(n, t)
@@ -186,7 +201,7 @@ def e4_crossover_point(n: int, t: int, seed: int | str = 0) -> dict[str, Any]:
     }
 
 
-@workload("e5-binary")
+@workload("e5-binary", suite="E5")
 def e5_binary_point(
     n: int, value: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -202,7 +217,7 @@ def e5_binary_point(
     }
 
 
-@workload("e5-optimistic")
+@workload("e5-optimistic", suite="E5")
 def e5_optimistic_point(
     n: int,
     t: int,
@@ -244,7 +259,7 @@ def e5_optimistic_point(
     }
 
 
-@workload("e6-scenario")
+@workload("e6-scenario", suite="E6")
 def e6_scenario_point(n: int, t: int, scenario: str, seed: int | str = 0) -> dict[str, Any]:
     """One (attack scenario, seed) cell of the E6 discovery matrix."""
     match = [s for s in attack_catalogue(n, t) if s.name == scenario]
@@ -279,7 +294,7 @@ def e6_scenario_point(n: int, t: int, scenario: str, seed: int | str = 0) -> dic
     }
 
 
-@workload("e7-ba-compare")
+@workload("e7-ba-compare", suite="E7")
 def e7_ba_compare_point(
     n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -300,7 +315,7 @@ def e7_ba_compare_point(
     }
 
 
-@workload("e7-fallback")
+@workload("e7-fallback", suite="E7")
 def e7_fallback_point(
     n: int,
     t: int,
@@ -334,7 +349,7 @@ def e7_fallback_point(
     }
 
 
-@workload("e8-rounds")
+@workload("e8-rounds", suite="E8")
 def e8_round_point(
     n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -353,7 +368,7 @@ def e8_round_point(
     }
 
 
-@workload("e9-chain-bytes")
+@workload("e9-chain-bytes", suite="E9")
 def e9_chain_bytes_point(
     n: int, t: int, seed: int | str = 0, scheme: str = "schnorr-512"
 ) -> dict[str, Any]:
@@ -376,7 +391,7 @@ def e9_chain_bytes_point(
     }
 
 
-@workload("e9-compression")
+@workload("e9-compression", suite="E9")
 def e9_compression_point(
     n: int, t: int, seed: int | str = 0, value: Any = "v"
 ) -> dict[str, Any]:
@@ -421,7 +436,7 @@ def e9_compression_point(
     }
 
 
-@workload("e10-scheme")
+@workload("e10-scheme", suite="E10")
 def e10_scheme_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict[str, Any]:
     """One scheme-ablation cell: the three counts that must not depend on
     the signature scheme."""
@@ -439,7 +454,7 @@ def e10_scheme_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict[s
     }
 
 
-@workload("e10-walltime")
+@workload("e10-walltime", suite="E10")
 def e10_walltime_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict[str, Any]:
     """Coarse single-shot wall-clock of one keydist+FD run per scheme."""
     start = time.perf_counter()
@@ -456,7 +471,7 @@ def e10_walltime_point(n: int, t: int, scheme: str, seed: int | str = 0) -> dict
     }
 
 
-@workload("e11-methods")
+@workload("e11-methods", suite="E11")
 def e11_methods_point(
     n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -473,7 +488,7 @@ def e11_methods_point(
     }
 
 
-@workload("e11-feasibility")
+@workload("e11-feasibility", suite="E11")
 def e11_feasibility_point(
     n: int, t: int, seed: int | str = 0, scheme: str = COUNT_SCHEME
 ) -> dict[str, Any]:
@@ -495,4 +510,82 @@ def e11_feasibility_point(
         "agreement_feasible": agreement_feasible,
         "local_pair_ok": pair_ok,
         "faulty": n - 2,
+    }
+
+
+@workload("akd-shard", suite="E11/regress")
+def akd_shard_point(
+    n: int,
+    t: int,
+    seed: int | str = 0,
+    scheme: str = COUNT_SCHEME,
+    instances: tuple[int, ...] | None = None,
+    byzantine: tuple[tuple[int, str], ...] = (),
+) -> dict[int, Any]:
+    """One shard of an agreement-based key-distribution mux run.
+
+    The job :func:`repro.harness.parallel.run_mux_shards` ships to worker
+    processes: runs the full n-node simulation restricted to the given
+    instance subset and returns each instance's
+    :class:`~repro.sim.multiplex.InstanceAggregate` (settled metrics —
+    picklable, value-comparable).  ``byzantine`` is the picklable
+    adversary spec of :func:`repro.auth.agreement_based.akd_byzantine_protocol`.
+    Unlike the other registry entries this returns aggregates rather than
+    a flat count dict — it is executor plumbing, not a sweep point.
+    """
+    result = run_agreement_key_distribution(
+        n, t, scheme=scheme, seed=seed, byzantine=byzantine, instances=instances
+    )
+    return result.per_instance
+
+
+@workload("akd", suite="E11/regress")
+def akd_point(
+    n: int,
+    t: int,
+    seed: int | str = 0,
+    scheme: str = COUNT_SCHEME,
+    shard_workers: int = 0,
+    byzantine: tuple[tuple[int, str], ...] = (),
+) -> dict[str, Any]:
+    """One agreement-based key-distribution run: per-instance counts.
+
+    ``shard_workers > 1`` routes through the pipelined instance-shard
+    executor (:func:`repro.harness.parallel.run_mux_shards`); the counts
+    are shard-invariant by the mux equivalence property, so the flat
+    result is identical either way — only wall-clock and peak memory
+    change.
+    """
+    if shard_workers and shard_workers > 1:
+        from .parallel import run_mux_shards
+
+        per_instance = run_mux_shards(
+            "akd-shard",
+            {"n": n, "t": t, "seed": seed, "scheme": scheme, "byzantine": byzantine},
+            range(n),
+            workers=shard_workers,
+        )
+    else:
+        per_instance = run_agreement_key_distribution(
+            n, t, scheme=scheme, seed=seed, byzantine=byzantine
+        ).per_instance
+    messages = [agg.messages for agg in per_instance.values()]
+    byte_counts = [agg.bytes for agg in per_instance.values()]
+    agreed = all(
+        len({repr(v) for node, v in agg.decisions.items() if node != instance})
+        == 1
+        for instance, agg in per_instance.items()
+    )
+    return {
+        "n": n,
+        "t": t,
+        "instances": len(per_instance),
+        "messages": sum(messages),
+        "bytes": sum(byte_counts),
+        "rounds": max(agg.rounds for agg in per_instance.values()),
+        "instance_messages_min": min(messages),
+        "instance_messages_max": max(messages),
+        "instance_bytes_min": min(byte_counts),
+        "instance_bytes_max": max(byte_counts),
+        "agreed": agreed,
     }

@@ -5,16 +5,28 @@ delivery (N1) and authenticated immediate senders (N2).  See
 :mod:`repro.sim.scheduler` for the semantics and determinism contract.
 """
 
-from .message import Envelope, payload_kind
+from .message import Envelope, mux_unwrap, mux_wrap, payload_kind
 from .metrics import Metrics
+from .multiplex import (
+    MUX_OUTCOMES,
+    InstanceAggregate,
+    InstanceMux,
+    InstanceOutcome,
+    collect_instances,
+    merge_instance_aggregates,
+)
 from .node import NodeContext, NodeState, Protocol
-from .rng import node_rng
+from .rng import instance_rng, node_rng
 from .scheduler import Runner, RunResult, run_protocols
 from .trace import Trace, TraceEvent
 from .views import ReceivedMessage, View
 
 __all__ = [
     "Envelope",
+    "InstanceAggregate",
+    "InstanceMux",
+    "InstanceOutcome",
+    "MUX_OUTCOMES",
     "Metrics",
     "NodeContext",
     "NodeState",
@@ -25,6 +37,11 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "View",
+    "collect_instances",
+    "instance_rng",
+    "merge_instance_aggregates",
+    "mux_unwrap",
+    "mux_wrap",
     "node_rng",
     "payload_kind",
     "run_protocols",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..types import NodeId, Round
-from .message import Envelope
+from .message import Envelope, payload_kind
 from .node import NodeContext, Protocol
 
 
@@ -94,15 +94,31 @@ class PhaseHost:
 
     :param inner: the embedded protocol instance.
     :param offset: outer round at which the inner protocol's round 0 falls.
+    :param kinds: optional payload-kind filter: when set, :meth:`step`
+        hands the inner protocol only inbox envelopes whose
+        :func:`~repro.sim.message.payload_kind` is in ``kinds``.  This is
+        the same demultiplexing notion the instance mux
+        (:mod:`repro.sim.multiplex`) applies per instance, at phase
+        granularity — use it when the inner protocol's traffic is
+        kind-tagged and the outer run interleaves other phases' traffic.
+        Leave unset for protocols whose semantics depend on seeing *all*
+        traffic (failure discovery treats unexpected messages as
+        evidence).
 
     Call :meth:`step` every outer round within the window, passing the
     inbox messages that belong to the inner protocol; inspect
     :attr:`outcome` afterwards.
     """
 
-    def __init__(self, inner: Protocol, offset: Round) -> None:
+    def __init__(
+        self,
+        inner: Protocol,
+        offset: Round,
+        kinds: tuple[str, ...] | None = None,
+    ) -> None:
         self.inner = inner
         self.offset = offset
+        self.kinds = kinds
         self.outcome = PhaseOutcome()
         self._setup_done = False
 
@@ -110,6 +126,10 @@ class PhaseHost:
         """Run one embedded round (no-op once the inner protocol halted)."""
         if self.outcome.halted:
             return
+        if self.kinds is not None:
+            inbox = [
+                env for env in inbox if payload_kind(env.payload) in self.kinds
+            ]
         proxy = _PhaseProxyContext(ctx, self.offset, self.outcome)
         if not self._setup_done:
             self.inner.setup(proxy)  # type: ignore[arg-type]

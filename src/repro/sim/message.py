@@ -17,10 +17,22 @@ one sanctioned exception: a payload object exposing ``dense_byte_size()``
 (the succinct EIG engine's :class:`~repro.agreement.eigtree.RleReport`) is
 a *compressed stand-in* for a dense wire value, and the byte meters charge
 it at the dense value's exact size.  :func:`wire_byte_size` implements
-that accounting, including compressed payloads nested inside composition
-wrappers such as ``("akd", instance, payload)``; :func:`payload_kind`
-honours the object's ``kind`` tag so per-kind tallies stay
-engine-independent.
+that accounting, including compressed payloads nested inside the mux
+envelope extension below; :func:`payload_kind` honours the object's
+``kind`` tag so per-kind tallies stay engine-independent.
+
+Multiplex envelope extension
+----------------------------
+:mod:`repro.sim.multiplex` runs K independent protocol instances inside
+one run.  Their traffic shares the wire, so each instance's payloads are
+wrapped in the *mux extension*: an ordinary encodable tuple
+``(MUX_WIRE_TAG, channel, instance, payload)`` built by :func:`mux_wrap`
+and parsed by :func:`mux_unwrap`.  The wrapper is part of the payload —
+Byzantine nodes can forge or mangle it like any other wire value, and a
+wrapper that does not parse is delivered to no instance (dropped by the
+demux, exactly like other unintelligible noise).  Per-kind tallies
+attribute a well-formed wrapper to its channel, so run-level metrics
+breakdowns see ``"akd"`` rather than the transport-level tag.
 """
 
 from __future__ import annotations
@@ -54,6 +66,39 @@ class Envelope(NamedTuple):
         return wire_byte_size(self.payload)
 
 
+#: Head tag of the mux envelope extension (see module docstring).
+MUX_WIRE_TAG = "mux"
+
+
+def mux_wrap(channel: str, instance: int, payload: Any) -> tuple:
+    """Wrap one instance's payload in the mux envelope extension.
+
+    The result is a plain encodable tuple, so wrapped traffic obeys every
+    wire rule unchanged (canonical encoding, byte accounting, Byzantine
+    forgeability).  ``channel`` names the multiplexed protocol family
+    (e.g. ``"akd"``), ``instance`` the stream within it.
+    """
+    return (MUX_WIRE_TAG, channel, instance, payload)
+
+
+def mux_unwrap(payload: Any, channel: str) -> tuple[int, Any] | None:
+    """Parse a mux extension for ``channel``: ``(instance, inner)`` or None.
+
+    Anything that is not a well-formed wrapper for this channel — wrong
+    tag, wrong channel, non-int instance, wrong arity — yields ``None``:
+    the demux treats it as noise for no instance, never as a crash.
+    """
+    if (
+        type(payload) is tuple
+        and len(payload) == 4
+        and payload[0] == MUX_WIRE_TAG
+        and payload[1] == channel
+        and type(payload[2]) is int
+    ):
+        return payload[2], payload[3]
+    return None
+
+
 def payload_kind(payload: Any) -> str:
     """Classify a payload for metrics breakdowns.
 
@@ -62,8 +107,17 @@ def payload_kind(payload: Any) -> str:
     themselves via a string ``kind`` attribute (the succinct EIG report
     declares the same kind as its dense form, keeping per-kind counts
     engine-independent); anything else is grouped under its type name.
+    A well-formed mux wrapper is attributed to its *channel* — per-kind
+    tallies describe protocols, not the multiplexing transport.
     """
     if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        if (
+            payload[0] == MUX_WIRE_TAG
+            and len(payload) == 4
+            and isinstance(payload[1], str)
+            and type(payload[2]) is int
+        ):
+            return payload[1]
         return payload[0]
     kind = getattr(payload, "kind", None)
     if isinstance(kind, str):

@@ -29,6 +29,17 @@ every payload alive — the same order of retention as view recording,
 and freed wholesale with the :class:`~repro.sim.scheduler.RunResult`.
 Callers that accumulate many run results and want the bytes anyway can
 simply read ``bytes_total`` to settle and drop the references early.
+
+Per-instance attribution
+------------------------
+A run hosting multiplexed protocol instances
+(:mod:`repro.sim.multiplex`) carries one run-level ``Metrics`` (this
+module, owned by the scheduler, charging the mux-wrapped wire payloads)
+plus one ``Metrics`` *per instance*, fed by the mux with the instances'
+inner envelopes at their dense-equivalent sizes.  :meth:`Metrics.merge`
+folds per-instance instruments across nodes — or across shards of a
+partitioned run — into run-level aggregates; merging is settled counter
+addition, so aggregate values are independent of shard boundaries.
 """
 
 from __future__ import annotations
@@ -78,6 +89,39 @@ class Metrics:
         self._deferred_payloads.append((round_sent, envelope.payload))
         if round_sent >= self.rounds_used:
             self.rounds_used = round_sent + 1
+
+    def settle(self) -> "Metrics":
+        """Force byte settlement now; returns ``self`` for chaining.
+
+        Settling is incremental and idempotent — counters only ever grow
+        by the deferred batch, so periodic settles (as the instance mux
+        does once per round) bound deferred-list retention without
+        changing any total.  A settled ``Metrics`` holds no payload
+        references, which also makes it cheaply picklable: the sharded
+        executor settles before shipping per-instance metrics back to the
+        parent process.
+        """
+        self._settle()
+        return self
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another instrument's counts into this one.
+
+        Used for run-level aggregation of per-instance metrics (and for
+        merging one instance's per-node metrics across nodes or shards).
+        Both sides are settled first, so the merge is pure counter
+        addition — commutative and associative, hence deterministic
+        regardless of shard boundaries or merge order.
+        """
+        self._settle()
+        other._settle()
+        self.messages_total += other.messages_total
+        self.rounds_used = max(self.rounds_used, other.rounds_used)
+        self.messages_per_round.update(other.messages_per_round)
+        self.messages_per_sender.update(other.messages_per_sender)
+        self.messages_per_kind.update(other.messages_per_kind)
+        self._settled_bytes += other._settled_bytes
+        self._settled_bytes_per_round.update(other._settled_bytes_per_round)
 
     def _settle(self) -> None:
         """Encode all deferred payloads into the byte counters."""

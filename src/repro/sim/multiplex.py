@@ -1,0 +1,355 @@
+"""Instance multiplexing: K independent protocol instances in one run.
+
+The paper's cost argument against agreement-based key distribution rests
+on running *n concurrent* OM(t) instances in one execution ("n agreement
+instances cost n·[(n-1)+t(n-1)²] envelopes").  This module makes that
+concurrency a first-class primitive of the simulator rather than a
+private trick of one protocol: :class:`InstanceMux` runs any number of
+independent instances of any :class:`~repro.sim.node.Protocol` inside a
+single node behaviour, with
+
+* **stable wire tags** — every instance's traffic travels in the mux
+  envelope extension of :mod:`repro.sim.message` (``mux_wrap`` /
+  ``mux_unwrap``), demultiplexed back to per-instance inboxes on arrival;
+* **namespaced randomness** — each instance draws from
+  :func:`repro.sim.rng.instance_rng`, keyed by ``(master seed, node,
+  instance)``, so instance streams are mutually independent *and*
+  independent of which other instances share the run;
+* **per-instance metrics** — each instance's sends are also recorded, at
+  the inner payload's (dense-equivalent) size, into a per-instance
+  :class:`~repro.sim.metrics.Metrics`, settled every round to bound
+  retention; run-level aggregation is :func:`collect_instances`;
+* **per-instance outcomes** — decide / discover / halt land in an
+  :class:`InstanceOutcome` (a :class:`~repro.sim.compose.PhaseOutcome`
+  extended with identity and metrics), never in the real node state.
+
+Causal independence and sharding
+--------------------------------
+Instances that never read each other's state — the agreement-based
+key-distribution case: instance *i* is one OM(t) run about node *i*'s
+key — interact only through their own tagged traffic and their own rng
+streams.  A run over any *subset* of the instances therefore reproduces
+that subset's decisions, rounds and per-instance metrics bit-for-bit,
+which is what lets :func:`repro.harness.parallel.run_mux_shards` split
+the K instances of one logical run across worker processes and merge the
+per-instance results deterministically.  ``tests/harness/``'s sharding
+property test enforces the equivalence under random Byzantine behaviour.
+
+Composition
+-----------
+:class:`InstanceMux` is itself a :class:`~repro.sim.node.Protocol`: it
+can run directly under the scheduler, be embedded in a larger protocol
+through :class:`~repro.sim.compose.PhaseHost`, and host instances that
+themselves embed sub-protocols via ``PhaseHost`` — the three layerings
+the key-distribution and FD→BA stacks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..types import NodeId
+from .compose import PhaseOutcome
+from .message import Envelope, mux_unwrap, mux_wrap
+from .metrics import Metrics
+from .node import NodeContext, Protocol
+from .rng import instance_rng
+from .scheduler import RunResult
+
+#: Key under which a completed mux publishes its per-instance outcomes in
+#: ``NodeState.outputs``.
+MUX_OUTCOMES = "mux-outcomes"
+
+#: Default channel name for anonymous muxes.
+DEFAULT_CHANNEL = "mux"
+
+
+@dataclass
+class InstanceOutcome(PhaseOutcome):
+    """Captured effects and measurements of one multiplexed instance.
+
+    Generalizes :class:`~repro.sim.compose.PhaseOutcome` (decided /
+    decision / discovered / halted) with the instance's identity and its
+    own :class:`~repro.sim.metrics.Metrics`, fed with the instance's
+    *inner* envelopes — what this instance's protocol sent, charged at
+    dense-equivalent payload sizes, before mux wrapping.
+    """
+
+    instance: int = 0
+    metrics: Metrics = field(default_factory=Metrics)
+
+
+class _MuxInstanceContext:
+    """One instance's window onto the node: tagged sends, namespaced rng.
+
+    The mirror of :class:`repro.sim.compose._PhaseProxyContext`, per
+    instance instead of per phase: sends are wrapped in the mux envelope
+    extension (and mirrored into the instance's metrics), ``rng`` is the
+    instance's namespaced stream, and decide / discover / halt are
+    captured in the :class:`InstanceOutcome` instead of the node state.
+    Rounds pass through unshifted — all instances share the mux's round
+    frame (shift the whole mux with a ``PhaseHost`` if needed).
+    """
+
+    __slots__ = ("_ctx", "_channel", "_outcome", "_rng")
+
+    def __init__(self, ctx, channel: str, outcome: InstanceOutcome, rng) -> None:
+        self._ctx = ctx
+        self._channel = channel
+        self._outcome = outcome
+        self._rng = rng
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._ctx, item)
+
+    @property
+    def node(self) -> NodeId:
+        """This node's id (pass-through)."""
+        return self._ctx.node
+
+    @property
+    def n(self) -> int:
+        """Network size (pass-through)."""
+        return self._ctx.n
+
+    @property
+    def round(self) -> int:
+        """The mux's round frame, unshifted."""
+        return self._ctx.round
+
+    @property
+    def rng(self):
+        """The instance's namespaced random stream."""
+        return self._rng
+
+    @property
+    def state(self):
+        """The real node state (outputs only; terminal effects never
+        reach it through this proxy)."""
+        return self._ctx.state
+
+    def others(self) -> list[NodeId]:
+        """All node ids except this node's (pass-through)."""
+        return self._ctx.others()
+
+    def send(self, to: NodeId, payload: Any) -> None:
+        """Send ``payload`` on this instance's tagged stream."""
+        self._ctx.send(to, mux_wrap(self._channel, self._outcome.instance, payload))
+        self._outcome.metrics.record(
+            Envelope(self._ctx.node, to, payload, self._ctx.round)
+        )
+
+    def broadcast(self, payload: Any, to: list[NodeId] | None = None) -> None:
+        """Broadcast on this instance's stream.
+
+        Wraps once and hands every recipient the same wrapper object, so
+        the run-level lazy byte meters still deduplicate the encode by
+        identity (see :mod:`repro.sim.metrics`); the per-instance mirror
+        records the one shared inner payload per recipient likewise.
+        """
+        wrapped = mux_wrap(self._channel, self._outcome.instance, payload)
+        ctx = self._ctx
+        record = self._outcome.metrics.record
+        node, round_ = ctx.node, ctx.round
+        for recipient in ctx.others() if to is None else to:
+            ctx.send(recipient, wrapped)
+            record(Envelope(node, recipient, payload, round_))
+
+    def decide(self, value: Any) -> None:
+        """Capture the instance's decision."""
+        self._outcome.decided = True
+        self._outcome.decision = value
+
+    def discover_failure(self, reason: str) -> None:
+        """Capture the instance's failure discovery (first reason wins)."""
+        if self._outcome.discovered is None:
+            self._outcome.discovered = reason
+
+    def halt(self) -> None:
+        """Mark the instance finished; the mux stops stepping it."""
+        self._outcome.halted = True
+
+
+class _MuxSlot:
+    """Bookkeeping for one hosted instance."""
+
+    __slots__ = ("protocol", "outcome", "rng")
+
+    def __init__(self, protocol: Protocol, outcome: InstanceOutcome, rng) -> None:
+        self.protocol = protocol
+        self.outcome = outcome
+        self.rng = rng
+
+
+class InstanceMux(Protocol):
+    """Runs K independent protocol instances as one node behaviour.
+
+    :param instances: instance id -> that instance's protocol for *this
+        node*.  Ids need not be contiguous; iteration is always in sorted
+        id order (determinism).
+    :param channel: wire-tag channel shared by all nodes of one mux run.
+
+    Each round, the inbox is demultiplexed by the mux envelope extension
+    (non-parsing traffic is dropped — Byzantine noise belongs to no
+    instance) and every live instance is stepped with its own envelopes,
+    its own rng stream and its own metrics.  When every instance has
+    halted, the per-instance outcomes are published under
+    ``outputs[MUX_OUTCOMES]`` and the node halts.  Embedding protocols
+    that want to post-process (e.g. build a key directory from the
+    decisions) wrap the mux in a :class:`~repro.sim.compose.PhaseHost`
+    and read :attr:`outcomes` when the host reports the halt.
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[int, Protocol],
+        channel: str = DEFAULT_CHANNEL,
+    ) -> None:
+        self._channel = channel
+        self._protocols = {int(i): p for i, p in instances.items()}
+        self._slots: dict[int, _MuxSlot] = {}
+        self._live = 0
+
+    @property
+    def channel(self) -> str:
+        """The mux's wire-tag channel."""
+        return self._channel
+
+    @property
+    def outcomes(self) -> dict[int, InstanceOutcome]:
+        """instance id -> its outcome (shared, live objects)."""
+        return {i: slot.outcome for i, slot in self._slots.items()}
+
+    @property
+    def all_halted(self) -> bool:
+        """Whether every instance has halted."""
+        return self._live == 0 and bool(self._slots)
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Create per-instance outcomes and rng streams; set up instances."""
+        seed = ctx.seed
+        for instance in sorted(self._protocols):
+            outcome = InstanceOutcome(instance=instance)
+            rng = instance_rng(seed, ctx.node, instance, purpose=self._channel)
+            slot = _MuxSlot(self._protocols[instance], outcome, rng)
+            self._slots[instance] = slot
+            slot.protocol.setup(
+                _MuxInstanceContext(ctx, self._channel, outcome, rng)
+            )  # type: ignore[arg-type]
+        # An instance may already have halted inside its setup (a
+        # config-validating or crashed-from-start behaviour): count only
+        # the live ones, or _live could never reach zero.
+        self._live = sum(
+            1 for slot in self._slots.values() if not slot.outcome.halted
+        )
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Demultiplex, step every live instance, halt when all are done."""
+        slots = self._slots
+        per_instance: dict[int, list[Envelope]] = {}
+        channel = self._channel
+        for env in inbox:
+            parsed = mux_unwrap(env.payload, channel)
+            if parsed is None:
+                continue
+            instance, inner = parsed
+            if instance in slots:
+                per_instance.setdefault(instance, []).append(
+                    Envelope(env.sender, env.recipient, inner, env.round_sent)
+                )
+        for instance in sorted(slots):
+            slot = slots[instance]
+            outcome = slot.outcome
+            if outcome.halted:
+                continue
+            proxy = _MuxInstanceContext(ctx, channel, outcome, slot.rng)
+            slot.protocol.on_round(proxy, per_instance.get(instance, []))  # type: ignore[arg-type]
+            outcome.metrics.settle()
+            if outcome.halted:
+                self._live -= 1
+        if self._live == 0:
+            ctx.state.outputs[MUX_OUTCOMES] = self.outcomes
+            ctx.halt()
+
+
+@dataclass
+class InstanceAggregate:
+    """Run-level view of one instance across all participating nodes.
+
+    The cross-node mirror of :class:`InstanceOutcome`: where the outcome
+    captures what *one node* saw of the instance, the aggregate collects
+    every node's decision and discovery for it, plus the instance's
+    merged metrics (every node's per-instance instrument folded together
+    in node order).  Aggregates are plain picklable data with value
+    equality — the currency the sharded executor ships between processes
+    and the equivalence property tests compare bit-for-bit.
+    """
+
+    instance: int
+    decisions: dict[NodeId, Any] = field(default_factory=dict)
+    discovered: dict[NodeId, str] = field(default_factory=dict)
+    metrics: Metrics = field(default_factory=Metrics)
+
+    @property
+    def messages(self) -> int:
+        """Envelopes this instance's participants sent (all nodes)."""
+        return self.metrics.messages_total
+
+    @property
+    def bytes(self) -> int:
+        """Dense-equivalent payload bytes across the instance's envelopes."""
+        return self.metrics.bytes_total
+
+    @property
+    def rounds(self) -> int:
+        """Rounds (in the mux's frame) in which the instance had traffic."""
+        return self.metrics.rounds_used
+
+
+def collect_instances(run: RunResult) -> dict[int, InstanceAggregate]:
+    """Aggregate every node's published mux outcomes per instance.
+
+    Walks ``run.states`` in node order, so metric merging — commutative
+    anyway — happens in one canonical order.  Nodes that published no
+    :data:`MUX_OUTCOMES` (Byzantine behaviours that are not muxes, nodes
+    that never finished) simply contribute nothing; per-instance counts
+    therefore measure the *participating* nodes' traffic, matching the
+    library's convention that only correct-node counts are meaningfully
+    bounded.
+    """
+    aggregates: dict[int, InstanceAggregate] = {}
+    for state in run.states:
+        outcomes = state.outputs.get(MUX_OUTCOMES)
+        if not isinstance(outcomes, dict):
+            continue
+        for instance in sorted(outcomes):
+            outcome = outcomes[instance]
+            agg = aggregates.get(instance)
+            if agg is None:
+                agg = aggregates[instance] = InstanceAggregate(instance=instance)
+            if outcome.decided:
+                agg.decisions[state.node] = outcome.decision
+            if outcome.discovered is not None:
+                agg.discovered[state.node] = outcome.discovered
+            agg.metrics.merge(outcome.metrics)
+    return dict(sorted(aggregates.items()))
+
+
+def merge_instance_aggregates(
+    shards: Iterator[Mapping[int, InstanceAggregate]] | list,
+) -> dict[int, InstanceAggregate]:
+    """Combine disjoint per-shard aggregate maps into one, id-sorted.
+
+    :raises ValueError: if two shards claim the same instance — shards of
+        one logical run must partition the instance set.
+    """
+    merged: dict[int, InstanceAggregate] = {}
+    for shard in shards:
+        for instance, aggregate in shard.items():
+            if instance in merged:
+                raise ValueError(
+                    f"instance {instance} appears in more than one shard"
+                )
+            merged[instance] = aggregate
+    return dict(sorted(merged.items()))

@@ -78,6 +78,18 @@ class NodeContext:
         """The current round index (0-based)."""
         return self._runner.round
 
+    @property
+    def seed(self) -> int | str:
+        """The run's master seed.
+
+        Exposed so composition layers can derive *namespaced* streams —
+        :func:`repro.sim.rng.instance_rng` keys per-instance randomness by
+        ``(master seed, node, instance)`` — without threading the seed
+        through every protocol constructor.  Protocols themselves should
+        keep using :attr:`rng`.
+        """
+        return self._runner.seed
+
     def others(self) -> list[NodeId]:
         """All node ids except this node's, in id order."""
         return [i for i in range(self.n) if i != self.node]

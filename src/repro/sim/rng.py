@@ -29,3 +29,18 @@ def node_rng(master_seed: int | str, node: NodeId, purpose: str = "") -> random.
         f"repro/{master_seed}/{node}/{purpose}".encode("utf-8")
     ).digest()
     return random.Random(int.from_bytes(digest, "big"))
+
+
+def instance_rng(
+    master_seed: int | str, node: NodeId, instance: int, purpose: str = ""
+) -> random.Random:
+    """A deterministic ``Random`` for one *protocol instance* at ``node``.
+
+    Namespaced by ``(master_seed, node, instance)``: two instances
+    multiplexed at the same node draw statistically independent streams,
+    and — the property the sharded executor relies on — an instance's
+    stream does not depend on which *other* instances share its run.
+    ``instance`` is folded into the :func:`node_rng` purpose separator, so
+    instance streams can never collide with a node's plain streams.
+    """
+    return node_rng(master_seed, node, f"instance/{instance}/{purpose}")

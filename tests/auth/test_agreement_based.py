@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import keydist_messages
+from repro.analysis.complexity import akd_instance_envelopes
 from repro.auth import (
     agreement_keydist_envelopes,
     check_g1,
@@ -12,6 +13,7 @@ from repro.auth import (
     check_g3,
     run_agreement_key_distribution,
 )
+from repro.auth.agreement_based import akd_byzantine_protocol, validate_akd_instances
 from repro.errors import ConfigurationError
 from repro.faults import SilentProtocol
 
@@ -48,6 +50,26 @@ class TestHonestRuns:
         """The paper's cost argument, as an inequality."""
         assert agreement_keydist_envelopes(n, t) > keydist_messages(n)
 
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2)])
+    def test_per_instance_attribution_matches_closed_form(self, n, t):
+        """Every one of the n multiplexed OM(t) instances costs exactly
+        (n-1) + t(n-1)^2 envelopes, and the per-instance meters sum to
+        the run total (no traffic escapes attribution)."""
+        result = run_agreement_key_distribution(n, t, seed=n)
+        assert sorted(result.per_instance) == list(range(n))
+        for instance, agg in result.per_instance.items():
+            assert agg.messages == akd_instance_envelopes(n, t)
+            assert agg.rounds == t + 1
+            assert set(agg.decisions) == set(range(n))
+        assert (
+            sum(a.messages for a in result.per_instance.values())
+            == result.messages
+        )
+        assert (
+            sum(a.bytes for a in result.per_instance.values())
+            < result.run.metrics.bytes_total
+        )  # run level additionally charges the mux wrappers
+
 
 class TestFeasibilityBoundary:
     """'may not work because of too many faulty nodes' — measured."""
@@ -68,6 +90,50 @@ class TestFeasibilityBoundary:
         assert result.directories[0].predicates_for(1) == (
             result.keypairs[1].predicate,
         )
+
+
+class TestInstanceSubsets:
+    def test_rejects_empty_and_out_of_range_subsets(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            validate_akd_instances(7, ())
+        with pytest.raises(ConfigurationError, match="must lie in"):
+            validate_akd_instances(7, (0, 7))
+
+    def test_subset_normalised_sorted_deduplicated(self):
+        assert validate_akd_instances(7, (5, 1, 5, 3)) == (1, 3, 5)
+
+    def test_default_is_all_instances(self):
+        assert validate_akd_instances(4, None) == (0, 1, 2, 3)
+
+
+class TestByzantineSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown byzantine kind"):
+            akd_byzantine_protocol("gremlin", 7, 2, range(7))
+
+    def test_noise_spec_within_budget_preserves_agreement(self):
+        n, t = 7, 2
+        result = run_agreement_key_distribution(
+            n, t, seed=3, byzantine={6: "noise"}
+        )
+        correct = set(range(n)) - {6}
+        for observer in correct:
+            for subject in correct:
+                assert result.directories[observer].predicates_for(subject) == (
+                    result.keypairs[subject].predicate,
+                )
+
+    def test_explicit_adversaries_override_spec(self):
+        n, t = 7, 2
+        result = run_agreement_key_distribution(
+            n,
+            t,
+            seed=3,
+            byzantine={5: "noise"},
+            adversaries={5: SilentProtocol()},
+        )
+        # A silent node sends nothing: no envelope carries sender 5.
+        assert result.run.metrics.messages_per_sender[5] == 0
 
 
 class TestFaultTolerance:

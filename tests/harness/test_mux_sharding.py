@@ -1,0 +1,142 @@
+"""The pipelined instance-shard executor: bit-for-bit equivalence.
+
+The acceptance property of the mux subsystem: running the K instances of
+one agreement-based key-distribution execution through
+:func:`repro.harness.parallel.run_mux_shards` — any shard count, pooled
+or in-process — produces *identical* per-instance decisions, rounds and
+envelope/byte metrics to the single in-process
+:class:`~repro.sim.multiplex.InstanceMux` run, including under random
+Byzantine behaviour.  "Identical" is dataclass value equality on
+:class:`~repro.sim.multiplex.InstanceAggregate`, i.e. every decision,
+every counter, every byte — bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import run_agreement_key_distribution
+from repro.harness import run_mux_shards, shard_instances
+
+N, T = 7, 2
+SCHEME = "simulated-hmac"
+
+
+def full_run(seed, byzantine=()):
+    return run_agreement_key_distribution(
+        N, T, scheme=SCHEME, seed=seed, byzantine=byzantine
+    )
+
+
+def sharded(seed, byzantine=(), workers=3, in_process=True):
+    return run_mux_shards(
+        "akd-shard",
+        {"n": N, "t": T, "seed": seed, "scheme": SCHEME, "byzantine": byzantine},
+        range(N),
+        workers=workers,
+        in_process=in_process,
+    )
+
+
+@st.composite
+def byzantine_specs(draw):
+    """Up to T faulty nodes, each silent or mux-noise — as picklable
+    (node, kind) pairs, the form shard workers rebuild from."""
+    faulty = draw(
+        st.sets(st.integers(min_value=0, max_value=N - 1), max_size=T)
+    )
+    kinds = [
+        (node, draw(st.sampled_from(["silent", "noise"])))
+        for node in sorted(faulty)
+    ]
+    return tuple(kinds)
+
+
+class TestShardInstances:
+    def test_partition_is_contiguous_and_balanced(self):
+        assert shard_instances(range(7), 3) == [(0, 1, 2), (3, 4), (5, 6)]
+
+    def test_never_more_shards_than_instances(self):
+        assert shard_instances([5, 9], 8) == [(5,), (9,)]
+
+    def test_empty(self):
+        assert shard_instances([], 4) == []
+
+
+class TestEquivalenceProperty:
+    @given(spec=byzantine_specs(), seed=st.integers(0, 2**16),
+           workers=st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_equals_in_process_mux(self, spec, seed, workers):
+        """The engine-equivalence property: decisions, rounds and
+        per-instance envelope/byte metrics, bit-for-bit, under random
+        Byzantine behaviour and any shard count."""
+        full = full_run(seed, byzantine=spec)
+        shards = sharded(seed, byzantine=spec, workers=workers)
+        assert shards == full.per_instance, (
+            f"shard divergence; byzantine={spec}, workers={workers}"
+        )
+
+    def test_process_pool_transport_is_value_preserving(self):
+        """One pooled run (skipped gracefully where pools cannot start):
+        crossing the process boundary changes no value."""
+        spec = ((2, "noise"), (5, "silent"))
+        full = full_run(31, byzantine=spec)
+        pooled = sharded(31, byzantine=spec, workers=3, in_process=False)
+        assert pooled == full.per_instance
+
+    def test_every_shard_count_gives_the_same_merge(self):
+        full = full_run(8)
+        results = [sharded(8, workers=w) for w in (1, 2, 3, 7)]
+        for result in results:
+            assert result == full.per_instance
+
+
+class TestMergeSafety:
+    def test_foreign_instance_rejected(self):
+        def liar(instances=(), **params):
+            return {99: "not-yours"}
+
+        with pytest.raises(ValueError, match="foreign instance"):
+            run_mux_shards(liar, {}, range(4), workers=2, in_process=True)
+
+    def test_unpicklable_fn_warns_and_runs_in_process(self):
+        captured = []
+
+        def closure(instances=(), n=N, t=T, seed=0):  # noqa: ARG001
+            captured.append(tuple(instances))
+            return {
+                i: run_agreement_key_distribution(
+                    n, t, scheme=SCHEME, seed=seed, instances=(i,)
+                ).per_instance[i]
+                for i in instances
+            }
+
+        with pytest.warns(RuntimeWarning, match="closure.*not picklable"):
+            result = run_mux_shards(
+                closure, {"seed": 4}, range(N), workers=3, in_process=False
+            )
+        assert len(captured) == 3                   # still sharded
+        assert result == full_run(4).per_instance   # still equivalent
+
+
+class TestDirectoriesSurvivePort:
+    """The mux port must not change what AKD *means*."""
+
+    def test_full_run_directories_complete_and_uniform(self):
+        result = full_run(12)
+        for observer in range(N):
+            for subject in range(N):
+                assert result.directories[observer].predicates_for(subject) == (
+                    result.keypairs[subject].predicate,
+                )
+
+    def test_subset_run_binds_only_its_slice(self):
+        result = run_agreement_key_distribution(
+            N, T, scheme=SCHEME, seed=12, instances=(1, 3)
+        )
+        directory = result.directories[0]
+        assert directory.predicates_for(1) == (result.keypairs[1].predicate,)
+        assert directory.predicates_for(4) == ()

@@ -117,6 +117,26 @@ class TestFallbacks:
             )
         assert any("<lambda>" in str(w.message) for w in caught)
 
+    def test_fallback_names_workload_and_matches_parallel_semantics(self):
+        """The PR-2 degradation contract, end to end: the warning names
+        the *specific* offending workload (qualname, not a generic
+        message), and the serially-executed fallback returns exactly what
+        the parallel path returns for the same (picklable) computation —
+        the fallback degrades wall-clock, never values."""
+        points = grid(x=[3, 5, 8], seed=[0, 2])
+
+        def unpicklable_square(x, seed):  # closure by virtue of nesting
+            return _square(x, seed)
+
+        with pytest.warns(RuntimeWarning) as caught:
+            fallback = sweep_parallel(points, unpicklable_square, workers=3)
+        messages = [str(w.message) for w in caught]
+        assert any("unpicklable_square" in m for m in messages)
+        assert any("falling back to serial" in m for m in messages)
+        parallel = sweep_parallel(points, _square, workers=3)
+        assert [p.result for p in fallback] == [p.result for p in parallel]
+        assert [p.params for p in fallback] == [p.params for p in parallel]
+
     def test_single_worker_is_serial(self):
         assert sweep_parallel([{"x": 2, "seed": 0}], _square, workers=1) == sweep(
             [{"x": 2, "seed": 0}], _square

@@ -7,13 +7,20 @@ import pickle
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.harness import available_workloads, get_workload, resolve_workload
+from repro.harness import (
+    available_workloads,
+    get_workload,
+    resolve_workload,
+    workload_suite,
+)
 from repro.harness.workloads import WORKLOADS
 
 #: The registry contract the benchmark suites rely on: one name per
 #: E1-E11 sweep family (E1/E2/E3 share "fd"/"keydist"; E8 is the round
 #: table; the rest are experiment-specific).
 EXPECTED = {
+    "akd",
+    "akd-shard",
     "ba",
     "e10-scheme",
     "e10-walltime",
@@ -52,6 +59,15 @@ class TestRegistry:
     def test_unknown_name_lists_available(self):
         with pytest.raises(ConfigurationError, match="keydist"):
             get_workload("nope")
+
+    def test_every_workload_names_a_suite(self):
+        """list-workloads shows provenance: no registration without it."""
+        for name in available_workloads():
+            assert workload_suite(name) != "-", name
+
+    def test_suite_lookup_raises_for_unknown_names(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            workload_suite("nope")
 
     def test_duplicate_registration_rejected(self):
         from repro.harness.workloads import workload

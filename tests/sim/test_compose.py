@@ -71,3 +71,109 @@ class TestPhaseHost:
         rounds_before = list(protocols[0].inner.seen_rounds)
         host.step(None, [])  # ctx unused when halted
         assert protocols[0].inner.seen_rounds == rounds_before
+
+
+class _ImmediateInner(Protocol):
+    """Decides and halts in its own round 0 — the earliest possible."""
+
+    def __init__(self):
+        self.seen_rounds = []
+
+    def on_round(self, ctx, inbox):
+        self.seen_rounds.append(ctx.round)
+        ctx.decide(("instant", ctx.round))
+        ctx.halt()
+
+
+class TestRoundOffsetEdges:
+    """Window edges: deciding at inner round 0, halting mid-window."""
+
+    def test_inner_decides_in_its_round_zero_at_nonzero_offset(self):
+        class Outer(Protocol):
+            def __init__(self):
+                self.inner = _ImmediateInner()
+                self.host = None
+                self.decided_at = None
+
+            def setup(self, ctx):
+                self.host = PhaseHost(self.inner, offset=3)
+
+            def on_round(self, ctx, inbox):
+                if ctx.round >= 3:
+                    self.host.step(ctx, inbox)
+                if self.host.outcome.halted:
+                    self.decided_at = ctx.round
+                    ctx.decide(self.host.outcome.decision)
+                    ctx.halt()
+
+        protocols = [Outer(), Outer()]
+        result = run_protocols(protocols)
+        # Inner round 0 fell at outer round 3, and its decision was
+        # captured the same outer round it was made.
+        assert protocols[0].inner.seen_rounds == [0]
+        assert protocols[0].decided_at == 3
+        assert result.states[0].decision == ("instant", 0)
+
+    def test_inner_halting_inside_window_freezes_outcome(self):
+        """A window longer than the inner protocol: once the inner halts
+        mid-window, later steps are no-ops and the captured outcome does
+        not drift."""
+
+        class Outer(Protocol):
+            def __init__(self):
+                self.inner = _ImmediateInner()
+                self.host = None
+                self.snapshots = []
+
+            def setup(self, ctx):
+                self.host = PhaseHost(self.inner, offset=1)
+
+            def on_round(self, ctx, inbox):
+                if 1 <= ctx.round <= 4:  # window of 4 outer rounds
+                    self.host.step(ctx, inbox)
+                    self.snapshots.append(
+                        (self.host.outcome.halted, self.host.outcome.decision)
+                    )
+                if ctx.round >= 4:
+                    ctx.halt()
+
+        protocols = [Outer(), Outer()]
+        run_protocols(protocols)
+        outer = protocols[0]
+        assert outer.inner.seen_rounds == [0]  # stepped exactly once
+        assert outer.snapshots == [(True, ("instant", 0))] * 4
+
+    def test_kind_filter_hands_inner_only_its_traffic(self):
+        class Chatter(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0 and ctx.node == 0:
+                    ctx.broadcast(("wanted", 1))
+                    ctx.broadcast(("unwanted", 2))
+                ctx.halt()
+
+        class Listener(Protocol):
+            def __init__(self):
+                self.inner_inboxes = []
+                self.host = None
+
+            def setup(self, ctx):
+                inner = self
+
+                class Inner(Protocol):
+                    def on_round(self, ictx, inbox):
+                        inner.inner_inboxes.append(
+                            [env.payload for env in inbox]
+                        )
+                        if ictx.round >= 1:
+                            ictx.halt()
+
+                self.host = PhaseHost(Inner(), offset=0, kinds=("wanted",))
+
+            def on_round(self, ctx, inbox):
+                self.host.step(ctx, inbox)
+                if self.host.outcome.halted:
+                    ctx.halt()
+
+        protocols = [Chatter(), Listener()]
+        run_protocols(protocols)
+        assert protocols[1].inner_inboxes == [[], [("wanted", 1)]]

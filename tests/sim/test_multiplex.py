@@ -1,0 +1,339 @@
+"""Instance multiplexing: wire tags, demux, per-instance rng and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement.oral import OralAgreementProtocol
+from repro.analysis.complexity import om_envelopes
+from repro.faults import RandomNoiseProtocol
+from repro.sim import (
+    MUX_OUTCOMES,
+    Envelope,
+    InstanceMux,
+    NodeContext,
+    Protocol,
+    collect_instances,
+    instance_rng,
+    merge_instance_aggregates,
+    mux_unwrap,
+    mux_wrap,
+    payload_kind,
+    run_protocols,
+)
+from repro.sim.compose import PhaseHost
+
+
+class TestWireExtension:
+    def test_wrap_unwrap_round_trip(self):
+        wrapped = mux_wrap("akd", 3, ("om-value", "v"))
+        assert mux_unwrap(wrapped, "akd") == (3, ("om-value", "v"))
+
+    @pytest.mark.parametrize(
+        "noise",
+        [
+            ("mux", "akd", 3),                    # wrong arity
+            ("mux", "other", 3, "payload"),       # wrong channel
+            ("mux", "akd", "3", "payload"),       # non-int instance
+            ("akd", 3, "payload"),                # the old raw-tuple hack
+            "garbage",
+            b"raw",
+            42,
+        ],
+    )
+    def test_malformed_wrappers_parse_to_none(self, noise):
+        assert mux_unwrap(noise, "akd") is None
+
+    def test_payload_kind_attributes_to_channel(self):
+        assert payload_kind(mux_wrap("akd", 0, ("om-value", "v"))) == "akd"
+
+    def test_payload_kind_of_malformed_wrapper_is_the_raw_tag(self):
+        assert payload_kind(("mux", 1, 2)) == "mux"
+
+
+class _Echo(Protocol):
+    """Round 0: node 0 broadcasts; round 1: everyone decides on receipt."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0 and ctx.node == 0:
+            ctx.broadcast(("echo", "hello"))
+        if ctx.round >= 1:
+            values = [env.payload for env in inbox]
+            ctx.decide((ctx.node, values))
+            ctx.halt()
+
+
+class TestInstanceMux:
+    def _run(self, n=3, ids=(0, 1, 4)):
+        protocols = [
+            InstanceMux({k: _Echo() for k in ids}, channel="test")
+            for _ in range(n)
+        ]
+        return run_protocols(protocols, seed=7), protocols
+
+    def test_streams_are_isolated_and_demuxed(self):
+        run, protocols = self._run()
+        for mux in protocols:
+            for k, outcome in mux.outcomes.items():
+                assert outcome.halted and outcome.decided
+        # Each instance's receivers saw exactly their own instance's
+        # traffic, unwrapped.
+        _, values = protocols[1].outcomes[4].decision
+        assert values == [("echo", "hello")]
+
+    def test_outputs_published_and_node_halts(self):
+        run, _ = self._run()
+        for state in run.states:
+            assert state.halted
+            assert sorted(state.outputs[MUX_OUTCOMES]) == [0, 1, 4]
+
+    def test_per_instance_metrics_count_inner_envelopes(self):
+        run, protocols = self._run()
+        outcome = protocols[0].outcomes[1]
+        assert outcome.metrics.messages_total == 2      # node 0 -> 2 peers
+        assert outcome.metrics.messages_per_kind == {"echo": 2}
+        # Run-level accounting sees the wrapped traffic, attributed to
+        # the channel, and counts every instance.
+        assert run.metrics.messages_total == 6
+        assert run.metrics.messages_per_kind == {"test": 6}
+
+    def test_wrapper_overhead_is_charged_at_run_level_only(self):
+        run, protocols = self._run()
+        inner_bytes = sum(
+            mux.outcomes[k].metrics.bytes_total
+            for mux in protocols
+            for k in mux.outcomes
+        )
+        assert run.metrics.bytes_total > inner_bytes
+
+    def test_instance_halting_in_setup_does_not_wedge_the_mux(self):
+        """Regression: an instance that halts during its setup (a
+        config-validating or crashed-from-start behaviour) used to leave
+        the live count permanently positive, so the mux never halted and
+        the run hit the scheduler horizon."""
+
+        class HaltsInSetup(Protocol):
+            def setup(self, ctx):
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                raise AssertionError("stepped a setup-halted instance")
+
+        protocols = [
+            InstanceMux({0: HaltsInSetup(), 1: _Echo()}, channel="test")
+            for _ in range(2)
+        ]
+        run = run_protocols(protocols, seed=1)
+        for state in run.states:
+            assert state.halted
+            assert sorted(state.outputs[MUX_OUTCOMES]) == [0, 1]
+        assert protocols[0].outcomes[0].halted
+        assert protocols[0].outcomes[1].decided
+
+    def test_all_instances_halting_in_setup(self):
+        class HaltsInSetup(Protocol):
+            def setup(self, ctx):
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                raise AssertionError("stepped a setup-halted instance")
+
+        protocols = [InstanceMux({0: HaltsInSetup()}) for _ in range(2)]
+        run = run_protocols(protocols, seed=1)
+        assert run.rounds_executed == 1
+        assert all(state.halted for state in run.states)
+
+    def test_foreign_and_malformed_traffic_reaches_no_instance(self):
+        class Noisy(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.broadcast(("mux", "test", 99, "foreign-instance"))
+                    ctx.broadcast(("not-mux", "junk"))
+                ctx.halt()
+
+        protocols = [
+            Noisy(),
+            InstanceMux({0: _Echo()}, channel="test"),
+        ]
+        run = run_protocols(protocols, seed=1)
+        _, values = protocols[1].outcomes[0].decision
+        assert values == []  # nothing parsed into instance 0
+
+
+class TestInstanceRngNamespacing:
+    def test_streams_distinct_across_instances(self):
+        a = instance_rng(0, 1, 0)
+        b = instance_rng(0, 1, 1)
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_streams_distinct_from_node_stream(self):
+        from repro.sim import node_rng
+
+        assert instance_rng(0, 1, 0).random() != node_rng(0, 1).random()
+
+    def test_two_byzantine_instances_draw_distinct_streams(self):
+        """Regression: all instances at one node used to share the node's
+        one rng stream, so co-located Byzantine behaviours were clones."""
+        pool = (("noise", "a"), ("noise", "b"), ("noise", "c"))
+        mux = InstanceMux(
+            {0: RandomNoiseProtocol(pool, halt_after=4, max_sends=3),
+             1: RandomNoiseProtocol(pool, halt_after=4, max_sends=3)},
+            channel="test",
+        )
+        peers = [
+            InstanceMux({0: _Collector(), 1: _Collector()}, channel="test")
+            for _ in range(3)
+        ]
+        run = run_protocols([mux] + peers, seed=42)
+        sent = {0: [], 1: []}
+        for state in run.states[1:]:
+            for k, outcome in state.outputs[MUX_OUTCOMES].items():
+                sent[k].extend(outcome.decision)
+        # Both instances were noisy, and their draws differ.
+        assert sent[0] and sent[1]
+        assert sent[0] != sent[1]
+
+    def test_instance_stream_independent_of_corun_instances(self):
+        """The sharding precondition, at rng level: instance 0's draws do
+        not depend on instance 1 existing."""
+        pool = (("noise", "x"), ("noise", "y"))
+
+        def noise_sent(ids):
+            mux = InstanceMux(
+                {k: RandomNoiseProtocol(pool, halt_after=3) for k in ids},
+                channel="c",
+            )
+            peers = [
+                InstanceMux({k: _Collector() for k in ids}, channel="c")
+                for _ in range(2)
+            ]
+            run = run_protocols([mux] + peers, seed=5)
+            out = []
+            for state in run.states[1:]:
+                outcome = state.outputs[MUX_OUTCOMES][0]
+                out.append(outcome.decision)
+            return out
+
+        assert noise_sent((0,)) == noise_sent((0, 1))
+
+
+class _Collector(Protocol):
+    """Accumulates every received payload; decides the list at round 4."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_round(self, ctx, inbox):
+        self.received.extend(env.payload for env in inbox)
+        if ctx.round >= 4:
+            ctx.decide(tuple(self.received))
+            ctx.halt()
+
+
+class _Late(Protocol):
+    """Decides in its round 0 — exercises PhaseHost round-offset edges."""
+
+    def __init__(self):
+        self.seen = []
+
+    def on_round(self, ctx, inbox):
+        self.seen.append(ctx.round)
+        ctx.decide(("late", ctx.node))
+        ctx.halt()
+
+
+class _HostedInstance(Protocol):
+    """An instance that embeds a sub-protocol through PhaseHost at
+    offset 1 — PhaseHost *inside* InstanceMux."""
+
+    def __init__(self):
+        self.inner = _Late()
+        self.host = None
+
+    def setup(self, ctx):
+        self.host = PhaseHost(self.inner, offset=1)
+
+    def on_round(self, ctx, inbox):
+        if ctx.round >= 1:
+            self.host.step(ctx, inbox)
+        if self.host.outcome.halted:
+            ctx.decide(("wrapped", self.host.outcome.decision))
+            ctx.halt()
+
+
+class TestNestedHosts:
+    def test_phasehost_inside_instancemux(self):
+        protocols = [
+            InstanceMux({0: _HostedInstance(), 2: _HostedInstance()},
+                        channel="nest")
+            for _ in range(2)
+        ]
+        run = run_protocols(protocols, seed=3)
+        # The inner protocol saw its own shifted round 0, inside the mux.
+        for node, mux in enumerate(protocols):
+            for k, outcome in mux.outcomes.items():
+                assert outcome.decision == ("wrapped", ("late", node))
+        hosted = protocols[0]._protocols[2]
+        assert hosted.inner.seen == [0]
+        assert run.states[0].halted
+
+    def test_instancemux_inside_phasehost(self):
+        """The embedding agreement-based key distribution uses."""
+
+        class Outer(Protocol):
+            def __init__(self):
+                self.mux = InstanceMux({0: _Echo()}, channel="deep")
+                self.host = None
+
+            def setup(self, ctx):
+                self.host = PhaseHost(self.mux, offset=0)
+
+            def on_round(self, ctx, inbox):
+                self.host.step(ctx, inbox)
+                if self.host.outcome.halted:
+                    ctx.decide(self.mux.outcomes[0].decision)
+                    ctx.halt()
+
+        protocols = [Outer(), Outer()]
+        run = run_protocols(protocols, seed=2)
+        assert run.states[1].decision == (1, [("echo", "hello")])
+
+
+class TestAggregation:
+    def test_collect_instances_matches_formula(self):
+        n, t = 7, 2
+        protocols = [
+            InstanceMux(
+                {
+                    k: OralAgreementProtocol(
+                        n, t, value="v" if k == node else None,
+                        default=None, sender=k,
+                    )
+                    for k in range(n)
+                },
+                channel="om",
+            )
+            for node in range(n)
+        ]
+        run = run_protocols(protocols, seed=11)
+        aggregates = collect_instances(run)
+        assert sorted(aggregates) == list(range(n))
+        for k, agg in aggregates.items():
+            assert agg.messages == om_envelopes(n, t)
+            assert agg.rounds == t + 1
+            non_senders = {node for node in range(n) if node != k}
+            assert set(agg.decisions) == set(range(n))
+            assert {repr(agg.decisions[p]) for p in non_senders} == {"'v'"}
+        assert (
+            sum(a.messages for a in aggregates.values())
+            == run.metrics.messages_total
+        )
+
+    def test_merge_rejects_overlapping_shards(self):
+        run_aggs = {0: "a"}
+        with pytest.raises(ValueError, match="more than one shard"):
+            merge_instance_aggregates([run_aggs, {0: "b"}])
+
+    def test_merge_sorts_by_instance(self):
+        merged = merge_instance_aggregates([{3: "c"}, {1: "a"}])
+        assert list(merged) == [1, 3]

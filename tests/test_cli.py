@@ -89,6 +89,61 @@ class TestAttack:
         ) == 2
 
 
+class TestListWorkloads:
+    def test_lists_names_suites_and_picklability(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for token in ("akd", "keydist", "e11-methods", "E11", "picklable", "yes"):
+            assert token in out
+
+
+class TestRunWorkload:
+    def test_runs_registry_entry_without_pytest(self, capsys):
+        assert main(
+            ["run", "--workload", "keydist", "--param", "n=5",
+             "--param", "seed=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "60" in out  # 3*5*4 messages
+
+    def test_coerces_string_params(self, capsys):
+        assert main(
+            ["run", "--workload", "oral", "--param", "n=7", "--param", "t=2",
+             "--param", "engine=dense"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "78" in out  # (n-1) + t(n-1)^2 envelopes
+
+    def test_akd_mux_workload_runs(self, capsys):
+        assert main(
+            ["run", "--workload", "akd", "--param", "n=4", "--param", "t=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instance_messages_min" in out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["run", "--workload", "no-such"]) == 2
+
+    def test_infeasible_params_exit_1_with_message(self, capsys):
+        """Workload-level errors print like every other subcommand —
+        message + nonzero exit, no traceback."""
+        assert main(
+            ["run", "--workload", "akd", "--param", "n=6", "--param", "t=2"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "workload akd" in err and "n > 3t" in err
+
+    def test_bad_param_name_exits_1(self, capsys):
+        assert main(
+            ["run", "--workload", "keydist", "--param", "bogus=1"]
+        ) == 1
+        assert "bogus" in capsys.readouterr().err
+
+    def test_malformed_param_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "keydist", "--param", "n5"])
+
+
 class TestFormulas:
     def test_prints_all_claims(self, capsys):
         assert main(["formulas", "--n", "16", "--t", "5"]) == 0
