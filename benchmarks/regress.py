@@ -64,6 +64,13 @@ try:  # AKD mux grid: instance multiplexer (PR 3+ source trees only)
 except ImportError:  # pragma: no cover - only on old source trees
     HAS_INSTANCE_MUX = False
 
+try:  # delivery-model grid: event kernel (PR 4+ source trees only)
+    from repro.sim import network as _network  # noqa: F401
+
+    HAS_EVENT_KERNEL = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_EVENT_KERNEL = False
+
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
 SCHEME = "simulated-hmac"
@@ -181,6 +188,23 @@ def _akd(n: int, t: int) -> dict[str, Any]:
     }
 
 
+def _kernel_delivery(workload: str, n: int, t: int, delivery: str, faulty: int) -> dict[str, Any]:
+    """One E12 point on the kernel's general (non-lock-step) event path.
+
+    These experiments exercise the calendar-queue machinery the
+    lock-step fast path skips; their counts are as deterministic as
+    every other experiment's (delivery jitter is seed-derived).
+    """
+    from repro.harness.workloads import get_workload
+
+    result = get_workload(workload)(n, t, delivery=delivery, faulty=faulty, seed=n)
+    return {
+        "messages": result["messages"],
+        "rounds": result["rounds"],
+        "ticks": result["ticks"],
+    }
+
+
 #: Experiments too heavy for best-of-``--repeats`` timing: measured once.
 #: Bounds the full-suite wall-clock; single-shot numbers are noisier, so
 #: the gate only ever compares these by *count* (full sections are
@@ -203,6 +227,17 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
         if HAS_INSTANCE_MUX:
             # The mux hot path at CI size: 7 concurrent OM(2) instances.
             suite.append(("akd_n7_t2", lambda: _akd(7, 2)))
+        if HAS_EVENT_KERNEL:
+            # Kernel general-path points at CI size: the same protocols
+            # under bounded-delay and rushing delivery models.
+            suite.append(
+                ("kernel_oral_bounded2_n13_t3",
+                 lambda: _kernel_delivery("e12-oral", 13, 3, "bounded:2", 0))
+            )
+            suite.append(
+                ("kernel_fd_rush_n13_t3",
+                 lambda: _kernel_delivery("e12-fd", 13, 3, "rush", 1))
+            )
     else:
         # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
         # budget.  The tree is exponential in t: t=10 at n=32 would mean
@@ -220,6 +255,19 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             # ~2e6 tree paths *per node* here (hundreds of GiB).
             suite.append(("oral_n64_t3", lambda: _oral(64, 3)))
             suite.append(("oral_n128_t3", lambda: _oral(128, 3)))
+        if HAS_EVENT_KERNEL:
+            # Kernel general-path points at full size: calendar-queue
+            # overhead is measured where it actually runs (the lock-step
+            # experiments above measure the fast path's zero-overhead
+            # claim instead).
+            suite.append(
+                ("kernel_oral_bounded2_n32_t3",
+                 lambda: _kernel_delivery("e12-oral", 32, 3, "bounded:2", 0))
+            )
+            suite.append(
+                ("kernel_ba_rush_n32_t10",
+                 lambda: _kernel_delivery("e12-ba", 32, 10, "rush", 2))
+            )
         if HAS_INSTANCE_MUX and HAS_SUCCINCT_ENGINE:
             # Agreement-based key distribution at scale: n concurrent
             # OM(t) instances through the instance multiplexer.  The

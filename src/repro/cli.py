@@ -5,6 +5,7 @@ Installed as the ``repro-fd`` console script::
     repro-fd keydist --n 8                      # paper Fig. 1
     repro-fd fd --n 8 --t 2 --auth local        # paper Fig. 2 on local auth
     repro-fd fd --n 8 --t 2 --protocol echo     # the O(n*t) baseline
+    repro-fd fd --n 8 --t 2 --delivery bounded:3  # FD under delivery skew
     repro-fd ba --n 8 --t 2                     # FD→BA extension
     repro-fd amortize --n 16 --t 5 --runs 20    # the Summary's ledger
     repro-fd attack --list                      # the §3.2 attack catalogue
@@ -12,6 +13,8 @@ Installed as the ``repro-fd`` console script::
     repro-fd formulas --n 16 --t 5              # every complexity claim
     repro-fd list-workloads                     # the sweep registry
     repro-fd run --workload oral --param n=7 --param t=2
+    repro-fd run --workload e12-fd --param delivery=rush \\
+        --param faulty=1 --trace                # dump the event log
 
 Every command prints the measured counts next to the paper's formula and
 exits non-zero if any FD/BA condition is violated, so the CLI can serve
@@ -44,6 +47,19 @@ from .harness import (
     run_ba_scenario,
     run_fd_scenario,
 )
+
+
+def _add_delivery(parser: argparse.ArgumentParser) -> None:
+    from .sim import available_deliveries
+
+    parser.add_argument(
+        "--delivery",
+        default="sync",
+        metavar="SPEC",
+        help="delivery model spec: "
+        + ", ".join(available_deliveries())
+        + " (e.g. 'bounded:3', 'rush'; default sync — the paper's model)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser, with_t: bool = True) -> None:
@@ -90,6 +106,7 @@ def _cmd_fd(args: argparse.Namespace) -> int:
         auth=args.auth,
         scheme=args.scheme,
         seed=args.seed,
+        delivery=args.delivery,
     )
     metrics = outcome.run.metrics
     expected = (
@@ -105,6 +122,7 @@ def _cmd_fd(args: argparse.Namespace) -> int:
             [
                 ["protocol", args.protocol],
                 ["authentication", args.auth],
+                ["delivery", args.delivery],
                 ["messages", metrics.messages_total],
                 ["paper formula", expected],
                 ["rounds", metrics.rounds_used],
@@ -127,6 +145,7 @@ def _cmd_ba(args: argparse.Namespace) -> int:
         auth=args.auth,
         scheme=args.scheme,
         seed=args.seed,
+        delivery=args.delivery,
     )
     metrics = outcome.run.metrics
     print(
@@ -134,6 +153,7 @@ def _cmd_ba(args: argparse.Namespace) -> int:
             ["quantity", "value"],
             [
                 ["protocol", args.protocol],
+                ["delivery", args.delivery],
                 ["messages", metrics.messages_total],
                 ["SM(t) direct would cost", sm_messages(args.n, args.t)],
                 ["rounds", metrics.rounds_used],
@@ -259,7 +279,12 @@ def _cmd_formulas(args: argparse.Namespace) -> int:
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
     import pickle
 
-    from .harness import available_workloads, get_workload, workload_suite
+    from .harness import (
+        available_workloads,
+        get_workload,
+        workload_deliveries,
+        workload_suite,
+    )
 
     rows = []
     for name in available_workloads():
@@ -269,10 +294,17 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
             picklable = "yes"
         except Exception:
             picklable = "NO"
-        rows.append([name, workload_suite(name), picklable])
+        rows.append(
+            [
+                name,
+                workload_suite(name),
+                ",".join(workload_deliveries(name)),
+                picklable,
+            ]
+        )
     print(
         render_table(
-            ["workload", "suite", "picklable"],
+            ["workload", "suite", "deliveries", "picklable"],
             rows,
             title="registered workloads (repro.harness.workloads)",
         )
@@ -302,6 +334,8 @@ def _parse_workload_params(raw: Sequence[str]) -> dict[str, object]:
 
 
 def _cmd_run_workload(args: argparse.Namespace) -> int:
+    import inspect
+
     from .errors import ConfigurationError
     from .harness import get_workload
 
@@ -310,14 +344,27 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    params = _parse_workload_params(args.param)
+    if args.trace:
+        if "trace" not in inspect.signature(fn).parameters:
+            print(
+                f"workload {args.workload} does not support --trace "
+                "(no 'trace' parameter)",
+                file=sys.stderr,
+            )
+            return 2
+        params["trace"] = True
     try:
-        result = fn(**_parse_workload_params(args.param))
+        result = fn(**params)
     except (ConfigurationError, TypeError, ValueError) as exc:
         # Bad parameter names or infeasible (n, t) combinations: report
         # like every other subcommand — message + nonzero exit, no
         # traceback (the CLI doubles as an automation smoke-check).
         print(f"workload {args.workload}: {exc}", file=sys.stderr)
         return 1
+    trace_dump = None
+    if isinstance(result, dict):
+        trace_dump = result.pop("trace", None)
     if isinstance(result, dict) and all(isinstance(k, str) for k in result):
         print(
             render_table(
@@ -328,6 +375,9 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
         )
     else:
         print(result)
+    if trace_dump is not None:
+        print("\nstructured event log:")
+        print(trace_dump)
     return 0
 
 
@@ -372,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
     p.add_argument("--value", default="demo-value")
+    _add_delivery(p)
     p.set_defaults(func=_cmd_fd)
 
     p = sub.add_parser("ba", help="run a Byzantine agreement protocol")
@@ -379,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", default="extension", choices=["extension", "signed"])
     p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
     p.add_argument("--value", default="demo-value")
+    _add_delivery(p)
     p.set_defaults(func=_cmd_ba)
 
     p = sub.add_parser("amortize", help="repeated FD runs: the Summary's ledger")
@@ -412,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="workload parameter (repeatable); ints/floats/bools coerced",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="dump the run's structured event log (workloads with a "
+        "'trace' parameter, e.g. the E12 delivery sweeps)",
     )
     p.set_defaults(func=_cmd_run_workload)
 

@@ -12,6 +12,7 @@
 from .behaviors import (
     CrashProtocol,
     RandomNoiseProtocol,
+    RushMirrorProtocol,
     ScriptedProtocol,
     SilentProtocol,
     TamperingProtocol,
@@ -44,6 +45,7 @@ __all__ = [
     "ImpersonatingChainNode",
     "MixedPredicateAttack",
     "RandomNoiseProtocol",
+    "RushMirrorProtocol",
     "ScriptedProtocol",
     "SharedKeyAttack",
     "SilentProtocol",

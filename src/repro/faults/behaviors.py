@@ -148,6 +148,44 @@ class ScriptedProtocol(Protocol):
             ctx.halt()
 
 
+class RushMirrorProtocol(Protocol):
+    """Re-emits every observed payload to the other nodes, every round.
+
+    The reference *rushing strategy*: under
+    :class:`~repro.sim.network.AdversarialOrder` this node receives the
+    honest round-``r`` traffic addressed to it *within* round ``r`` and
+    mirrors it onward in the same round — its copies arrive at
+    ``r + 1`` alongside (and indistinguishable in timing from) the
+    originals, which no lock-step adversary can arrange.  Run under
+    lock-step or bounded-delay models the identical behaviour only ever
+    mirrors stale traffic, so sweeping the delivery axis with this one
+    strategy isolates exactly what *scheduling power* (rather than a
+    different attack) changes about agreement and discovery outcomes —
+    the comparison experiment E12 tabulates.
+
+    :param halt_after: round after which the node halts.
+    :param max_mirrors: cap on mirrored copies per round (keeps the
+        traffic amplification bounded; earliest observations win).
+    """
+
+    def __init__(self, halt_after: Round, max_mirrors: int = 16) -> None:
+        self._halt_after = halt_after
+        self._max_mirrors = max_mirrors
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        mirrored = 0
+        for env in inbox:
+            for recipient in ctx.others():
+                if recipient == env.sender:
+                    continue
+                if mirrored >= self._max_mirrors:
+                    break
+                ctx.send(recipient, env.payload)
+                mirrored += 1
+        if ctx.round >= self._halt_after:
+            ctx.halt()
+
+
 class RandomNoiseProtocol(Protocol):
     """Sends random payloads from a pool to random peers, every round.
 

@@ -22,6 +22,7 @@ from .workloads import (
     available_workloads,
     get_workload,
     resolve_workload,
+    workload_deliveries,
     workload_suite,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "standard_sizes",
     "sweep",
     "sweep_parallel",
+    "workload_deliveries",
     "workload_suite",
 ]

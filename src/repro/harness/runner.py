@@ -34,7 +34,7 @@ from ..fd import (
     make_echo_fd_protocols,
     make_small_range_protocols,
 )
-from ..sim import Protocol, RunResult, run_protocols
+from ..sim import DeliveryModel, Protocol, RunResult, make_delivery, run_protocols
 from ..types import NodeId
 
 #: Authentication modes: the paper's new mechanism vs the classic baseline.
@@ -110,6 +110,8 @@ def run_fd_scenario(
     kd_adversaries: dict[NodeId, Protocol] | None = None,
     fd_adversary_factory: AdversaryFactory | None = None,
     faulty: set[NodeId] | None = None,
+    delivery: str | DeliveryModel | None = None,
+    record_trace: bool = False,
 ) -> ScenarioOutcome:
     """Run one Failure Discovery scenario end to end.
 
@@ -121,6 +123,12 @@ def run_fd_scenario(
         once key material exists.
     :param faulty: the faulty-node set for evaluation; inferred from the
         two adversary collections when omitted.
+    :param delivery: delivery model for the FD run — an instance or a
+        spec string (see :func:`repro.sim.make_delivery`); a ``"rush"``
+        spec without an explicit node list rushes the faulty set.  The
+        key-distribution phase always runs lock-step (it establishes the
+        baseline the paper assumes); only the FD phase is skewed.
+    :param record_trace: capture the FD run's structured event log.
     """
     if (
         protocol == "echo"
@@ -164,7 +172,12 @@ def run_fd_scenario(
     else:
         raise ConfigurationError(f"unknown FD protocol {protocol!r}")
 
-    run = run_protocols(protocols, seed=seed)
+    run = run_protocols(
+        protocols,
+        seed=seed,
+        delivery=make_delivery(delivery, rushing=faulty),
+        record_trace=record_trace,
+    )
     fd_eval = evaluate_fd(run, correct, sender=0, sender_value=value)
     return ScenarioOutcome(kd=kd, run=run, fd=fd_eval, ba=None, correct=correct)
 
@@ -180,10 +193,15 @@ def run_ba_scenario(
     kd_adversaries: dict[NodeId, Protocol] | None = None,
     ba_adversary_factory: AdversaryFactory | None = None,
     faulty: set[NodeId] | None = None,
+    delivery: str | DeliveryModel | None = None,
+    record_trace: bool = False,
 ) -> ScenarioOutcome:
     """Run one Byzantine Agreement scenario end to end.
 
     :param protocol: ``"extension"`` (FD→BA) or ``"signed"`` (SM(t)).
+    :param delivery: delivery model for the BA run (instance or spec
+        string; ``"rush"`` without node list rushes the faulty set).
+    :param record_trace: capture the BA run's structured event log.
     """
     keypairs, directories, kd = setup_authentication(
         n, auth=auth, scheme=scheme, seed=seed, kd_adversaries=kd_adversaries
@@ -208,6 +226,11 @@ def run_ba_scenario(
     else:
         raise ConfigurationError(f"unknown BA protocol {protocol!r}")
 
-    run = run_protocols(protocols, seed=seed)
+    run = run_protocols(
+        protocols,
+        seed=seed,
+        delivery=make_delivery(delivery, rushing=faulty),
+        record_trace=record_trace,
+    )
     ba_eval = evaluate_ba(run, correct, sender=0, sender_value=value)
     return ScenarioOutcome(kd=kd, run=run, fd=None, ba=ba_eval, correct=correct)

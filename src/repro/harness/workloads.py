@@ -31,9 +31,9 @@ from ..auth import (
     run_key_distribution,
 )
 from ..errors import ConfigurationError
-from ..faults import SilentProtocol, TamperingProtocol
+from ..faults import RushMirrorProtocol, SilentProtocol, TamperingProtocol
 from ..fd.smallrange import OptimisticBinaryChainProtocol
-from ..sim import run_protocols
+from ..sim import make_delivery, run_protocols
 from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
 from .scenarios import attack_catalogue
 from .session import AmortizedSession
@@ -49,12 +49,23 @@ WORKLOADS: dict[str, Callable[..., dict[str, Any]]] = {}
 #: :data:`WORKLOADS`; surfaced by ``repro-fd list-workloads``.
 WORKLOAD_SUITES: dict[str, str] = {}
 
+#: name -> delivery-model spec names the workload supports.  Workloads
+#: without a ``delivery`` parameter run lock-step only (``("sync",)``);
+#: the E12 sweeps accept any registered spec.  Surfaced by
+#: ``repro-fd list-workloads``.
+WORKLOAD_DELIVERIES: dict[str, tuple[str, ...]] = {}
 
-def workload(name: str, suite: str = "-") -> Callable[[Callable], Callable]:
+
+def workload(
+    name: str, suite: str = "-", deliveries: tuple[str, ...] = ("sync",)
+) -> Callable[[Callable], Callable]:
     """Register a point function under a stable sweep name.
 
     :param suite: the benchmark suite(s) the workload backs (``"E1/E2"``,
         ``"regress"`` ...), shown by ``repro-fd list-workloads``.
+    :param deliveries: delivery-model spec names the workload supports
+        (most are lock-step only; the E12 sweeps take a ``delivery``
+        parameter and accept any registered spec).
     """
 
     def register(fn: Callable) -> Callable:
@@ -62,6 +73,7 @@ def workload(name: str, suite: str = "-") -> Callable[[Callable], Callable]:
             raise ConfigurationError(f"workload {name!r} registered twice")
         WORKLOADS[name] = fn
         WORKLOAD_SUITES[name] = suite
+        WORKLOAD_DELIVERIES[name] = tuple(deliveries)
         return fn
 
     return register
@@ -76,6 +88,12 @@ def workload_suite(name: str) -> str:
     """The suite label a workload was registered under."""
     get_workload(name)  # raise uniformly for unknown names
     return WORKLOAD_SUITES.get(name, "-")
+
+
+def workload_deliveries(name: str) -> tuple[str, ...]:
+    """The delivery-model specs a workload supports."""
+    get_workload(name)  # raise uniformly for unknown names
+    return WORKLOAD_DELIVERIES.get(name, ("sync",))
 
 
 def get_workload(name: str) -> Callable[..., dict[str, Any]]:
@@ -511,6 +529,161 @@ def e11_feasibility_point(
         "local_pair_ok": pair_ok,
         "faulty": n - 2,
     }
+
+
+def _mirror_nodes(n: int, faulty: int) -> tuple[int, ...]:
+    """The conventional E12 Byzantine set: the ``faulty`` highest ids
+    (never node 0 — the commander/disseminator stays honest)."""
+    if faulty < 0 or faulty >= n:
+        raise ConfigurationError(f"faulty must be in 0..{n - 1}, got {faulty}")
+    return tuple(range(n - faulty, n))
+
+
+def _mirror_factory(mirrors: tuple[int, ...], t: int):
+    """Adversary factory installing rushing mirrors, or None for none."""
+    if not mirrors:
+        return None
+
+    def factory(keypairs, directories):
+        return {node: RushMirrorProtocol(halt_after=t + 2) for node in mirrors}
+
+    return factory
+
+
+def _e12_result(
+    run, n: int, t: int, delivery: str, faulty: int, trace: bool, **outcome: Any
+) -> dict[str, Any]:
+    """The shared E12 result shape: identity + timing counters + the
+    probe-specific outcome fields, plus the event log when asked."""
+    result = {
+        "n": n,
+        "t": t,
+        "delivery": delivery,
+        "faulty": faulty,
+        **outcome,
+        "rounds": run.metrics.rounds_used,
+        "ticks": run.rounds_executed,
+        "messages": run.metrics.messages_total,
+        "mean_lag": round(run.metrics.mean_delivery_lag, 4),
+    }
+    if trace and run.trace is not None:
+        result["trace"] = run.trace.format()
+    return result
+
+
+@workload("e12-oral", suite="E12/regress", deliveries=("sync", "bounded", "rush"))
+def e12_oral_point(
+    n: int,
+    t: int,
+    delivery: str = "sync",
+    faulty: int = 0,
+    seed: int | str = 0,
+    value: Any = "v",
+    trace: bool = False,
+) -> dict[str, Any]:
+    """One OM(t) oral-agreement run under a chosen delivery model.
+
+    The E12 axis: the *same* protocols and the same Byzantine strategy
+    (:class:`~repro.faults.RushMirrorProtocol` on the ``faulty`` highest
+    ids) swept across ``sync`` / ``bounded:d`` / ``rush`` delivery
+    specs, so outcome divergence is attributable to network timing
+    alone.  Under ``rush`` the mirrors are the rushing set.
+    """
+    protocols = make_oral_agreement_protocols(n, t, value)
+    mirrors = _mirror_nodes(n, faulty)
+    for node in mirrors:
+        protocols[node] = RushMirrorProtocol(halt_after=t + 2)
+    run = run_protocols(
+        protocols,
+        seed=seed,
+        delivery=make_delivery(delivery, rushing=mirrors),
+        record_trace=trace,
+    )
+    honest = {
+        node: val
+        for node, val in run.decisions().items()
+        if node not in mirrors
+    }
+    return _e12_result(
+        run, n, t, delivery, faulty, trace,
+        agreed=len(set(map(repr, honest.values()))) == 1,
+        decision=repr(min(honest.items())[1]) if honest else None,
+        decided=len(honest),
+    )
+
+
+@workload("e12-fd", suite="E12/regress", deliveries=("sync", "bounded", "rush"))
+def e12_fd_point(
+    n: int,
+    t: int,
+    delivery: str = "sync",
+    faulty: int = 0,
+    seed: int | str = 0,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """One chain-FD scenario under a chosen delivery model.
+
+    Chain FD leans hardest on N1's *known* one-round bound (silence and
+    timing are evidence), so this is where delivery skew shows first:
+    under ``bounded:d`` even failure-free runs deliver chain links late
+    and honest nodes discover "failures" that are really network skew.
+    """
+    mirrors = _mirror_nodes(n, faulty)
+    outcome = run_fd_scenario(
+        n,
+        t,
+        "v",
+        protocol="chain",
+        auth=GLOBAL,
+        scheme=COUNT_SCHEME,
+        seed=seed,
+        fd_adversary_factory=_mirror_factory(mirrors, t),
+        delivery=delivery,
+        record_trace=trace,
+    )
+    run = outcome.run
+    return _e12_result(
+        run, n, t, delivery, faulty, trace,
+        fd_ok=outcome.fd.ok,
+        any_discovery=outcome.fd.any_discovery,
+        all_decided=all(run.states[node].decided for node in outcome.correct),
+    )
+
+
+@workload("e12-ba", suite="E12/regress", deliveries=("sync", "bounded", "rush"))
+def e12_ba_point(
+    n: int,
+    t: int,
+    delivery: str = "sync",
+    faulty: int = 0,
+    seed: int | str = 0,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """One signed-agreement (SM(t)) run under a chosen delivery model.
+
+    The signature chains make equivocation detectable regardless of
+    timing, so SM(t) is the resilience baseline of the E12 sweep — the
+    interesting measurement is how far its agreement survives skew and
+    rushing relative to oral agreement and chain FD.
+    """
+    mirrors = _mirror_nodes(n, faulty)
+    outcome = run_ba_scenario(
+        n,
+        t,
+        "v",
+        protocol="signed",
+        auth=GLOBAL,
+        scheme=COUNT_SCHEME,
+        seed=seed,
+        ba_adversary_factory=_mirror_factory(mirrors, t),
+        delivery=delivery,
+        record_trace=trace,
+    )
+    return _e12_result(
+        outcome.run, n, t, delivery, faulty, trace,
+        ba_ok=outcome.ba.ok,
+        agreement=outcome.ba.agreement,
+    )
 
 
 @workload("akd-shard", suite="E11/regress")

@@ -1,10 +1,16 @@
-"""Synchronous-network simulator realising the paper's model of computation.
+"""Network simulator realising (and relaxing) the paper's model of computation.
 
-Fully interconnected network, lock-step rounds, reliable bounded-time
-delivery (N1) and authenticated immediate senders (N2).  See
-:mod:`repro.sim.scheduler` for the semantics and determinism contract.
+Fully interconnected network with authenticated immediate senders (N2),
+driven by an event kernel (:mod:`repro.sim.kernel`) under a pluggable
+delivery model (:mod:`repro.sim.network`).  The default model is the
+paper's: lock-step rounds with reliable next-round delivery (N1, bound
+known); ``BoundedDelay`` and ``AdversarialOrder`` relax the timing half
+for the E12 experiments.  See :mod:`repro.sim.kernel` for the semantics
+and the determinism contract; :mod:`repro.sim.scheduler` keeps the
+pre-kernel ``Runner`` API as a facade.
 """
 
+from .kernel import EventKernel
 from .message import Envelope, mux_unwrap, mux_wrap, payload_kind
 from .metrics import Metrics
 from .multiplex import (
@@ -15,6 +21,15 @@ from .multiplex import (
     collect_instances,
     merge_instance_aggregates,
 )
+from .network import (
+    DELIVERY_MODELS,
+    AdversarialOrder,
+    BoundedDelay,
+    DeliveryModel,
+    SynchronousRounds,
+    available_deliveries,
+    make_delivery,
+)
 from .node import NodeContext, NodeState, Protocol
 from .rng import instance_rng, node_rng
 from .scheduler import Runner, RunResult, run_protocols
@@ -22,7 +37,12 @@ from .trace import Trace, TraceEvent
 from .views import ReceivedMessage, View
 
 __all__ = [
+    "AdversarialOrder",
+    "BoundedDelay",
+    "DELIVERY_MODELS",
+    "DeliveryModel",
     "Envelope",
+    "EventKernel",
     "InstanceAggregate",
     "InstanceMux",
     "InstanceOutcome",
@@ -34,11 +54,14 @@ __all__ = [
     "ReceivedMessage",
     "RunResult",
     "Runner",
+    "SynchronousRounds",
     "Trace",
     "TraceEvent",
     "View",
+    "available_deliveries",
     "collect_instances",
     "instance_rng",
+    "make_delivery",
     "merge_instance_aggregates",
     "mux_unwrap",
     "mux_wrap",

@@ -1,0 +1,335 @@
+"""The event-driven simulation kernel.
+
+Where the pre-kernel runner hard-coded the paper's model (N1 bounded-time
+delivery with the bound known and equal to one round, N2 authentic
+immediate senders, lock-step rounds), the kernel factors the runtime into
+
+* **this module** — a deterministic event core: a calendar priority
+  queue of deliveries ordered by ``(arrival tick, emission seq)``, plus
+  one activation per live node per tick in a model-chosen order; and
+* **:mod:`repro.sim.network`** — pluggable :class:`DeliveryModel`\\ s
+  deciding every envelope's arrival tick and the per-tick activation
+  order.  Synchronous rounds are one such model — the default, and a
+  *special case*, not the kernel's shape.
+
+Determinism contract, re-proved at the event level
+--------------------------------------------------
+Given the same protocols, master seed and delivery model, a run is
+bit-for-bit reproducible.  The event-level argument:
+
+1. every emitted envelope receives a global *emission sequence number*;
+   node activations within a tick follow the model's fixed order, and a
+   node's sends are appended in call order, so the emission sequence is
+   itself deterministic;
+2. arrival ticks are pure functions of ``(envelope, emission tick)`` and
+   seed-derived streams (:meth:`DeliveryModel.arrival_tick` consults no
+   global state), so the calendar's buckets are deterministic;
+3. within one arrival tick, deliveries are handed to inboxes in emission
+   sequence order (buckets are appended in ascending seq, so no sort is
+   ever needed), making each inbox a deterministic sequence;
+4. node randomness is seed-derived per node (:func:`repro.sim.rng.node_rng`)
+   exactly as before.
+
+Under :class:`~repro.sim.network.SynchronousRounds` this collapses to
+the old scheduler's guarantee: all arrivals are "next tick", activations
+ascend by node id, so every inbox is born sender-sorted — and the kernel
+runs a batched lock-step fast path that is *bit-for-bit identical* to
+the pre-kernel ``Runner`` in decisions, rounds and per-kind
+message/byte counters (``tests/sim/test_kernel.py`` keeps a verbatim
+copy of the old runner as the reference oracle and property-tests the
+equivalence under random Byzantine behaviour; the benchmark gate checks
+the whole grid's counts against ``BENCH_3.json``).
+
+Causality
+---------
+The kernel enforces that no delivery lands in the past: an arrival tick
+below the current tick, or equal to it when the recipient has already
+acted this tick, raises :class:`~repro.errors.SimulationError`.  Models
+like :class:`~repro.sim.network.AdversarialOrder` exploit the legal
+same-tick window — deliveries to nodes the activation order places
+later — to grant rushing power without ever violating causality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from ..types import NodeId, Round, validate_node_count
+from .message import Envelope
+from .metrics import Metrics
+from .network import DeliveryModel, SynchronousRounds
+from .node import NodeContext, NodeState, Protocol
+from .rng import node_rng
+from .trace import Trace
+from .views import View
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one completed run.
+
+    :ivar n: network size.
+    :ivar rounds_executed: number of kernel ticks executed.  Under
+        lock-step delivery a tick is exactly one synchronous round; the
+        name is kept for the 100+ pre-kernel call sites.
+    :ivar metrics: message/byte/round counters (see :class:`Metrics`).
+    :ivar states: per-node outcomes, indexed by node id.
+    :ivar views: per-node recorded views (empty if view recording was off).
+    :ivar trace: structured event log (None if trace recording was off).
+    :ivar seed: the master seed, for reproduction.
+    """
+
+    n: int
+    rounds_executed: int
+    metrics: Metrics
+    states: list[NodeState]
+    views: list[View]
+    seed: int | str
+    trace: Trace | None = None
+
+    def decisions(self) -> dict[NodeId, Any]:
+        """Decisions of all nodes that decided."""
+        return {s.node: s.decision for s in self.states if s.decided}
+
+    def discoverers(self) -> list[NodeId]:
+        """Nodes that discovered a failure."""
+        return [s.node for s in self.states if s.discovered_failure]
+
+    def outputs(self, key: str) -> dict[NodeId, Any]:
+        """Collect a named protocol output across nodes that produced it."""
+        return {
+            s.node: s.outputs[key] for s in self.states if key in s.outputs
+        }
+
+
+class EventKernel:
+    """Drives protocols to completion under a pluggable delivery model.
+
+    The single source of truth for simulated time is :attr:`tick`
+    (exposed to contexts as ``round`` for API continuity): the event
+    loop advances it once per processed tick, the final value *is*
+    ``RunResult.rounds_executed``, and every trace timestamp and
+    envelope ``round_sent`` derives from it — there is no second
+    counter to keep in lock-step.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[Protocol],
+        seed: int | str = 0,
+        max_rounds: int = 10_000,
+        record_views: bool = False,
+        record_trace: bool = False,
+        delivery: DeliveryModel | None = None,
+    ) -> None:
+        """
+        :param protocols: one behaviour per node; index = node id.
+        :param seed: master seed for all node randomness (and for the
+            delivery model's jitter streams).
+        :param max_rounds: safety horizon in ticks; exceeding it raises,
+            naming the nodes that had not halted.
+        :param record_views: capture per-node views (costs memory; enable
+            for semantic failure-discovery analyses).
+        :param record_trace: capture a structured event log of sends,
+            decisions, discoveries and halts (see :class:`Trace`).
+        :param delivery: the network-timing policy; ``None`` means the
+            paper's :class:`~repro.sim.network.SynchronousRounds`.
+        """
+        validate_node_count(len(protocols))
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.n = len(protocols)
+        self.seed = seed
+        self.tick: Round = 0
+        self._protocols = list(protocols)
+        self._max_rounds = max_rounds
+        self._record_views = record_views
+        self._trace = Trace() if record_trace else None
+        self._metrics = Metrics()
+        self._delivery = delivery if delivery is not None else SynchronousRounds()
+        self._lockstep = self._delivery.lockstep
+        # Lock-step fast queue: every arrival is "next tick", so a single
+        # pending list (drained into per-recipient buckets each tick) is
+        # the whole calendar.
+        self._pending: list[Envelope] = []
+        # General calendar queue: arrival tick -> envelopes in emission
+        # (seq) order.  Buckets are appended in ascending seq, so popping
+        # a bucket yields (tick, seq)-ordered deliveries without sorting.
+        self._calendar: dict[Round, list[Envelope]] = {}
+        # Persistent inboxes for the general path (same-tick rushing
+        # deliveries append here mid-tick); freshly rebuilt per tick on
+        # the lock-step path.
+        self._inboxes: list[list[Envelope]] = [[] for _ in range(self.n)]
+        # Last tick each node acted in (causality check for same-tick
+        # deliveries); -1 = never.
+        self._acted_at: list[Round] = [-1] * self.n
+        self._contexts = [
+            NodeContext(self, node, node_rng(seed, node)) for node in range(self.n)
+        ]
+        self._views = [View(node=node) for node in range(self.n)]
+        self._delivery.bind(self)
+
+    @property
+    def round(self) -> Round:
+        """Alias of :attr:`tick` — the API the contexts and the old
+        ``Runner`` call sites read."""
+        return self.tick
+
+    @property
+    def delivery(self) -> DeliveryModel:
+        """The delivery model driving this run."""
+        return self._delivery
+
+    def enqueue(self, envelope: Envelope) -> None:
+        """Accept an envelope for delivery (called by contexts).
+
+        Metrics and trace record the *send* here; the delivery model
+        assigns the arrival tick, and the kernel checks causality.
+        """
+        self._metrics.record(envelope)
+        if self._lockstep:
+            if self._trace is not None:
+                self._trace.record_send(envelope)
+            self._pending.append(envelope)
+            return
+        arrival = self._delivery.arrival_tick(envelope, self.tick)
+        if self._trace is not None:
+            self._trace.record_send(envelope, arrival_tick=arrival)
+        if arrival > self.tick:
+            bucket = self._calendar.get(arrival)
+            if bucket is None:
+                bucket = self._calendar[arrival] = []
+            bucket.append(envelope)
+            return
+        if arrival < self.tick or self._acted_at[envelope.recipient] == self.tick:
+            raise SimulationError(
+                f"delivery model {self._delivery.name!r} scheduled an envelope "
+                f"from {envelope.sender} to {envelope.recipient} into the past "
+                f"(arrival {arrival}, tick {self.tick})"
+            )
+        # Legal same-tick (rushing) delivery: the recipient acts later
+        # this tick and will see the envelope in its current inbox.
+        self._metrics.record_delivery(envelope, arrival)
+        self._inboxes[envelope.recipient].append(envelope)
+
+    def run(self) -> RunResult:
+        """Execute ticks until every node halts.
+
+        :raises SimulationError: if the horizon is exceeded — the error
+            names the nodes (id + protocol class) that had not halted,
+            so the stuck protocol is identifiable without a trace re-run.
+        """
+        contexts = self._contexts
+        protocols = self._protocols
+        for ctx, protocol in zip(contexts, protocols):
+            protocol.setup(ctx)
+
+        n = self.n
+        recording = self._record_views or self._trace is not None
+        # Early-exit bookkeeping: count halted nodes incrementally instead
+        # of re-scanning every context each tick.
+        halted = sum(1 for ctx in contexts if ctx.state.halted)
+        lockstep = self._lockstep
+        order = list(self._delivery.activation_order(n))
+        if sorted(order) != list(range(n)):
+            raise ConfigurationError(
+                f"delivery model {self._delivery.name!r} returned an "
+                f"activation order that is not a permutation of 0..{n - 1}"
+            )
+
+        while halted < n:
+            if self.tick >= self._max_rounds:
+                raise SimulationError(self._horizon_report())
+            if lockstep:
+                # Per-recipient buckets filled in emission order.  Senders
+                # act in ascending id order, so each bucket is born
+                # sender-sorted — no per-inbox sort, same as the
+                # pre-kernel fast path.
+                inboxes: list[list[Envelope]] = [[] for _ in range(n)]
+                for envelope in self._pending:
+                    inboxes[envelope.recipient].append(envelope)
+                self._pending = []
+            else:
+                inboxes = self._inboxes
+                metrics = self._metrics
+                tick = self.tick
+                for envelope in self._calendar.pop(tick, ()):
+                    metrics.record_delivery(envelope, tick)
+                    inboxes[envelope.recipient].append(envelope)
+
+            if not recording:
+                for node in order:
+                    ctx = contexts[node]
+                    state = ctx.state
+                    inbox = inboxes[node]
+                    if not lockstep:
+                        if inbox:
+                            inboxes[node] = []
+                        self._acted_at[node] = self.tick
+                    if state.halted:
+                        continue
+                    protocols[node].on_activate(ctx, inbox)
+                    if state.halted:
+                        halted += 1
+            else:
+                for node in order:
+                    ctx = contexts[node]
+                    inbox = inboxes[node]
+                    if not lockstep:
+                        if inbox:
+                            inboxes[node] = []
+                        self._acted_at[node] = self.tick
+                    if self._record_views and not ctx.state.halted:
+                        self._views[node].record_round(inbox)
+                    if ctx.state.halted:
+                        continue
+                    before = (ctx.state.decided, ctx.state.discovered, ctx.state.halted)
+                    protocols[node].on_activate(ctx, inbox)
+                    if self._trace is not None:
+                        self._record_transitions(node, before, ctx.state)
+                    if ctx.state.halted:
+                        halted += 1
+
+            self.tick += 1
+
+        return RunResult(
+            n=self.n,
+            rounds_executed=self.tick,
+            metrics=self._metrics,
+            states=[ctx.state for ctx in self._contexts],
+            views=self._views if self._record_views else [],
+            seed=self.seed,
+            trace=self._trace,
+        )
+
+    def _horizon_report(self) -> str:
+        """Horizon-overrun message naming the stuck nodes."""
+        stuck = [
+            (ctx.node, type(self._protocols[ctx.node]).__name__)
+            for ctx in self._contexts
+            if not ctx.state.halted
+        ]
+        shown = ", ".join(f"{node}:{name}" for node, name in stuck[:16])
+        more = f", +{len(stuck) - 16} more" if len(stuck) > 16 else ""
+        return (
+            f"run exceeded max_rounds={self._max_rounds}; "
+            f"{len(stuck)} of {self.n} nodes had not halted "
+            f"(node:protocol = {shown}{more})"
+        )
+
+    def _record_transitions(
+        self,
+        node: NodeId,
+        before: tuple[bool, str | None, bool],
+        state: NodeState,
+    ) -> None:
+        """Log decide/discover/halt transitions made during this tick."""
+        was_decided, was_discovered, was_halted = before
+        if state.decided and not was_decided:
+            self._trace.record_decide(self.tick, node, state.decision)
+        if state.discovered is not None and was_discovered is None:
+            self._trace.record_discover(self.tick, node, state.discovered)
+        if state.halted and not was_halted:
+            self._trace.record_halt(self.tick, node)

@@ -73,6 +73,9 @@ class Metrics:
     messages_per_round: Counter[Round] = field(default_factory=Counter)
     messages_per_sender: Counter[NodeId] = field(default_factory=Counter)
     messages_per_kind: Counter[str] = field(default_factory=Counter)
+    delivered_per_tick: Counter[Round] = field(default_factory=Counter)
+    delivery_lag_total: int = 0
+    deliveries_total: int = 0
     _settled_bytes: int = 0
     _settled_bytes_per_round: Counter[Round] = field(default_factory=Counter)
     _deferred_payloads: list[tuple[Round, Any]] = field(
@@ -80,7 +83,13 @@ class Metrics:
     )
 
     def record(self, envelope: Envelope) -> None:
-        """Account one sent envelope (bytes deferred; see module docs)."""
+        """Account one sent envelope (bytes deferred; see module docs).
+
+        All per-round counters key on ``round_sent``, which the network
+        stamps at emission — so they stay exact under skewed delivery
+        models, where an envelope's *arrival* tick (tracked separately
+        by :meth:`record_delivery`) can trail its emission round.
+        """
         self.messages_total += 1
         round_sent = envelope.round_sent
         self.messages_per_round[round_sent] += 1
@@ -89,6 +98,31 @@ class Metrics:
         self._deferred_payloads.append((round_sent, envelope.payload))
         if round_sent >= self.rounds_used:
             self.rounds_used = round_sent + 1
+
+    def record_delivery(self, envelope: Envelope, tick: Round) -> None:
+        """Account one delivered envelope under a non-lock-step model.
+
+        Recorded by the event kernel at arrival time.  ``delivery lag``
+        is the arrival's excess over the lock-step bound (``arrival -
+        sent - 1``): positive for late bounded-delay arrivals, ``-1``
+        for a same-tick rushed delivery, and identically zero under
+        synchronous rounds — so the kernel skips the call entirely on
+        the lock-step fast path and these counters stay at their
+        defaults, keeping lock-step metrics bit-for-bit comparable with
+        pre-kernel runs.
+        """
+        self.delivered_per_tick[tick] += 1
+        self.delivery_lag_total += tick - envelope.round_sent - 1
+        self.deliveries_total += 1
+
+    @property
+    def mean_delivery_lag(self) -> float:
+        """Mean excess latency (ticks beyond the lock-step bound) per
+        delivered envelope — negative when rushed deliveries dominate;
+        0.0 when no deliveries were recorded."""
+        if not self.deliveries_total:
+            return 0.0
+        return self.delivery_lag_total / self.deliveries_total
 
     def settle(self) -> "Metrics":
         """Force byte settlement now; returns ``self`` for chaining.
@@ -120,6 +154,9 @@ class Metrics:
         self.messages_per_round.update(other.messages_per_round)
         self.messages_per_sender.update(other.messages_per_sender)
         self.messages_per_kind.update(other.messages_per_kind)
+        self.delivered_per_tick.update(other.delivered_per_tick)
+        self.delivery_lag_total += other.delivery_lag_total
+        self.deliveries_total += other.deliveries_total
         self._settled_bytes += other._settled_bytes
         self._settled_bytes_per_round.update(other._settled_bytes_per_round)
 

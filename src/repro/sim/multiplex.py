@@ -41,7 +41,10 @@ Composition
 can run directly under the scheduler, be embedded in a larger protocol
 through :class:`~repro.sim.compose.PhaseHost`, and host instances that
 themselves embed sub-protocols via ``PhaseHost`` — the three layerings
-the key-distribution and FD→BA stacks use.
+the key-distribution and FD→BA stacks use.  Because it only speaks the
+``Protocol`` API, the mux runs on the event kernel unchanged under any
+:class:`~repro.sim.network.DeliveryModel`: each activation demultiplexes
+whatever arrived that tick (``tests/sim/test_multiplex.py`` pins this).
 """
 
 from __future__ import annotations

@@ -1,0 +1,248 @@
+"""Pluggable delivery models: the network-timing half of the runtime.
+
+The event kernel (:mod:`repro.sim.kernel`) separates *protocol logic*
+(what nodes compute and send) from *network timing* (when sends arrive
+and in what order nodes act).  This module owns the timing half: a
+:class:`DeliveryModel` maps every emitted envelope to its arrival tick
+and fixes the per-tick node activation order.  Three models ship:
+
+* :class:`SynchronousRounds` — the paper's model (N1 with the delivery
+  bound *known* and equal to one round, lock-step activations).  This is
+  the default and is required to be bit-for-bit identical to the
+  pre-kernel ``Runner``: same decisions, same round counts, same
+  per-kind message/byte counters, across the whole benchmark grid
+  (``tests/sim/test_kernel.py`` property-tests the equivalence under
+  random Byzantine behaviour).
+* :class:`BoundedDelay` — N1 with a *looser* bound: every message
+  arrives within ``delay`` ticks, with deterministic seed-derived
+  per-link jitter.  Protocols written against lock-step rounds now see
+  skewed inboxes; experiment E12 measures where their agreement and
+  discovery guarantees start to diverge.
+* :class:`AdversarialOrder` — a *rushing* scheduler: the designated
+  Byzantine nodes receive honest tick-``r`` traffic in tick ``r``
+  itself, before they emit their own tick-``r`` messages (honest nodes
+  keep lock-step delivery).  What the rushing nodes *do* with that
+  foreknowledge is a pluggable strategy from :mod:`repro.faults` (for
+  example :class:`~repro.faults.RushMirrorProtocol`); the model only
+  grants the scheduling power.
+
+Determinism: every model is a pure function of the master seed and the
+emission sequence — :class:`BoundedDelay` derives its per-link jitter
+streams from the kernel's seed via :func:`repro.sim.rng.node_rng`, and
+no model consults wall-clock or global state.  Re-running with the same
+protocols, seed and model reproduces every arrival bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..types import NodeId, Round
+from .message import Envelope
+from .rng import node_rng
+
+if TYPE_CHECKING:
+    from .kernel import EventKernel
+
+
+class DeliveryModel:
+    """Network-timing policy consulted by the event kernel.
+
+    Subclasses override :meth:`arrival_tick` (when does this envelope
+    arrive?) and optionally :meth:`activation_order` (in what order do
+    nodes act within a tick?).  A model declaring ``lockstep = True``
+    promises "every envelope arrives exactly one tick after emission, in
+    id-ascending activation order" — the kernel then takes its batched
+    fast path, which is what keeps the synchronous special case as fast
+    as the pre-kernel runner.
+
+    :ivar name: stable spec name (see :func:`make_delivery`).
+    :ivar lockstep: whether the kernel may use the lock-step fast path.
+    """
+
+    name = "abstract"
+    lockstep = False
+
+    def bind(self, kernel: "EventKernel") -> None:
+        """One-time hook before the run starts (seed/size derivation)."""
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
+        """The tick at which ``envelope`` (emitted at ``tick``) arrives.
+
+        Must be ``>= tick + 1`` for recipients that already acted this
+        tick; ``== tick`` is allowed only for recipients the activation
+        order places *after* the sender (the rushing case) — the kernel
+        enforces causality and raises on violations.
+        """
+        raise NotImplementedError
+
+    def activation_order(self, n: int) -> Sequence[NodeId]:
+        """Node activation order within one tick (default: id order)."""
+        return range(n)
+
+
+class SynchronousRounds(DeliveryModel):
+    """The paper's lock-step rounds: every message arrives next tick.
+
+    N1 with the bound known and equal to one round.  ``lockstep = True``
+    lets the kernel run its batched fast path — behaviourally identical
+    to the general event path (property-tested via a ``BoundedDelay(1)``
+    cross-check), just without per-envelope calendar bookkeeping.
+    """
+
+    name = "sync"
+    lockstep = True
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
+        return tick + 1
+
+
+class BoundedDelay(DeliveryModel):
+    """Reliable delivery within ``delay`` ticks, seed-derived jitter.
+
+    Keeps N1's *reliability* (never lost, never duplicated) but relaxes
+    the *known bound*: each envelope on link ``(sender, recipient)``
+    draws its latency uniformly from ``1 .. delay`` from a deterministic
+    per-link stream namespaced under the run's master seed.  Messages on
+    one link may therefore overtake each other, and a round-indexed
+    protocol's inbox for tick ``r`` mixes emissions from several earlier
+    ticks — exactly the skew experiment E12 probes.
+
+    ``BoundedDelay(1)`` is semantically synchronous rounds but runs on
+    the kernel's general event path, which makes it the reference point
+    for proving the event machinery preserves lock-step semantics.
+    """
+
+    name = "bounded"
+
+    def __init__(self, delay: int = 2) -> None:
+        if delay < 1:
+            raise ConfigurationError(f"delay must be >= 1, got {delay}")
+        self.delay = delay
+        self._seed: int | str = 0
+        self._links: dict[tuple[NodeId, NodeId], object] = {}
+
+    def bind(self, kernel: "EventKernel") -> None:
+        self._seed = kernel.seed
+        self._links = {}
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
+        if self.delay == 1:
+            return tick + 1
+        link = (envelope.sender, envelope.recipient)
+        rng = self._links.get(link)
+        if rng is None:
+            rng = self._links[link] = node_rng(
+                self._seed,
+                envelope.sender,
+                purpose=f"link/{envelope.recipient}/delay",
+            )
+        return tick + 1 + rng.randrange(self.delay)
+
+
+class AdversarialOrder(DeliveryModel):
+    """A rushing scheduler: designated nodes see honest traffic early.
+
+    Honest traffic keeps lock-step delivery *except* towards the rushing
+    set: an envelope from an honest sender to a rushing node emitted at
+    tick ``r`` is delivered at tick ``r`` itself.  Rushing nodes are
+    activated after every honest node within each tick, so by the time a
+    rushing node acts it has observed the full honest tick-``r`` traffic
+    addressed to it — and everything it emits still arrives at
+    ``r + 1``, indistinguishable (to the receivers) from ordinary
+    tick-``r`` messages.  This is the classic rushing adversary of the
+    distributed-computing literature, impossible to express under
+    lock-step rounds.
+
+    The *strategy* — what a rushing node does with its foreknowledge —
+    is whatever :class:`~repro.sim.node.Protocol` the node runs,
+    typically a behaviour from :mod:`repro.faults`
+    (:class:`~repro.faults.RushMirrorProtocol` re-emits observed
+    payloads into the same round).  The model itself only reorders.
+
+    :param rushing: the node ids granted rushing power.
+    """
+
+    name = "rush"
+
+    def __init__(self, rushing: Iterable[NodeId]) -> None:
+        self.rushing = frozenset(int(node) for node in rushing)
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
+        if (
+            envelope.recipient in self.rushing
+            and envelope.sender not in self.rushing
+        ):
+            return tick
+        return tick + 1
+
+    def activation_order(self, n: int) -> Sequence[NodeId]:
+        honest = [node for node in range(n) if node not in self.rushing]
+        return honest + sorted(node for node in self.rushing if node < n)
+
+
+#: Spec-name -> model class, for :func:`make_delivery` / the CLI.
+DELIVERY_MODELS: dict[str, type[DeliveryModel]] = {
+    SynchronousRounds.name: SynchronousRounds,
+    BoundedDelay.name: BoundedDelay,
+    AdversarialOrder.name: AdversarialOrder,
+}
+
+
+def available_deliveries() -> list[str]:
+    """Registered delivery-model spec names, sorted."""
+    return sorted(DELIVERY_MODELS)
+
+
+def make_delivery(
+    spec: "str | DeliveryModel | None",
+    rushing: Iterable[NodeId] = (),
+) -> DeliveryModel:
+    """Build a delivery model from a primitive spec string.
+
+    Specs are what travels through workload parameters and the CLI's
+    ``--delivery`` knob (always picklable):
+
+    * ``"sync"`` — :class:`SynchronousRounds`;
+    * ``"bounded"`` / ``"bounded:3"`` — :class:`BoundedDelay` with the
+      given bound (default 2);
+    * ``"rush"`` / ``"rush:5,6"`` — :class:`AdversarialOrder`; the
+      rushing set comes from the spec suffix when given, else from
+      ``rushing`` (conventionally the scenario's faulty set).
+
+    A ready :class:`DeliveryModel` instance passes through unchanged;
+    ``None`` means the default synchronous model.
+
+    :raises ConfigurationError: for unknown or malformed specs.
+    """
+    if spec is None:
+        return SynchronousRounds()
+    if isinstance(spec, DeliveryModel):
+        return spec
+    head, _, arg = spec.partition(":")
+    if head == SynchronousRounds.name:
+        if arg:
+            raise ConfigurationError(f"sync takes no argument, got {spec!r}")
+        return SynchronousRounds()
+    if head == BoundedDelay.name:
+        try:
+            delay = int(arg) if arg else 2
+        except ValueError:
+            raise ConfigurationError(
+                f"bounded delay must be an integer, got {spec!r}"
+            ) from None
+        return BoundedDelay(delay)
+    if head == AdversarialOrder.name:
+        if arg:
+            try:
+                rushing = [int(part) for part in arg.split(",") if part]
+            except ValueError:
+                raise ConfigurationError(
+                    f"rush node list must be integers, got {spec!r}"
+                ) from None
+        return AdversarialOrder(rushing)
+    raise ConfigurationError(
+        f"unknown delivery model {spec!r}; "
+        f"available: {', '.join(available_deliveries())}"
+    )

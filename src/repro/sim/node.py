@@ -21,7 +21,7 @@ from .message import Envelope
 if TYPE_CHECKING:
     import random
 
-    from .scheduler import Runner
+    from .kernel import EventKernel
 
 
 @dataclass
@@ -61,7 +61,7 @@ class NodeContext:
     """
 
     def __init__(
-        self, runner: "Runner", node: NodeId, rng: "random.Random"
+        self, runner: "EventKernel", node: NodeId, rng: "random.Random"
     ) -> None:
         self._runner = runner
         self.node = node
@@ -75,8 +75,25 @@ class NodeContext:
 
     @property
     def round(self) -> Round:
-        """The current round index (0-based)."""
-        return self._runner.round
+        """The current round index (0-based).
+
+        Under lock-step delivery this is literally the synchronous round;
+        under a skewed :class:`~repro.sim.network.DeliveryModel` it is the
+        kernel tick of the current activation (see :attr:`tick`) — round-
+        indexed protocols keep reading it unchanged either way.
+        """
+        return self._runner.tick
+
+    @property
+    def tick(self) -> Round:
+        """The kernel tick of the current activation.
+
+        The same value as :attr:`round` — simulated time has one source
+        of truth — but named for delivery-model-aware code (timing
+        analyses, rushing strategies) to signal that under skewed
+        delivery a tick's inbox is not a synchronous round's inbox.
+        """
+        return self._runner.tick
 
     @property
     def seed(self) -> int | str:
@@ -165,3 +182,21 @@ class Protocol:
             sorted by sender id (deterministic order).
         """
         raise NotImplementedError
+
+    def on_activate(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Handle one kernel activation (the tick-level API).
+
+        The event kernel activates every live node once per tick with
+        the envelopes that *arrived* this tick.  The default is the
+        round-adapter: delegate to :meth:`on_round`, so every existing
+        round-indexed protocol runs unchanged — under lock-step delivery
+        an activation is exactly a synchronous round, and under a skewed
+        model the protocol simply sees the skewed inbox in its usual
+        shape.  Delivery-model-aware behaviours may override this
+        instead of :meth:`on_round`.
+
+        :param inbox: envelopes delivered at this tick, in deterministic
+            ``(arrival tick, emission seq)`` order — sender-sorted under
+            lock-step delivery, emission-ordered under skew.
+        """
+        self.on_round(ctx, inbox)

@@ -1,203 +1,53 @@
-"""The synchronous round scheduler (the network "runtime").
+"""The synchronous round scheduler — now a facade over the event kernel.
 
-Realises the paper's model of computation:
+Historically this module *was* the runtime: a hard-coded lock-step loop
+realising the paper's model (N1 reliable bounded-time delivery with the
+bound known and equal to one round, N2 authentic immediate senders,
+lock-step rounds).  That loop now lives behind two layers:
 
-* fully interconnected network of ``n`` nodes (any node may address any
-  other directly);
-* N1 — reliable, bounded-time transmission: every message sent in round
-  ``r`` is delivered at round ``r + 1``, never lost, never duplicated,
-  never reordered within a round (inboxes are sender-sorted);
-* N2 — the receiver learns the true immediate sender: envelopes are
-  stamped by the network, and protocols (including Byzantine ones) have no
-  way to spoof the ``sender`` field;
-* lock-step rounds: each node's behaviour in round ``r`` is a function of
-  its view through round ``r`` (its inbox plus prior state).
+* :mod:`repro.sim.kernel` — the event-driven core (deterministic
+  calendar queue of ``(tick, seq)``-ordered deliveries, per-tick node
+  activations, the determinism contract re-proved at the event level);
+* :mod:`repro.sim.network` — pluggable delivery models, of which
+  :class:`~repro.sim.network.SynchronousRounds` (the default here) is
+  the paper's model as one special case.
 
-Determinism contract: given the same protocols and master seed, a run is
-bit-for-bit reproducible — node rngs are seed-derived and all iteration
-orders are fixed.
+This module keeps the pre-kernel API surface intact — :class:`Runner`,
+:class:`RunResult`, :func:`run_protocols` — so the 100+ existing call
+sites compile unchanged, and ``Runner``'s synchronous default is
+required (and property-tested, see ``tests/sim/test_kernel.py``) to be
+bit-for-bit identical to the pre-kernel loop: same decisions, same
+round counts, same per-kind message/byte counters.
+
+New code that cares about delivery timing should construct an
+:class:`~repro.sim.kernel.EventKernel` (or pass ``delivery=`` here) with
+an explicit model from :mod:`repro.sim.network`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Sequence
 
-from ..errors import ConfigurationError, SimulationError
-from ..types import NodeId, Round, validate_node_count
-from .message import Envelope
-from .metrics import Metrics
-from .node import NodeContext, NodeState, Protocol
-from .rng import node_rng
-from .trace import Trace
-from .views import View
+from .kernel import EventKernel, RunResult
+from .network import DeliveryModel
+from .node import Protocol
+
+__all__ = ["Runner", "RunResult", "run_protocols"]
 
 
-@dataclass
-class RunResult:
-    """Everything observable about one completed run.
+class Runner(EventKernel):
+    """Drives a set of protocols through synchronous rounds to completion.
 
-    :ivar n: network size.
-    :ivar rounds_executed: number of scheduler iterations performed.
-    :ivar metrics: message/byte/round counters (see :class:`Metrics`).
-    :ivar states: per-node outcomes, indexed by node id.
-    :ivar views: per-node recorded views (empty if view recording was off).
-    :ivar trace: structured event log (None if trace recording was off).
-    :ivar seed: the master seed, for reproduction.
+    A thin facade over :class:`~repro.sim.kernel.EventKernel`: the same
+    constructor signature as the pre-kernel runner plus an optional
+    ``delivery`` model (default: the paper's lock-step
+    :class:`~repro.sim.network.SynchronousRounds`).  ``runner.round`` —
+    the attribute contexts and tests read — is the kernel's single
+    :attr:`~repro.sim.kernel.EventKernel.tick` counter, which is also
+    what ``RunResult.rounds_executed`` reports: one source of truth for
+    simulated time instead of the old pair of lock-step-incremented
+    counters.
     """
-
-    n: int
-    rounds_executed: int
-    metrics: Metrics
-    states: list[NodeState]
-    views: list[View]
-    seed: int | str
-    trace: Trace | None = None
-
-    def decisions(self) -> dict[NodeId, Any]:
-        """Decisions of all nodes that decided."""
-        return {s.node: s.decision for s in self.states if s.decided}
-
-    def discoverers(self) -> list[NodeId]:
-        """Nodes that discovered a failure."""
-        return [s.node for s in self.states if s.discovered_failure]
-
-    def outputs(self, key: str) -> dict[NodeId, Any]:
-        """Collect a named protocol output across nodes that produced it."""
-        return {
-            s.node: s.outputs[key] for s in self.states if key in s.outputs
-        }
-
-
-class Runner:
-    """Drives a set of protocols through synchronous rounds to completion."""
-
-    def __init__(
-        self,
-        protocols: Sequence[Protocol],
-        seed: int | str = 0,
-        max_rounds: int = 10_000,
-        record_views: bool = False,
-        record_trace: bool = False,
-    ) -> None:
-        """
-        :param protocols: one behaviour per node; index = node id.
-        :param seed: master seed for all node randomness.
-        :param max_rounds: safety horizon; exceeding it raises, because
-            every protocol in this library halts within a known bound.
-        :param record_views: capture per-node views (costs memory; enable
-            for semantic failure-discovery analyses).
-        :param record_trace: capture a structured event log of sends,
-            decisions, discoveries and halts (see :class:`Trace`).
-        """
-        validate_node_count(len(protocols))
-        if max_rounds < 1:
-            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
-        self.n = len(protocols)
-        self.seed = seed
-        self.round: Round = 0
-        self._protocols = list(protocols)
-        self._max_rounds = max_rounds
-        self._record_views = record_views
-        self._trace = Trace() if record_trace else None
-        self._metrics = Metrics()
-        self._pending: list[Envelope] = []
-        self._contexts = [
-            NodeContext(self, node, node_rng(seed, node)) for node in range(self.n)
-        ]
-        self._views = [View(node=node) for node in range(self.n)]
-
-    def enqueue(self, envelope: Envelope) -> None:
-        """Accept an envelope for next-round delivery (called by contexts)."""
-        self._metrics.record(envelope)
-        if self._trace is not None:
-            self._trace.record_send(envelope)
-        self._pending.append(envelope)
-
-    def run(self) -> RunResult:
-        """Execute rounds until every node halts.
-
-        :raises SimulationError: if the horizon is exceeded — which, given
-            this library's protocols all have static round bounds, means a
-            protocol bug rather than a long run.
-        """
-        for ctx, protocol in zip(self._contexts, self._protocols):
-            protocol.setup(ctx)
-
-        contexts = self._contexts
-        protocols = self._protocols
-        n = self.n
-        recording = self._record_views or self._trace is not None
-        # Early-exit bookkeeping: count halted nodes incrementally instead
-        # of re-scanning every context each round.
-        halted = sum(1 for ctx in contexts if ctx.state.halted)
-
-        rounds_executed = 0
-        while halted < n:
-            if rounds_executed >= self._max_rounds:
-                raise SimulationError(
-                    f"run exceeded max_rounds={self._max_rounds}; "
-                    "a protocol failed to halt"
-                )
-            # Preallocated per-recipient buckets.  Senders step in ascending
-            # id order and ``_pending`` preserves emission order, so each
-            # bucket is born sender-sorted — the per-inbox sort of the seed
-            # code is unnecessary.
-            inboxes: list[list[Envelope]] = [[] for _ in range(n)]
-            for envelope in self._pending:
-                inboxes[envelope.recipient].append(envelope)
-            self._pending = []
-
-            if not recording:
-                for node in range(n):
-                    ctx = contexts[node]
-                    state = ctx.state
-                    if state.halted:
-                        continue
-                    protocols[node].on_round(ctx, inboxes[node])
-                    if state.halted:
-                        halted += 1
-            else:
-                for node in range(n):
-                    ctx = contexts[node]
-                    if self._record_views and not ctx.state.halted:
-                        self._views[node].record_round(inboxes[node])
-                    if ctx.state.halted:
-                        continue
-                    before = (ctx.state.decided, ctx.state.discovered, ctx.state.halted)
-                    protocols[node].on_round(ctx, inboxes[node])
-                    if self._trace is not None:
-                        self._record_transitions(node, before, ctx.state)
-                    if ctx.state.halted:
-                        halted += 1
-
-            self.round += 1
-            rounds_executed += 1
-
-        return RunResult(
-            n=self.n,
-            rounds_executed=rounds_executed,
-            metrics=self._metrics,
-            states=[ctx.state for ctx in self._contexts],
-            views=self._views if self._record_views else [],
-            seed=self.seed,
-            trace=self._trace,
-        )
-
-    def _record_transitions(
-        self,
-        node: NodeId,
-        before: tuple[bool, str | None, bool],
-        state: NodeState,
-    ) -> None:
-        """Log decide/discover/halt transitions made during this round."""
-        was_decided, was_discovered, was_halted = before
-        if state.decided and not was_decided:
-            self._trace.record_decide(self.round, node, state.decision)
-        if state.discovered is not None and was_discovered is None:
-            self._trace.record_discover(self.round, node, state.discovered)
-        if state.halted and not was_halted:
-            self._trace.record_halt(self.round, node)
 
 
 def run_protocols(
@@ -206,12 +56,18 @@ def run_protocols(
     max_rounds: int = 10_000,
     record_views: bool = False,
     record_trace: bool = False,
+    delivery: DeliveryModel | None = None,
 ) -> RunResult:
-    """Convenience one-shot: build a :class:`Runner` and run it."""
+    """Convenience one-shot: build a :class:`Runner` and run it.
+
+    :param delivery: optional :class:`~repro.sim.network.DeliveryModel`;
+        ``None`` keeps the paper's synchronous rounds.
+    """
     return Runner(
         protocols,
         seed=seed,
         max_rounds=max_rounds,
         record_views=record_views,
         record_trace=record_trace,
+        delivery=delivery,
     ).run()

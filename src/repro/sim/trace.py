@@ -21,24 +21,30 @@ from .message import Envelope, payload_kind
 class TraceEvent:
     """One run event.
 
-    :ivar round: round in which the event happened.
+    :ivar round: round (kernel tick) in which the event happened.
     :ivar kind: ``"send"``, ``"decide"``, ``"discover"`` or ``"halt"``.
     :ivar node: the acting node.
     :ivar detail: kind-specific payload: for sends, ``(recipient, payload
         kind tag)``; for decisions, the value; for discoveries, the reason;
         for halts, ``None``.
+    :ivar tick: delivery timestamp for sends under a non-lock-step
+        :class:`~repro.sim.network.DeliveryModel`: the kernel tick at
+        which the envelope *arrives* (``None`` under lock-step delivery,
+        where arrival is always ``round + 1`` and needs no annotation).
     """
 
     round: Round
     kind: str
     node: NodeId
     detail: Any
+    tick: Round | None = None
 
     def format(self) -> str:
         """One human-readable line."""
         if self.kind == "send":
             recipient, tag = self.detail
-            return f"r{self.round:<3} P{self.node} -> P{recipient}  [{tag}]"
+            stamp = f"  @t{self.tick}" if self.tick is not None else ""
+            return f"r{self.round:<3} P{self.node} -> P{recipient}  [{tag}]{stamp}"
         if self.kind == "decide":
             return f"r{self.round:<3} P{self.node} decides {self.detail!r}"
         if self.kind == "discover":
@@ -66,14 +72,22 @@ class Trace:
             return
         self.events.append(event)
 
-    def record_send(self, envelope: Envelope) -> None:
-        """Log one outgoing envelope (recipient + payload kind)."""
+    def record_send(
+        self, envelope: Envelope, arrival_tick: Round | None = None
+    ) -> None:
+        """Log one outgoing envelope (recipient + payload kind).
+
+        :param arrival_tick: the delivery tick assigned by a non-lock-step
+            delivery model; lock-step callers omit it (arrival is always
+            the next tick) and the event carries no timestamp annotation.
+        """
         self._append(
             TraceEvent(
                 round=envelope.round_sent,
                 kind="send",
                 node=envelope.sender,
                 detail=(envelope.recipient, payload_kind(envelope.payload)),
+                tick=arrival_tick,
             )
         )
 

@@ -14,6 +14,7 @@ from repro.analysis.experiments import (
     e7_extension,
     e8_rounds,
     e11_keydist_methods,
+    e12_delivery_models,
     run_all,
 )
 
@@ -59,11 +60,21 @@ class TestIndividualExperiments:
         assert table.ok
         assert table.rows[-1][3] == "infeasible"
 
+    def test_e12_sync_rows_are_baseline(self):
+        table = e12_delivery_models(seeds=1)
+        assert table.ok
+        sync_rows = [row for row in table.rows if row[1] == "sync"]
+        assert sync_rows and all(row[-1] == "= sync" for row in sync_rows)
+
+    def test_e12_skew_diverges_somewhere(self):
+        table = e12_delivery_models(seeds=1)
+        assert any(row[-1] == "diverges" for row in table.rows)
+
 
 class TestRunAll:
     def test_quick_run_all_green(self):
         tables = run_all(quick=True)
-        assert len(tables) == 9
+        assert len(tables) == 10
         failing = [table.experiment for table in tables if not table.ok]
         assert failing == []
 

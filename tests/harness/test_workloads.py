@@ -11,6 +11,7 @@ from repro.harness import (
     available_workloads,
     get_workload,
     resolve_workload,
+    workload_deliveries,
     workload_suite,
 )
 from repro.harness.workloads import WORKLOADS
@@ -35,6 +36,9 @@ EXPECTED = {
     "e8-rounds",
     "e9-chain-bytes",
     "e9-compression",
+    "e12-ba",
+    "e12-fd",
+    "e12-oral",
     "fd",
     "keydist",
     "oral",
@@ -68,6 +72,21 @@ class TestRegistry:
     def test_suite_lookup_raises_for_unknown_names(self):
         with pytest.raises(ConfigurationError, match="unknown workload"):
             workload_suite("nope")
+
+    def test_delivery_metadata(self):
+        """E12 sweeps advertise the delivery axis; everything else is
+        lock-step only."""
+        for name in available_workloads():
+            expected = (
+                ("sync", "bounded", "rush")
+                if name.startswith("e12-")
+                else ("sync",)
+            )
+            assert workload_deliveries(name) == expected, name
+
+    def test_delivery_lookup_raises_for_unknown_names(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            workload_deliveries("nope")
 
     def test_duplicate_registration_rejected(self):
         from repro.harness.workloads import workload
@@ -129,3 +148,23 @@ class TestPointFunctions:
         dense = oral(7, 2, seed=3, engine="dense")
         succinct = oral(7, 2, seed=3, engine="succinct")
         assert dense == succinct
+
+    def test_e12_sync_matches_plain_oral_counts(self):
+        """The delivery sweep's lock-step row measures the same run the
+        E9 oral workload does (same seed, same counts)."""
+        plain = get_workload("oral")(7, 2, seed=3)
+        sync = get_workload("e12-oral")(7, 2, delivery="sync", seed=3)
+        assert sync["messages"] == plain["messages"]
+        assert sync["rounds"] == plain["rounds"]
+        assert sync["agreed"] and plain["agreed"]
+
+    def test_e12_points_reject_bad_faulty(self):
+        with pytest.raises(ConfigurationError, match="faulty"):
+            get_workload("e12-fd")(7, 2, faulty=7)
+
+    def test_e12_trace_param_dumps_event_log(self):
+        result = get_workload("e12-fd")(
+            5, 1, delivery="bounded:2", seed=1, trace=True
+        )
+        assert "DISCOVERS" in result["trace"] or "halts" in result["trace"]
+        assert "@t" in result["trace"]

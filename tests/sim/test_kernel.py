@@ -1,0 +1,341 @@
+"""Event kernel: sync equivalence, event-level determinism, causality.
+
+The acceptance property of the kernel refactor, in the mould of the
+dense-vs-succinct engine equivalence tests: running any protocol set
+under :class:`~repro.sim.network.SynchronousRounds` on the event kernel
+is *bit-for-bit identical* to the pre-kernel ``Runner`` — decisions,
+rounds, per-round/per-sender/per-kind message counters, byte counters,
+trace events and recorded views — including under random Byzantine
+behaviour.  ``tests/sim/_reference_runner.py`` keeps the old loop
+verbatim as the oracle.  A second pass runs the same property through
+``BoundedDelay(1)`` — semantically lock-step but on the kernel's general
+calendar path — proving the event machinery itself preserves the
+synchronous semantics, not just the fast path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import make_oral_agreement_protocols
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults import (
+    CrashProtocol,
+    RandomNoiseProtocol,
+    RushMirrorProtocol,
+    SilentProtocol,
+)
+from repro.sim import (
+    BoundedDelay,
+    DeliveryModel,
+    EventKernel,
+    Protocol,
+    Runner,
+    SynchronousRounds,
+    run_protocols,
+)
+
+from ._reference_runner import ReferenceRunner
+
+N, T = 7, 2
+
+BYZANTINE_KINDS = ("silent", "noise", "crash", "mirror")
+
+
+def build_protocols(spec, value="v"):
+    """Oral-agreement protocols with the spec's Byzantine replacements.
+
+    Protocols are stateful, so every engine run builds a fresh set.
+    """
+    protocols = make_oral_agreement_protocols(N, T, value)
+    for node, kind in spec:
+        if kind == "silent":
+            protocols[node] = SilentProtocol()
+        elif kind == "noise":
+            protocols[node] = RandomNoiseProtocol(
+                pool=(("om-value", 0, "x"), "junk", 17), halt_after=T + 1
+            )
+        elif kind == "crash":
+            protocols[node] = CrashProtocol(protocols[node], crash_round=1)
+        elif kind == "mirror":
+            protocols[node] = RushMirrorProtocol(halt_after=T + 1)
+    return protocols
+
+
+def observables(result, include_trace=True):
+    """Everything the equivalence contract promises, as one comparable."""
+    data = {
+        "rounds_executed": result.rounds_executed,
+        "decisions": {k: repr(v) for k, v in result.decisions().items()},
+        "states": [
+            (s.node, s.decided, repr(s.decision), s.discovered, s.halted)
+            for s in result.states
+        ],
+        "messages": result.metrics.messages_total,
+        "rounds": result.metrics.rounds_used,
+        "per_round": dict(result.metrics.messages_per_round),
+        "per_sender": dict(result.metrics.messages_per_sender),
+        "per_kind": dict(result.metrics.messages_per_kind),
+        "bytes": result.metrics.bytes_total,
+        "bytes_per_round": dict(result.metrics.bytes_per_round),
+        "views": [view.rounds for view in result.views],
+    }
+    if include_trace and result.trace is not None:
+        # Compare the semantic event stream; the delivery-tick annotation
+        # is new kernel information and excluded deliberately.
+        data["trace"] = [
+            (e.round, e.kind, e.node, e.detail) for e in result.trace.events
+        ]
+        data["trace_truncated"] = result.trace.truncated
+    return data
+
+
+@st.composite
+def byzantine_specs(draw):
+    """Up to T faulty nodes, each with a random generic behaviour."""
+    faulty = draw(st.sets(st.integers(min_value=0, max_value=N - 1), max_size=T))
+    return tuple(
+        (node, draw(st.sampled_from(BYZANTINE_KINDS))) for node in sorted(faulty)
+    )
+
+
+class TestSyncKernelEqualsReferenceRunner:
+    @given(spec=byzantine_specs(), seed=st.integers(0, 2**16),
+           recording=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_bit_for_bit_under_random_byzantine_behaviour(
+        self, spec, seed, recording
+    ):
+        """The headline property: kernel + SynchronousRounds == old Runner."""
+        reference = ReferenceRunner(
+            build_protocols(spec), seed=seed,
+            record_views=recording, record_trace=recording,
+        ).run()
+        kernel = Runner(
+            build_protocols(spec), seed=seed,
+            record_views=recording, record_trace=recording,
+        ).run()
+        assert observables(kernel) == observables(reference), (
+            f"sync kernel diverged from reference; spec={spec}"
+        )
+
+    @given(spec=byzantine_specs(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_general_event_path_preserves_lockstep_semantics(self, spec, seed):
+        """BoundedDelay(1) — lock-step timing on the calendar path — must
+        reproduce the reference bit-for-bit too: the determinism contract
+        re-proved at the event level, not just on the fast path."""
+        reference = ReferenceRunner(build_protocols(spec), seed=seed).run()
+        general = run_protocols(
+            build_protocols(spec), seed=seed, delivery=BoundedDelay(1)
+        )
+        assert observables(general) == observables(reference)
+        # The general path *does* do per-delivery accounting; lag is zero.
+        # (Deliveries can trail sends: envelopes emitted in the final
+        # tick are never delivered — the run ends when all nodes halt,
+        # exactly as in the reference loop.)
+        assert general.metrics.mean_delivery_lag == 0.0
+        assert 0 < general.metrics.deliveries_total <= general.metrics.messages_total
+
+    def test_recorded_views_match_reference(self):
+        spec = ((2, "silent"), (5, "mirror"))
+        reference = ReferenceRunner(
+            build_protocols(spec), seed=9, record_views=True
+        ).run()
+        kernel = run_protocols(build_protocols(spec), seed=9, record_views=True)
+        assert [v.rounds for v in kernel.views] == [
+            v.rounds for v in reference.views
+        ]
+
+
+class TestEventLevelDeterminism:
+    @given(seed=st.integers(0, 2**16), delay=st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_delay_reruns_identically(self, seed, delay):
+        first = run_protocols(
+            build_protocols(()), seed=seed, delivery=BoundedDelay(delay)
+        )
+        second = run_protocols(
+            build_protocols(()), seed=seed, delivery=BoundedDelay(delay)
+        )
+        assert observables(first) == observables(second)
+        assert first.metrics.delivered_per_tick == second.metrics.delivered_per_tick
+
+    def test_seed_changes_bounded_delay_schedule(self):
+        runs = [
+            run_protocols(
+                build_protocols(()), seed=seed, delivery=BoundedDelay(3)
+            ).metrics.delivered_per_tick
+            for seed in (1, 2)
+        ]
+        assert runs[0] != runs[1]
+
+
+class TestHorizonDiagnostics:
+    def test_overrun_names_stuck_nodes_and_protocols(self):
+        class Forever(Protocol):
+            def on_round(self, ctx, inbox):
+                pass
+
+        class Quitter(Protocol):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(SimulationError) as err:
+            run_protocols([Forever(), Quitter(), Forever()], max_rounds=5)
+        message = str(err.value)
+        assert "max_rounds=5" in message
+        assert "2 of 3 nodes" in message
+        assert "0:Forever" in message and "2:Forever" in message
+        assert "Quitter" not in message
+
+    def test_long_stuck_list_is_truncated(self):
+        class Forever(Protocol):
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(SimulationError) as err:
+            run_protocols([Forever() for _ in range(20)], max_rounds=2)
+        assert "+4 more" in str(err.value)
+
+
+class TestCausality:
+    def test_delivery_into_the_past_is_rejected(self):
+        class TimeMachine(DeliveryModel):
+            name = "time-machine"
+
+            def arrival_tick(self, envelope, tick):
+                return tick - 1
+
+        class Sender(Protocol):
+            def on_round(self, ctx, inbox):
+                ctx.send(1 - ctx.node, "x")
+                ctx.halt()
+
+        with pytest.raises(SimulationError, match="into the past"):
+            run_protocols([Sender(), Sender()], delivery=TimeMachine())
+
+    def test_same_tick_delivery_to_already_acted_node_is_rejected(self):
+        class Backwards(DeliveryModel):
+            name = "backwards"
+
+            def arrival_tick(self, envelope, tick):
+                return tick  # same-tick towards a lower id: already acted
+
+            def activation_order(self, n):
+                return range(n)
+
+        class SendDown(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.node == 1:
+                    ctx.send(0, "x")
+                ctx.halt()
+
+        with pytest.raises(SimulationError, match="into the past"):
+            run_protocols([SendDown(), SendDown()], delivery=Backwards())
+
+    def test_bad_activation_order_is_rejected(self):
+        class Twice(DeliveryModel):
+            name = "twice"
+
+            def arrival_tick(self, envelope, tick):
+                return tick + 1
+
+            def activation_order(self, n):
+                return [0] * n
+
+        class Halter(Protocol):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ConfigurationError, match="not a permutation"):
+            EventKernel([Halter(), Halter()], delivery=Twice()).run()
+
+
+class TestActivationApi:
+    def test_on_activate_default_adapts_to_on_round(self):
+        calls = []
+
+        class Rounder(Protocol):
+            def on_round(self, ctx, inbox):
+                calls.append(("round", ctx.tick))
+                ctx.halt()
+
+        run_protocols([Rounder(), Rounder()])
+        assert calls == [("round", 0), ("round", 0)]
+
+    def test_on_activate_override_bypasses_on_round(self):
+        class TickAware(Protocol):
+            def on_activate(self, ctx, inbox):
+                assert ctx.tick == ctx.round
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                raise AssertionError("adapter must not be used")
+
+        result = run_protocols([TickAware(), TickAware()])
+        assert result.rounds_executed == 1
+
+    def test_context_exposes_single_time_source(self):
+        ticks = []
+
+        class Reader(Protocol):
+            def on_round(self, ctx, inbox):
+                ticks.append((ctx.round, ctx.tick))
+                if ctx.round >= 2:
+                    ctx.halt()
+
+        run_protocols([Reader(), Reader()])
+        assert all(r == t for r, t in ticks)
+
+
+class TestTraceTransitionsUnderSkew:
+    def test_decide_discover_halt_traced_on_general_path(self):
+        from repro.harness import run_fd_scenario
+
+        outcome = run_fd_scenario(
+            5, 1, "v", protocol="chain", delivery="bounded:2",
+            record_trace=True, seed=1,
+        )
+        trace = outcome.run.trace
+        halts = trace.of_kind("halt")
+        assert {e.node for e in halts} == set(range(5))
+        # Every traced transition matches the final node state.
+        for state in outcome.run.states:
+            decided = [e for e in trace.of_kind("decide") if e.node == state.node]
+            assert bool(decided) == state.decided
+            discovered = [
+                e for e in trace.of_kind("discover") if e.node == state.node
+            ]
+            assert bool(discovered) == (state.discovered is not None)
+        # Sends on the general path carry their delivery timestamps.
+        sends = trace.of_kind("send")
+        assert sends and all(e.tick is not None for e in sends)
+        assert all(e.tick >= e.round + 1 for e in sends)
+
+    def test_lockstep_trace_carries_no_timestamps(self):
+        from repro.harness import run_fd_scenario
+
+        outcome = run_fd_scenario(
+            5, 1, "v", protocol="chain", record_trace=True, seed=1
+        )
+        assert all(
+            e.tick is None for e in outcome.run.trace.of_kind("send")
+        )
+
+
+class TestRunnerFacade:
+    def test_runner_is_an_event_kernel(self):
+        class Halter(Protocol):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        runner = Runner([Halter(), Halter()])
+        assert isinstance(runner, EventKernel)
+        assert isinstance(runner.delivery, SynchronousRounds)
+        result = runner.run()
+        # One source of truth: the facade's round, the kernel's tick and
+        # the result's rounds_executed are the same counter.
+        assert runner.round == runner.tick == result.rounds_executed == 1

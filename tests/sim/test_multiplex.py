@@ -160,6 +160,76 @@ class TestInstanceMux:
         assert values == []  # nothing parsed into instance 0
 
 
+class TestRecordingUnderMux:
+    """The recording branch of the run loop under multiplexed hosts —
+    previously only exercised single-instance (and now also living in
+    the event kernel rather than the old runner)."""
+
+    def _run(self, **kwargs):
+        protocols = [
+            InstanceMux({k: _Echo() for k in (0, 1, 4)}, channel="test")
+            for _ in range(3)
+        ]
+        return run_protocols(protocols, seed=7, **kwargs)
+
+    def test_record_trace_sees_wrapped_sends_and_halts(self):
+        run = self._run(record_trace=True)
+        sends = run.trace.of_kind("send")
+        assert len(sends) == run.metrics.messages_total == 6
+        # Per-kind attribution in the trace matches the metrics: the
+        # channel, not the transport tag.
+        assert {tag for _, tag in (e.detail for e in sends)} == {"test"}
+        halts = run.trace.of_kind("halt")
+        assert {e.node for e in halts} == {0, 1, 2}
+        # Instance decisions are captured in outcomes, never in the node
+        # state — so the trace must show no decide transitions.
+        assert run.trace.of_kind("decide") == []
+
+    def test_record_views_captures_wrapped_rounds(self):
+        run = self._run(record_views=True)
+        assert len(run.views) == 3
+        for view in run.views:
+            assert len(view.rounds) == run.rounds_executed
+        # Round 1: node 1 received node 0's broadcast on every instance.
+        round1 = run.views[1].rounds[1]
+        assert len(round1) == 3
+        assert {msg.sender for msg in round1} == {0}
+
+    def test_recording_changes_no_outcome(self):
+        plain = self._run()
+        recorded = self._run(record_views=True, record_trace=True)
+        assert plain.rounds_executed == recorded.rounds_executed
+        assert plain.metrics.messages_total == recorded.metrics.messages_total
+        assert plain.metrics.bytes_total == recorded.metrics.bytes_total
+        assert collect_instances(plain) == collect_instances(recorded)
+
+
+class TestMuxOnKernelDeliveryModels:
+    """InstanceMux is delivery-model agnostic: it runs on the kernel's
+    general event path unchanged (the mux demultiplexes whatever arrives
+    at each activation)."""
+
+    def test_mux_completes_under_bounded_delay(self):
+        from repro.sim import BoundedDelay
+
+        protocols = [
+            InstanceMux({k: _Echo() for k in (0, 1)}, channel="test")
+            for _ in range(3)
+        ]
+        run = run_protocols(protocols, seed=7, delivery=BoundedDelay(1))
+        aggregates = collect_instances(run)
+        baseline = collect_instances(
+            run_protocols(
+                [
+                    InstanceMux({k: _Echo() for k in (0, 1)}, channel="test")
+                    for _ in range(3)
+                ],
+                seed=7,
+            )
+        )
+        assert aggregates == baseline
+
+
 class TestInstanceRngNamespacing:
     def test_streams_distinct_across_instances(self):
         a = instance_rng(0, 1, 0)

@@ -1,0 +1,159 @@
+"""Delivery models: spec parsing, jitter determinism, rushing semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    AdversarialOrder,
+    BoundedDelay,
+    Envelope,
+    Protocol,
+    SynchronousRounds,
+    available_deliveries,
+    make_delivery,
+    run_protocols,
+)
+
+
+class TestMakeDelivery:
+    def test_none_and_sync_are_lockstep(self):
+        assert make_delivery(None).lockstep
+        assert isinstance(make_delivery("sync"), SynchronousRounds)
+
+    def test_bounded_default_and_explicit(self):
+        assert make_delivery("bounded").delay == 2
+        assert make_delivery("bounded:5").delay == 5
+
+    def test_rush_from_spec_and_fallback_set(self):
+        assert make_delivery("rush:3,5").rushing == frozenset({3, 5})
+        assert make_delivery("rush", rushing=[1, 2]).rushing == frozenset({1, 2})
+        # An explicit spec list wins over the fallback.
+        assert make_delivery("rush:4", rushing=[1]).rushing == frozenset({4})
+
+    def test_instance_passes_through(self):
+        model = BoundedDelay(3)
+        assert make_delivery(model) is model
+
+    @pytest.mark.parametrize(
+        "spec", ["warp", "bounded:x", "rush:a", "sync:1", "bounded:"]
+    )
+    def test_malformed_specs_rejected(self, spec):
+        if spec == "bounded:":
+            # empty argument falls back to the default bound
+            assert make_delivery(spec).delay == 2
+            return
+        with pytest.raises(ConfigurationError):
+            make_delivery(spec)
+
+    def test_available_deliveries_lists_all(self):
+        assert available_deliveries() == ["bounded", "rush", "sync"]
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundedDelay(0)
+
+
+class _Bind:
+    """Minimal kernel stand-in for exercising arrival_tick directly."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+
+class TestBoundedDelayJitter:
+    @given(seed=st.integers(0, 2**16), delay=st.integers(1, 5),
+           tick=st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_within_bound(self, seed, delay, tick):
+        model = BoundedDelay(delay)
+        model.bind(_Bind(seed))
+        env = Envelope(0, 1, "x", tick)
+        arrival = model.arrival_tick(env, tick)
+        assert tick + 1 <= arrival <= tick + delay
+
+    def test_per_link_streams_are_deterministic(self):
+        def schedule(seed):
+            model = BoundedDelay(4)
+            model.bind(_Bind(seed))
+            return [
+                model.arrival_tick(Envelope(s, r, "x", t), t)
+                for t in range(5)
+                for s in range(3)
+                for r in range(3)
+                if s != r
+            ]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_rebind_resets_link_streams(self):
+        model = BoundedDelay(4)
+        model.bind(_Bind(3))
+        first = [
+            model.arrival_tick(Envelope(0, 1, "x", t), t) for t in range(8)
+        ]
+        model.bind(_Bind(3))
+        assert first == [
+            model.arrival_tick(Envelope(0, 1, "x", t), t) for t in range(8)
+        ]
+
+
+class TestAdversarialOrder:
+    def test_rushing_nodes_activate_last(self):
+        model = AdversarialOrder(rushing=[1, 3])
+        assert list(model.activation_order(5)) == [0, 2, 4, 1, 3]
+
+    def test_only_honest_to_rushing_is_same_tick(self):
+        model = AdversarialOrder(rushing=[2])
+        assert model.arrival_tick(Envelope(0, 2, "x", 4), 4) == 4
+        assert model.arrival_tick(Envelope(0, 1, "x", 4), 4) == 5
+        assert model.arrival_tick(Envelope(2, 0, "x", 4), 4) == 5
+
+    def test_rushing_node_observes_same_round_traffic_end_to_end(self):
+        observed = []
+
+        class Talker(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.round < 2:
+                    ctx.broadcast(("say", ctx.node, ctx.round))
+                else:
+                    ctx.halt()
+
+        class Spy(Protocol):
+            def on_round(self, ctx, inbox):
+                observed.extend(
+                    (ctx.tick, env.payload[2]) for env in inbox
+                )
+                if ctx.round >= 2:
+                    ctx.halt()
+
+        run_protocols(
+            [Talker(), Talker(), Spy()],
+            delivery=AdversarialOrder(rushing=[2]),
+        )
+        assert observed
+        # Every observation happens in the very round it was emitted.
+        assert all(tick == emitted for tick, emitted in observed)
+
+    def test_honest_nodes_keep_lockstep_timing(self):
+        arrivals = []
+
+        class Talker(Protocol):
+            def on_round(self, ctx, inbox):
+                arrivals.extend(
+                    (ctx.tick, env.round_sent) for env in inbox
+                )
+                if ctx.round < 2:
+                    ctx.broadcast(("say", ctx.node, ctx.round))
+                else:
+                    ctx.halt()
+
+        run_protocols(
+            [Talker(), Talker(), Talker()],
+            delivery=AdversarialOrder(rushing=[]),
+        )
+        assert arrivals and all(t == sent + 1 for t, sent in arrivals)

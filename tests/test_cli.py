@@ -96,6 +96,12 @@ class TestListWorkloads:
         for token in ("akd", "keydist", "e11-methods", "E11", "picklable", "yes"):
             assert token in out
 
+    def test_lists_supported_delivery_models(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "deliveries" in out
+        assert "sync,bounded,rush" in out  # the E12 sweeps
+
 
 class TestRunWorkload:
     def test_runs_registry_entry_without_pytest(self, capsys):
@@ -142,6 +148,44 @@ class TestRunWorkload:
     def test_malformed_param_exits_nonzero(self):
         with pytest.raises(SystemExit):
             main(["run", "--workload", "keydist", "--param", "n5"])
+
+    def test_trace_dumps_structured_event_log(self, capsys):
+        assert main(
+            ["run", "--workload", "e12-fd", "--param", "n=5", "--param", "t=1",
+             "--param", "delivery=bounded:2", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "structured event log" in out
+        assert "@t" in out          # delivery timestamps
+        assert "halts" in out
+
+    def test_trace_on_traceless_workload_exits_2(self, capsys):
+        assert main(
+            ["run", "--workload", "keydist", "--param", "n=4", "--trace"]
+        ) == 2
+        assert "does not support --trace" in capsys.readouterr().err
+
+
+class TestDeliveryKnob:
+    def test_fd_accepts_delivery_spec(self, capsys):
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--delivery", "bounded:1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bounded:1" in out
+
+    def test_ba_accepts_delivery_spec(self, capsys):
+        assert main(
+            ["ba", "--n", "5", "--t", "1", "--protocol", "signed",
+             "--delivery", "rush"]
+        ) == 0
+        assert "rush" in capsys.readouterr().out
+
+    def test_unknown_delivery_spec_errors(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown delivery"):
+            main(["fd", "--n", "5", "--t", "1", "--delivery", "warp"])
 
 
 class TestFormulas:
