@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_3.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_4.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,17 +9,18 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_3.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_4.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
 worktree) to measure the same workloads on older code: the baseline
 experiment set only uses APIs present since the seed, so those numbers
 are directly comparable.  The *extended grid* (n=128 points for the
 polynomial-cost protocols, the n=128/t=3 oral point only the succinct
-engine makes feasible, and the agreement-based key-distribution mux
-points only the instance multiplexer makes expressible) is added when
-the running source tree supports it — old trees simply measure fewer
-experiments, and the comparison intersects by name.
+engine makes feasible, the agreement-based key-distribution mux
+points only the instance multiplexer makes expressible, and the E13
+unreliable-delivery points only the adversary plane makes expressible)
+is added when the running source tree supports it — old trees simply
+measure fewer experiments, and the comparison intersects by name.
 ``scripts/bench_check.py`` wraps this runner with wall-clock and memory
 regression gates.
 
@@ -70,6 +71,13 @@ try:  # delivery-model grid: event kernel (PR 4+ source trees only)
     HAS_EVENT_KERNEL = True
 except ImportError:  # pragma: no cover - only on old source trees
     HAS_EVENT_KERNEL = False
+
+try:  # unreliable-delivery grid: adversary plane (PR 5+ source trees only)
+    from repro.faults import adversary as _adversary  # noqa: F401
+
+    HAS_ADVERSARY_PLANE = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_ADVERSARY_PLANE = False
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -205,6 +213,37 @@ def _kernel_delivery(workload: str, n: int, t: int, delivery: str, faulty: int) 
     }
 
 
+def _e13_fd(protocol: str, n: int, t: int, delivery: str, faulty: int) -> dict[str, Any]:
+    """One E13 FD point (chain or timeout) under unreliable delivery.
+
+    Drops are seed-derived, so the drop counts are as deterministic as
+    the message counts — both are gated.
+    """
+    from repro.harness.workloads import e13_timeout_fd_point
+
+    result = e13_timeout_fd_point(
+        n, t, delivery=delivery, protocol=protocol, faulty=faulty, seed=n
+    )
+    return {
+        "messages": result["messages"],
+        "drops": result["drops"],
+        "rounds": result["rounds"],
+        "discovered": result["discovered"],
+    }
+
+
+def _e13_partition(n: int, t: int, heal: int) -> dict[str, Any]:
+    """One E13 partition-heal point (timeout FD, defer mode)."""
+    from repro.harness.workloads import e13_partition_point
+
+    result = e13_partition_point(n, t, heal=heal, defer=True, seed=n)
+    return {
+        "messages": result["messages"],
+        "drops": result["drops"],
+        "decided": result["decided"],
+    }
+
+
 #: Experiments too heavy for best-of-``--repeats`` timing: measured once.
 #: Bounds the full-suite wall-clock; single-shot numbers are noisier, so
 #: the gate only ever compares these by *count* (full sections are
@@ -238,6 +277,21 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
                 ("kernel_fd_rush_n13_t3",
                  lambda: _kernel_delivery("e12-fd", 13, 3, "rush", 1))
             )
+        if HAS_ADVERSARY_PLANE:
+            # Unreliable-delivery points at CI size: timeout FD under
+            # loss (the E13 hot path — heartbeat floods through the
+            # calendar queue) and a partition-heal convergence point.
+            suite.append(
+                ("e13_timeout_loss_n7_t2",
+                 lambda: _e13_fd("timeout", 7, 2, "loss:0.2", 0))
+            )
+            suite.append(
+                ("e13_chain_loss_n7_t2",
+                 lambda: _e13_fd("chain", 7, 2, "loss:0.2", 1))
+            )
+            suite.append(
+                ("e13_partition_heal4_n7_t2", lambda: _e13_partition(7, 2, 4))
+            )
     else:
         # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
         # budget.  The tree is exponential in t: t=10 at n=32 would mean
@@ -267,6 +321,18 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             suite.append(
                 ("kernel_ba_rush_n32_t10",
                  lambda: _kernel_delivery("e12-ba", 32, 10, "rush", 2))
+            )
+        if HAS_ADVERSARY_PLANE:
+            # Full-size unreliable points: the heartbeat flood scales as
+            # n²·timeout, so n=32 is where the drop bookkeeping earns
+            # its keep in the wall-clock record.
+            suite.append(
+                ("e13_timeout_loss_n32_t3",
+                 lambda: _e13_fd("timeout", 32, 3, "loss:0.2", 1))
+            )
+            suite.append(
+                ("e13_partition_heal6_n32_t3",
+                 lambda: _e13_partition(32, 3, 6))
             )
         if HAS_INSTANCE_MUX and HAS_SUCCINCT_ENGINE:
             # Agreement-based key distribution at scale: n concurrent

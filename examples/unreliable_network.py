@@ -1,0 +1,131 @@
+"""Unreliable networks: oral agreement and timeout FD across loss rates.
+
+The paper's guarantees are proved in the synchronous model N1: reliable
+delivery within one known round.  This example leaves that model — the
+network now *loses* messages (`LossyDelivery`) and *partitions*
+(`PartitionedDelivery`) — and shows two things:
+
+1. what the paper's protocols are worth out there: oral OM(t) agreement
+   degrades as the loss rate climbs (round-indexed majority votes
+   starve), and the round-indexed chain FD discovers "failures" that
+   are really network weather;
+2. what a protocol *designed* for the weak model buys: the timeout FD
+   protocol (`repro.fd.timeout`) — retransmission plus heartbeats, with
+   conclusions drawn only at its deadline — decides through loss rates
+   that break the chain, discovers nothing spurious, and still catches
+   genuinely silent nodes named through the adversary plane
+   (`repro.faults.AdversarySpec`).
+
+Every run is deterministic: drops are a pure function of the master
+seed, so the trace dump at the end reads the same every time.
+"""
+
+from __future__ import annotations
+
+from repro.agreement import make_oral_agreement_protocols
+from repro.faults import make_adversary
+from repro.harness import run_fd_scenario
+from repro.sim import make_delivery, run_protocols
+
+N, T = 7, 2
+SCHEME = "simulated-hmac"
+LOSS_RATES = (0.0, 0.1, 0.3, 0.5)
+
+
+def oral_agreement_vs_loss() -> None:
+    print(f"== oral OM({T}) agreement vs loss rate, n={N} ==")
+    survived_at_zero = 0
+    for loss in LOSS_RATES:
+        agreed = 0
+        seeds = (1, 2, 3)
+        for seed in seeds:
+            run = run_protocols(
+                make_oral_agreement_protocols(N, T, "v"),
+                seed=seed,
+                delivery=make_delivery(f"loss:{loss}"),
+            )
+            decisions = set(map(repr, run.decisions().values()))
+            agreed += len(decisions) == 1
+            if loss == 0.0:
+                survived_at_zero += len(decisions) == 1
+        print(
+            f"  loss={loss:<4}  agreement in {agreed}/{len(seeds)} runs"
+        )
+    assert survived_at_zero == 3, "zero loss must behave like lock-step"
+
+
+def chain_vs_timeout_fd() -> None:
+    print(f"\n== chain vs timeout FD on a lossy network, n={N}, t={T} ==")
+    rows = []
+    for protocol in ("chain", "timeout"):
+        spurious = discovered_fault = 0
+        for seed in (1, 2, 3):
+            # Failure-free run: any discovery is spurious.
+            free = run_fd_scenario(
+                N, T, "v", protocol=protocol, scheme=SCHEME, seed=seed,
+                delivery="loss:0.2",
+            )
+            spurious += free.fd.any_discovery
+            # One silent node, named through the adversary plane.
+            faulty = run_fd_scenario(
+                N, T, "v", protocol=protocol, scheme=SCHEME, seed=seed,
+                adversary=make_adversary(f"{N - 1}=silent", t=T),
+                delivery="loss:0.2",
+            )
+            discovered_fault += faulty.fd.any_discovery
+        rows.append((protocol, spurious, discovered_fault))
+        print(
+            f"  {protocol:<8} spurious discoveries {spurious}/3, "
+            f"real fault caught {discovered_fault}/3"
+        )
+    (_, chain_spurious, _), (_, to_spurious, to_caught) = rows
+    assert to_spurious == 0, "timeout FD must not cry wolf"
+    assert to_spurious <= chain_spurious
+    assert to_caught == 3, "timeout FD must catch the silent node"
+
+
+def partition_heal() -> None:
+    print(f"\n== timeout FD across a healing partition, n={N}, t={T} ==")
+    for heal in (4, 12):
+        outcome = run_fd_scenario(
+            N, T, "v", protocol="timeout", scheme=SCHEME, seed=1,
+            delivery=f"partition:0-2|3-{N - 1}@{heal}/defer",
+        )
+        decided = sum(1 for s in outcome.run.states if s.decided)
+        print(
+            f"  heal@{heal:<3} decided {decided}/{N}, "
+            f"discoveries {len(outcome.run.discoverers())} "
+            f"({'converged' if decided == N else 'cut-off block timed out'})"
+        )
+        if heal == 4:
+            assert decided == N
+        else:
+            assert decided < N and outcome.fd.any_discovery
+
+
+def trace_dump() -> None:
+    print("\n== deterministic trace of a lossy timeout-FD run (head) ==")
+    outcome = run_fd_scenario(
+        5, 1, "v", protocol="timeout", scheme=SCHEME, seed=2,
+        delivery="loss:0.3", record_trace=True,
+        protocol_params={"timeout": 4},
+    )
+    metrics = outcome.run.metrics
+    print(
+        f"  messages={metrics.messages_total}  "
+        f"dropped={metrics.drops_total}  "
+        f"(loss rate {metrics.loss_rate:.0%})"
+    )
+    print(outcome.run.trace.format(max_lines=30))
+    assert metrics.drops_total > 0
+    assert any(e.kind == "drop" for e in outcome.run.trace.events)
+
+
+if __name__ == "__main__":
+    oral_agreement_vs_loss()
+    chain_vs_timeout_fd()
+    partition_heal()
+    trace_dump()
+    print("\nThe synchronous model is an assumption, not a property of "
+          "networks; protocols designed for weak delivery pay in messages "
+          "and buy back their guarantees.")

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_3.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_4.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_3.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_4.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -34,10 +34,14 @@ reduction is regression-guarded, not just the wall-clock.
 (for example a prior-PR worktree) in a subprocess and records the
 per-experiment speedups under ``speedup_vs_baseline_src``.  Historical
 note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers,
-``BENCH_2.json`` (PR 2) added the extended n=128 grid; this PR's gate
-file is ``BENCH_3.json``, which adds the agreement-based
-key-distribution mux points (``akd_n7_t2`` small, ``akd_n64_t3`` /
-``akd_n128_t3`` full).
+``BENCH_2.json`` (PR 2) added the extended n=128 grid, ``BENCH_3.json``
+(PRs 3/4) added the agreement-based key-distribution mux points and the
+event-kernel delivery points; this PR's gate file is ``BENCH_4.json``,
+which adds the E13 unreliable-delivery points (timeout FD under loss,
+partition-heal convergence — drop counts gated alongside message
+counts).  The BENCH_3 experiments keep their names, so their counts are
+directly comparable across the two files (and were verified identical
+when BENCH_4 was established).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -180,7 +184,7 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_3.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_4.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)

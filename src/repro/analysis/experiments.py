@@ -347,6 +347,67 @@ def e12_delivery_models(
     )
 
 
+def e13_unreliable(
+    n: int = 7,
+    t: int = 2,
+    deliveries: Sequence[str] = ("sync", "bounded:3", "loss:0.2"),
+    seeds: int = 3,
+) -> ExperimentTable:
+    """E13: round-indexed vs timeout FD on unreliable networks.
+
+    The adversary-plane sweep: the same fault load (failure-free, or one
+    silent node named through an :class:`~repro.faults.AdversarySpec`)
+    under each delivery spec, run through the paper's round-indexed
+    ``chain`` protocol and the weak-model ``timeout`` protocol.  Two
+    discovery pathologies are counted per cell: **spurious** (discovery
+    in a failure-free run — network weather mistaken for a fault) and
+    **missed** (a faulty run no correct node discovered).
+
+    The verdict gates the design claim: timeout FD must be spurious-free
+    on the whole grid while chain FD is not (it reads delivery skew as
+    withholding), and timeout FD must catch the silent node everywhere
+    (heartbeat silence is evidence; the chain is structurally blind to
+    crashed nodes off its path).
+    """
+    from ..harness.workloads import e13_timeout_fd_point
+
+    rows = []
+    spurious_totals = {"chain": 0, "timeout": 0}
+    missed_totals = {"chain": 0, "timeout": 0}
+    for protocol in ("chain", "timeout"):
+        for delivery in deliveries:
+            for faulty in (0, 1):
+                healthy = spurious = missed = drops = 0
+                for seed in range(1, seeds + 1):
+                    result = e13_timeout_fd_point(
+                        n, t, delivery=delivery, protocol=protocol,
+                        faulty=faulty, seed=seed,
+                    )
+                    healthy += result["fd_ok"]
+                    spurious += result["spurious"]
+                    missed += result["missed"]
+                    drops += result["drops"]
+                spurious_totals[protocol] += spurious
+                missed_totals[protocol] += missed
+                rows.append(
+                    [protocol, delivery, faulty, f"{healthy}/{seeds}",
+                     f"{spurious}/{seeds}", f"{missed}/{seeds}", drops]
+                )
+    ok = (
+        spurious_totals["timeout"] == 0
+        and spurious_totals["timeout"] < spurious_totals["chain"]
+        and missed_totals["timeout"] == 0
+    )
+    return _table(
+        "E13",
+        f"unreliable delivery: chain vs timeout FD, n={n}, t={t}",
+        ["protocol", "delivery", "faulty", "F1-F3", "spurious", "missed",
+         "drops"],
+        rows,
+        ok,
+    )
+
+
 def run_all(quick: bool = True) -> list[ExperimentTable]:
     """Regenerate every count-based experiment.
 
@@ -365,4 +426,5 @@ def run_all(quick: bool = True) -> list[ExperimentTable]:
         e8_rounds((4, 8)),
         e11_keydist_methods(),
         e12_delivery_models(seeds=2 if quick else 4),
+        e13_unreliable(seeds=2 if quick else 4),
     ]

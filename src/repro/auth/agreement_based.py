@@ -46,6 +46,7 @@ from ..agreement.oral import OM_REPORT, OM_VALUE, OralAgreementProtocol
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair, TestPredicate, get_scheme
 from ..errors import ConfigurationError
+from ..faults.adversary import AdversarySpec, Behavior
 from ..faults.behaviors import RandomNoiseProtocol, SilentProtocol
 from ..sim import (
     InstanceAggregate,
@@ -54,6 +55,7 @@ from ..sim import (
     Protocol,
     RunResult,
     collect_instances,
+    make_delivery,
     run_protocols,
 )
 from ..sim.compose import PhaseHost
@@ -234,15 +236,42 @@ class AgreementKeyDistributionResult:
         return self.run.metrics.rounds_used
 
 
-def _normalise_byzantine(
+def _byzantine_spec(
     byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None,
-) -> dict[NodeId, str]:
-    """Accept a mapping or (node, kind) pairs; return a plain dict."""
+    t: int,
+) -> AdversarySpec | None:
+    """The picklable ``byzantine=`` pairs as an adversary-plane spec.
+
+    The AKD entry point re-layers onto :class:`AdversarySpec`: the same
+    ``(node, kind)`` pairs shard workers ship keep working, but parsing,
+    normalisation and the ``≤ t`` corruption budget now come from the
+    one adversary vocabulary instead of a private code path.
+    """
     if byzantine is None:
-        return {}
-    if isinstance(byzantine, Mapping):
-        return {int(node): kind for node, kind in byzantine.items()}
-    return {int(node): kind for node, kind in byzantine}
+        return None
+    pairs = tuple(
+        byzantine.items() if isinstance(byzantine, Mapping) else byzantine
+    )
+    if not pairs:
+        return None
+    return AdversarySpec(corrupt=pairs, t=t)
+
+
+def _akd_behavior_builder(n: int, instance_ids: Sequence[int]):
+    """Adversary-plane builder reinterpreting ``noise`` for the mux.
+
+    AKD's noise adversary must live *inside* an :class:`InstanceMux` on
+    the AKD channel so its lies land in per-instance inboxes and draw
+    from per-instance rng streams (the sharding-equivalence property).
+    Every other kind keeps the plane's default construction.
+    """
+
+    def build(node: NodeId, behavior: Behavior, inner, t: int):
+        if behavior.kind == "noise":
+            return akd_byzantine_protocol("noise", n, t, instance_ids)
+        return None
+
+    return build
 
 
 def run_agreement_key_distribution(
@@ -253,37 +282,52 @@ def run_agreement_key_distribution(
     seed: int | str = 0,
     byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None = None,
     instances: Sequence[int] | None = None,
+    delivery: "str | None" = None,
 ) -> AgreementKeyDistributionResult:
     """Distribute all n public keys via n concurrent OM(t) instances.
 
     :param adversaries: node -> arbitrary Byzantine :class:`Protocol`
         (in-process use; takes precedence over ``byzantine``).
-    :param byzantine: picklable spec, node -> kind name (see
-        :func:`akd_byzantine_protocol`) — the form shard workers can
+    :param byzantine: picklable adversary pairs, node -> behaviour kind
+        — re-layered through :class:`~repro.faults.AdversarySpec`, so
+        any declarative plane behaviour works (``noise`` is rebuilt
+        mux-aware, see :func:`akd_byzantine_protocol`) and the ``≤ t``
+        corruption budget is enforced.  This is the form shard workers
         rebuild in another process.
     :param instances: optional instance subset (shard slice); the full
         run is the default.
+    :param delivery: optional delivery model or spec for the run (see
+        :func:`repro.sim.make_delivery`); default lock-step.
     :raises ConfigurationError: when ``n <= 3t`` — the feasibility boundary
-        the paper contrasts local authentication against.
+        the paper contrasts local authentication against — or when the
+        byzantine pairs exceed the fault budget.
     """
     adversaries = adversaries or {}
-    spec = _normalise_byzantine(byzantine)
+    spec = _byzantine_spec(byzantine, t)
     instance_ids = validate_akd_instances(n, instances)
-    protocols: list[Protocol] = []
-    for node in range(n):
-        if node in adversaries:
-            protocols.append(adversaries[node])
-        elif node in spec:
-            protocols.append(
-                akd_byzantine_protocol(spec[node], n, t, instance_ids)
+    protocols: list[Protocol] = [
+        adversaries.get(
+            node, AgreementKeyDistributionProtocol(n, t, scheme, instances=instance_ids)
+        )
+        for node in range(n)
+    ]
+    if spec is not None:
+        # In-process `adversaries` take precedence over the picklable
+        # pairs (the documented facade contract): drop shadowed entries
+        # before installing the plane's corruptions.
+        if spec.faulty & set(adversaries):
+            spec = AdversarySpec(
+                corrupt=tuple(
+                    (node, behavior)
+                    for node, behavior in spec.corrupt
+                    if node not in adversaries
+                ),
+                t=spec.t,
             )
-        else:
-            protocols.append(
-                AgreementKeyDistributionProtocol(
-                    n, t, scheme, instances=instance_ids
-                )
-            )
-    run = run_protocols(protocols, seed=seed)
+        protocols = spec.protocols_for(
+            protocols, builder=_akd_behavior_builder(n, instance_ids)
+        )
+    run = run_protocols(protocols, seed=seed, delivery=make_delivery(delivery))
     result = AgreementKeyDistributionResult(
         run=run,
         directories={},

@@ -42,7 +42,14 @@ from typing import Any
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair, TestPredicate, get_scheme
 from ..crypto.signing import SignedMessage, sign_value
-from ..sim import Envelope, NodeContext, Protocol, RunResult, run_protocols
+from ..sim import (
+    Envelope,
+    NodeContext,
+    Protocol,
+    RunResult,
+    make_delivery,
+    run_protocols,
+)
 from ..types import NodeId
 from .directory import KeyDirectory
 
@@ -232,6 +239,7 @@ def run_key_distribution(
     adversaries: dict[NodeId, Protocol] | None = None,
     seed: int | str = 0,
     record_views: bool = False,
+    delivery: "str | None" = None,
 ) -> KeyDistributionResult:
     """Run paper Fig. 1 over ``n`` nodes and collect the results.
 
@@ -239,13 +247,22 @@ def run_key_distribution(
         (from :mod:`repro.faults.keyattacks` or custom).  All other nodes
         run the honest protocol.
     :param seed: master seed; determines keys and nonces reproducibly.
+    :param delivery: optional delivery model or spec string (see
+        :func:`repro.sim.make_delivery`).  The paper proves the protocol
+        in the synchronous model; the knob measures what happens outside
+        it (challenges that miss their round are simply never answered).
     """
     adversaries = adversaries or {}
     protocols: list[Protocol] = [
         adversaries.get(node, KeyDistributionProtocol(scheme=scheme))
         for node in range(n)
     ]
-    run = run_protocols(protocols, seed=seed, record_views=record_views)
+    run = run_protocols(
+        protocols,
+        seed=seed,
+        record_views=record_views,
+        delivery=make_delivery(delivery),
+    )
     result = KeyDistributionResult(run=run)
     for state in run.states:
         if OUTPUT_DIRECTORY in state.outputs:

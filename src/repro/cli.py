@@ -6,6 +6,10 @@ Installed as the ``repro-fd`` console script::
     repro-fd fd --n 8 --t 2 --auth local        # paper Fig. 2 on local auth
     repro-fd fd --n 8 --t 2 --protocol echo     # the O(n*t) baseline
     repro-fd fd --n 8 --t 2 --delivery bounded:3  # FD under delivery skew
+    repro-fd fd --n 8 --t 2 --protocol timeout \\
+        --delivery loss:0.2                     # timeout FD on a lossy net
+    repro-fd fd --n 8 --t 2 --adversary '5=silent;6=crash@2' \\
+        --delivery loss:0.1                     # the adversary plane
     repro-fd ba --n 8 --t 2                     # FD→BA extension
     repro-fd amortize --n 16 --t 5 --runs 20    # the Summary's ledger
     repro-fd attack --list                      # the §3.2 attack catalogue
@@ -54,12 +58,67 @@ def _add_delivery(parser: argparse.ArgumentParser) -> None:
 
     parser.add_argument(
         "--delivery",
-        default="sync",
+        default=None,
         metavar="SPEC",
         help="delivery model spec: "
         + ", ".join(available_deliveries())
-        + " (e.g. 'bounded:3', 'rush'; default sync — the paper's model)",
+        + " (e.g. 'bounded:3', 'loss:0.2', 'partition:0-3|4-6@8/defer', "
+        "'rush'; default sync — the paper's model — unless an "
+        "--adversary spec grants a delivery power)",
     )
+
+
+def _add_adversary(parser: argparse.ArgumentParser) -> None:
+    from .faults.adversary import PARSEABLE_KINDS
+
+    parser.add_argument(
+        "--adversary",
+        default=None,
+        metavar="SPEC",
+        help="adversary plane spec: ';'-separated NODE=BEHAVIOR items "
+        "plus optional delivery=SPEC (behaviours: "
+        + ", ".join(PARSEABLE_KINDS)
+        + "; e.g. '5=silent;6=crash@2-5;delivery=loss:0.2'); the "
+        "corruption budget is checked against --t",
+    )
+
+
+def _shown_delivery(args: argparse.Namespace) -> str:
+    """The delivery spec a run will actually use, for table rendering:
+    the explicit ``--delivery``, else the adversary spec's delivery
+    power, else the synchronous default."""
+    if getattr(args, "delivery", None) is not None:
+        return args.delivery
+    adversary = getattr(args, "adversary", None)
+    if adversary is not None:
+        from .faults import make_adversary
+
+        spec = make_adversary(adversary, t=getattr(args, "t", 0))
+        if spec is not None and spec.delivery is not None:
+            return spec.delivery
+    return "sync"
+
+
+def _validated_specs(args: argparse.Namespace) -> "int | None":
+    """Fail fast (exit 2, no traceback) on malformed spec strings.
+
+    Delivery and adversary specs are parsed deep inside a scenario run;
+    validating up front keeps the CLI's contract — message plus exit
+    code — for typo'd specs too.
+    """
+    from .errors import ConfigurationError
+    from .faults import make_adversary
+    from .sim import make_delivery
+
+    try:
+        if getattr(args, "delivery", None) is not None:
+            make_delivery(args.delivery)
+        if getattr(args, "adversary", None) is not None:
+            make_adversary(args.adversary, t=getattr(args, "t", 0))
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return None
 
 
 def _add_common(parser: argparse.ArgumentParser, with_t: bool = True) -> None:
@@ -78,26 +137,44 @@ def _add_common(parser: argparse.ArgumentParser, with_t: bool = True) -> None:
 
 
 def _cmd_keydist(args: argparse.Namespace) -> int:
-    result = run_key_distribution(args.n, scheme=args.scheme, seed=args.seed)
+    bad = _validated_specs(args)
+    if bad is not None:
+        return bad
+    result = run_key_distribution(
+        args.n, scheme=args.scheme, seed=args.seed, delivery=args.delivery
+    )
+    accepted = all(
+        directory.predicates_for(subject)
+        == (result.keypairs[subject].predicate,)
+        for node, directory in result.directories.items()
+        for subject in result.keypairs
+        if subject != node and subject in result.keypairs
+    )
     print(
         render_table(
             ["quantity", "paper", "measured"],
             [
                 ["messages", keydist_messages(args.n), result.messages],
                 ["rounds", keydist_rounds(), result.rounds],
+                ["delivery", "sync", _shown_delivery(args)],
             ],
             title=f"key distribution (paper Fig. 1), n={args.n}",
         )
     )
+    synchronous = _shown_delivery(args) == "sync"
     ok = (
         result.messages == keydist_messages(args.n)
         and result.rounds == keydist_rounds()
-    )
-    print(f"\npredicates accepted everywhere: {ok}")
+        and synchronous
+    ) or (not synchronous and accepted)
+    print(f"\npredicates accepted everywhere: {accepted}")
     return 0 if ok else 1
 
 
 def _cmd_fd(args: argparse.Namespace) -> int:
+    bad = _validated_specs(args)
+    if bad is not None:
+        return bad
     outcome = run_fd_scenario(
         args.n,
         args.t,
@@ -107,6 +184,7 @@ def _cmd_fd(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         seed=args.seed,
         delivery=args.delivery,
+        adversary=args.adversary,
     )
     metrics = outcome.run.metrics
     expected = (
@@ -122,12 +200,15 @@ def _cmd_fd(args: argparse.Namespace) -> int:
             [
                 ["protocol", args.protocol],
                 ["authentication", args.auth],
-                ["delivery", args.delivery],
+                ["delivery", _shown_delivery(args)],
+                ["adversary", args.adversary or "-"],
                 ["messages", metrics.messages_total],
+                ["dropped by network", metrics.drops_total],
                 ["paper formula", expected],
                 ["rounds", metrics.rounds_used],
                 ["keydist messages", outcome.kd.messages if outcome.kd else 0],
                 ["decisions", sorted(set(map(repr, outcome.run.decisions().values())))],
+                ["discoveries", len(outcome.run.discoverers())],
                 ["F1-F3", "ok" if outcome.fd.ok else outcome.fd.detail],
             ],
             title=f"failure discovery, n={args.n}, t={args.t}",
@@ -137,6 +218,9 @@ def _cmd_fd(args: argparse.Namespace) -> int:
 
 
 def _cmd_ba(args: argparse.Namespace) -> int:
+    bad = _validated_specs(args)
+    if bad is not None:
+        return bad
     outcome = run_ba_scenario(
         args.n,
         args.t,
@@ -146,6 +230,7 @@ def _cmd_ba(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         seed=args.seed,
         delivery=args.delivery,
+        adversary=args.adversary,
     )
     metrics = outcome.run.metrics
     print(
@@ -153,7 +238,8 @@ def _cmd_ba(args: argparse.Namespace) -> int:
             ["quantity", "value"],
             [
                 ["protocol", args.protocol],
-                ["delivery", args.delivery],
+                ["delivery", _shown_delivery(args)],
+                ["adversary", args.adversary or "-"],
                 ["messages", metrics.messages_total],
                 ["SM(t) direct would cost", sm_messages(args.n, args.t)],
                 ["rounds", metrics.rounds_used],
@@ -166,8 +252,12 @@ def _cmd_ba(args: argparse.Namespace) -> int:
 
 
 def _cmd_amortize(args: argparse.Namespace) -> int:
+    bad = _validated_specs(args)
+    if bad is not None:
+        return bad
     session = AmortizedSession(
-        n=args.n, t=args.t, auth=LOCAL, scheme=args.scheme, seed=args.seed
+        n=args.n, t=args.t, auth=LOCAL, scheme=args.scheme, seed=args.seed,
+        delivery=args.delivery,
     )
     rows = []
     for k in range(args.runs):
@@ -198,6 +288,9 @@ def _cmd_amortize(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    bad = _validated_specs(args)
+    if bad is not None:
+        return bad
     catalogue = attack_catalogue(args.n, args.t)
     if args.list:
         print(
@@ -224,10 +317,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         seed=args.seed,
         kd_adversaries=scenario.kd_adversaries(),
-        fd_adversary_factory=lambda kp, dirs: scenario.fd_adversary_factory(
-            args.n, args.t, kp, dirs
-        ),
+        adversary=scenario.adversary(args.n, args.t),
         faulty=scenario.faulty,
+        delivery=args.delivery,
     )
     discoverers = [
         s.node for s in outcome.run.states
@@ -411,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("keydist", help="run the key distribution protocol (Fig. 1)")
     _add_common(p, with_t=False)
+    _add_delivery(p)
     p.set_defaults(func=_cmd_keydist)
 
     p = sub.add_parser("fd", help="run a failure discovery protocol (Fig. 2)")
@@ -418,11 +511,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--protocol",
         default="chain",
-        choices=["chain", "echo", "smallrange", "smallrange-optimistic"],
+        choices=["chain", "echo", "timeout", "smallrange", "smallrange-optimistic"],
     )
     p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
     p.add_argument("--value", default="demo-value")
     _add_delivery(p)
+    _add_adversary(p)
     p.set_defaults(func=_cmd_fd)
 
     p = sub.add_parser("ba", help="run a Byzantine agreement protocol")
@@ -431,11 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
     p.add_argument("--value", default="demo-value")
     _add_delivery(p)
+    _add_adversary(p)
     p.set_defaults(func=_cmd_ba)
 
     p = sub.add_parser("amortize", help="repeated FD runs: the Summary's ledger")
     _add_common(p)
     p.add_argument("--runs", type=int, default=20)
+    _add_delivery(p)
     p.set_defaults(func=_cmd_amortize)
 
     p = sub.add_parser("attack", help="run scenarios from the attack catalogue")
@@ -443,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true", help="list scenarios")
     p.add_argument("--name", default="cross-claim-chain")
     p.add_argument("--value", default="demo-value")
+    _add_delivery(p)
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser("formulas", help="print every complexity claim")

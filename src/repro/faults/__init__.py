@@ -1,6 +1,12 @@
-"""Byzantine fault library: generic behaviours and targeted attacks.
+"""Byzantine fault library: the adversary plane, generic behaviours and
+targeted attacks.
 
-* :mod:`repro.faults.behaviors` — crash, silence, drop, tamper, scripted;
+* :mod:`repro.faults.adversary` — the declarative adversary plane:
+  :class:`AdversarySpec` names which nodes are corrupt, how each
+  misbehaves, and which delivery power the run grants, with the paper's
+  ``≤ t`` budget enforced at construction;
+* :mod:`repro.faults.behaviors` — crash (with recovery), silence, drop,
+  tamper, scripted;
 * :mod:`repro.faults.keyattacks` — the key-distribution attacks of the
   paper's section 3.2 (key sharing, cross claiming, mixed predicates,
   foreign claims);
@@ -9,6 +15,15 @@
   garbling, duplication).
 """
 
+from .adversary import (
+    BEHAVIOR_KINDS,
+    PARSEABLE_KINDS,
+    AdversarySpec,
+    Behavior,
+    build_behavior,
+    make_adversary,
+    parse_behavior,
+)
 from .behaviors import (
     CrashProtocol,
     RandomNoiseProtocol,
@@ -36,6 +51,9 @@ from .keyattacks import (
 
 __all__ = [
     "AdversaryCoordination",
+    "AdversarySpec",
+    "BEHAVIOR_KINDS",
+    "Behavior",
     "ClaimForeignPredicateAttack",
     "CrashProtocol",
     "CrossClaimAttack",
@@ -44,13 +62,17 @@ __all__ = [
     "FabricatingChainNode",
     "ImpersonatingChainNode",
     "MixedPredicateAttack",
+    "PARSEABLE_KINDS",
     "RandomNoiseProtocol",
     "RushMirrorProtocol",
     "ScriptedProtocol",
     "SharedKeyAttack",
     "SilentProtocol",
     "TamperingProtocol",
+    "build_behavior",
     "duplicating_chain_node",
     "garbling_chain_node",
+    "make_adversary",
+    "parse_behavior",
     "withholding_chain_node",
 ]

@@ -1,0 +1,458 @@
+"""The adversary plane: one declarative object naming a run's adversary.
+
+Before this module, "node 3 is faulty" could be said three incompatible
+ways — a hand-built :class:`~repro.sim.node.Protocol` replacement dict,
+a scenario factory closure over key material, or the agreement-based
+key-distribution ``byzantine=`` pair spec — none of which could be
+combined with a delivery power or checked against the paper's fault
+budget.  An :class:`AdversarySpec` subsumes all three:
+
+* **who is corrupt** — ``corrupt`` pairs each node id with a
+  :class:`Behavior` (or its spec string): ``silent``, ``crash@r`` /
+  ``crash@r-s`` (crash-recovery), ``noise``, ``rush``, ``drop@p``,
+  ``tamper@p``, ``scripted`` — subsuming the generic wrappers of
+  :mod:`repro.faults.behaviors`;
+* **custom corruption** — ``overrides`` pairs node ids with ready
+  :class:`~repro.sim.node.Protocol` instances, the escape hatch the
+  attack scenarios (which need key material) re-layer through;
+* **which delivery power the run grants** — ``delivery`` carries a
+  :func:`repro.sim.make_delivery` spec string, so one object names the
+  whole adversary: corruptions *and* scheduling/network power;
+* **the budget** — construction enforces the paper's ``≤ t`` corruption
+  bound: a spec naming more corrupt nodes than its ``t`` does not
+  construct (:class:`~repro.errors.ConfigurationError`), which is what
+  keeps every layered entry point honest about its claimed resilience.
+
+A spec built purely from declarative behaviours is picklable (primitive
+fields only), so it travels through workload parameters and the sweep
+executors; ``overrides`` carrying closures make it in-process-only, and
+:func:`repro.harness.parallel.sweep_parallel` warns by spec when that
+forces a serial fallback.
+
+Determinism: the ``drop@p`` / ``tamper@p`` behaviours decide per message
+by hashing ``(node, round, recipient)`` — a pure function of the
+message's coordinates, so runs reproduce bit-for-bit and the behaviours
+pickle as plain data (no closures, no rng state).
+
+``make_adversary`` mirrors :func:`repro.sim.make_delivery`: spec strings
+are ``;``-separated ``node=behavior`` items plus an optional
+``delivery=SPEC`` item, e.g. ``"3=silent;5=crash@2;delivery=loss:0.2"``
+(``;`` because delivery specs themselves contain ``,`` and ``:``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..sim.node import Protocol
+from ..types import NodeId, Round
+from .behaviors import (
+    CrashProtocol,
+    RandomNoiseProtocol,
+    RushMirrorProtocol,
+    ScriptedProtocol,
+    SilentProtocol,
+    TamperingProtocol,
+)
+
+#: All declarative behaviour kinds a :class:`Behavior` can carry.
+BEHAVIOR_KINDS = (
+    "silent",
+    "crash",
+    "noise",
+    "rush",
+    "drop",
+    "tamper",
+    "scripted",
+)
+
+#: The kinds expressible as spec strings (:func:`parse_behavior`) —
+#: ``scripted`` carries payload data and is construction-only.
+PARSEABLE_KINDS = tuple(kind for kind in BEHAVIOR_KINDS if kind != "scripted")
+
+#: Payload pool the generic ``noise`` behaviour draws from: wire-encodable
+#: garbage of the families every protocol must shrug off.
+NOISE_POOL = (
+    ("adversary-noise", 0),
+    ("adversary-noise", "garbage"),
+    ("unrelated", 7),
+    b"raw-bytes",
+)
+
+#: Tag of payloads the ``tamper@p`` behaviour substitutes.
+TAMPERED = "tampered"
+
+
+def _hash_unit(node: NodeId, round_: Round, recipient: NodeId) -> float:
+    """A uniform draw in [0, 1) from the message's coordinates.
+
+    Pure and stateless: the same ``(node, round, recipient)`` always
+    yields the same value, which is what makes the probabilistic
+    behaviours deterministic per run *and* picklable as plain data.
+    """
+    digest = hashlib.sha256(
+        f"adversary/{node}/{round_}/{recipient}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+
+@dataclass(frozen=True)
+class _CoordinateFilter:
+    """Base for the hash-driven per-message behaviours (picklable)."""
+
+    prob: float
+    node: NodeId
+
+
+class DropSends(_CoordinateFilter):
+    """``should_send`` predicate: drop each message with probability
+    ``prob`` (decided by :func:`_hash_unit`, so deterministic)."""
+
+    def __call__(self, round_: Round, to: NodeId, payload: Any) -> bool:
+        return _hash_unit(self.node, round_, to) >= self.prob
+
+
+class TamperPayloads(_CoordinateFilter):
+    """Payload transform: replace each message, with probability
+    ``prob``, by a recognisably-garbled wire value."""
+
+    def __call__(self, round_: Round, to: NodeId, payload: Any) -> Any:
+        if _hash_unit(self.node, round_, to) < self.prob:
+            return (TAMPERED, int(self.node), int(round_))
+        return payload
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """One corrupt node's declarative behaviour.
+
+    Plain picklable data; :func:`build_behavior` turns it into a
+    :class:`~repro.sim.node.Protocol` once the honest inner protocol and
+    the network shape are known.
+
+    :ivar kind: one of :data:`BEHAVIOR_KINDS`.
+    :ivar at: crash tick (``crash`` only).
+    :ivar recover: crash-recovery tick, or ``None`` for fail-stop
+        (``crash`` only).
+    :ivar prob: per-message probability (``drop`` / ``tamper`` only).
+    :ivar script: ``(round, recipient, payload)`` triples (``scripted``
+        only; payloads must be wire values for the spec to stay
+        picklable).
+    """
+
+    kind: str
+    at: Round | None = None
+    recover: Round | None = None
+    prob: float | None = None
+    script: tuple[tuple[Round, NodeId, Any], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in BEHAVIOR_KINDS:
+            raise ConfigurationError(
+                f"unknown behaviour kind {self.kind!r}; "
+                f"available: {', '.join(BEHAVIOR_KINDS)}"
+            )
+        if self.kind == "crash":
+            if self.at is None or self.at < 0:
+                raise ConfigurationError(
+                    f"crash behaviour needs a round, e.g. 'crash@2'; got {self!r}"
+                )
+            if self.recover is not None and self.recover <= self.at:
+                raise ConfigurationError(
+                    f"crash recovery must come after the crash, got {self.spec()!r}"
+                )
+        if self.kind in ("drop", "tamper") and not (
+            self.prob is not None and 0.0 < self.prob <= 1.0
+        ):
+            raise ConfigurationError(
+                f"{self.kind} behaviour needs a probability in (0, 1], "
+                f"e.g. '{self.kind}@0.3'; got {self!r}"
+            )
+        if self.kind == "scripted" and not self.script:
+            raise ConfigurationError(
+                "scripted behaviour needs a non-empty script of "
+                "(round, recipient, payload) triples"
+            )
+
+    def spec(self) -> str:
+        """The behaviour as its spec string (inverse of
+        :func:`parse_behavior`, modulo the string-less ``scripted``)."""
+        if self.kind == "crash":
+            base = f"crash@{self.at}"
+            return f"{base}-{self.recover}" if self.recover is not None else base
+        if self.kind in ("drop", "tamper"):
+            return f"{self.kind}@{self.prob:g}"
+        return self.kind
+
+
+def parse_behavior(spec: "str | Behavior") -> Behavior:
+    """Parse one behaviour spec string (a :class:`Behavior` passes
+    through unchanged).
+
+    * ``silent`` / ``noise`` / ``rush`` — parameterless;
+    * ``crash@R`` — fail-stop at tick R; ``crash@R-S`` — recover at S;
+    * ``drop@P`` / ``tamper@P`` — per-message probability P.
+
+    :raises ConfigurationError: for unknown or malformed specs — the
+        error names the valid behaviour kinds.
+    """
+    if isinstance(spec, Behavior):
+        return spec
+    head, _, arg = spec.partition("@")
+    if head in ("silent", "noise", "rush"):
+        if arg:
+            raise ConfigurationError(
+                f"behaviour {head!r} takes no argument, got {spec!r}"
+            )
+        return Behavior(head)
+    if head == "crash":
+        crash_at, dash, recover = arg.partition("-")
+        try:
+            return Behavior(
+                "crash",
+                at=int(crash_at),
+                recover=int(recover) if dash else None,
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"crash behaviour must look like 'crash@2' or 'crash@2-5', "
+                f"got {spec!r}"
+            ) from None
+    if head in ("drop", "tamper"):
+        try:
+            return Behavior(head, prob=float(arg))
+        except ValueError:
+            raise ConfigurationError(
+                f"{head} behaviour must look like '{head}@0.3', got {spec!r}"
+            ) from None
+    raise ConfigurationError(
+        f"unknown behaviour {spec!r}; "
+        f"available: {', '.join(PARSEABLE_KINDS)} "
+        "(scripted behaviours carry payload data and are construction-only: "
+        "Behavior('scripted', script=...))"
+    )
+
+
+def build_behavior(
+    behavior: Behavior, node: NodeId, inner: Protocol, t: int
+) -> Protocol:
+    """Realise one declarative behaviour as a node protocol.
+
+    :param inner: the honest protocol the node would have run — wrapped
+        (crash/drop/tamper) or discarded (silent/noise/rush/scripted)
+        depending on the kind.
+    :param t: the run's fault budget (bounds the self-halting behaviours
+        at ``t + 2``, past every honest protocol's deadline).
+    """
+    if behavior.kind == "silent":
+        return SilentProtocol()
+    if behavior.kind == "crash":
+        return CrashProtocol(inner, behavior.at, recover_round=behavior.recover)
+    if behavior.kind == "noise":
+        return RandomNoiseProtocol(NOISE_POOL, halt_after=t + 2)
+    if behavior.kind == "rush":
+        return RushMirrorProtocol(halt_after=t + 2)
+    if behavior.kind == "drop":
+        return TamperingProtocol(
+            inner, should_send=DropSends(behavior.prob, node)
+        )
+    if behavior.kind == "tamper":
+        return TamperingProtocol(
+            inner, transform=TamperPayloads(behavior.prob, node)
+        )
+    script: dict[Round, list[tuple[NodeId, Any]]] = {}
+    for round_, recipient, payload in behavior.script:
+        script.setdefault(round_, []).append((recipient, payload))
+    return ScriptedProtocol(script)
+
+
+#: Optional per-context builder: ``(node, behavior, inner, t) -> Protocol
+#: | None`` — ``None`` defers to :func:`build_behavior`.  How layers with
+#: richer corruption (the AKD mux noise) reinterpret a kind without
+#: forking the spec format.
+BehaviorBuilder = Callable[[NodeId, Behavior, Protocol, int], "Protocol | None"]
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Everything one run's adversary is allowed to do, as one object.
+
+    :ivar corrupt: ``(node, behaviour)`` pairs — behaviours may be spec
+        strings (normalised to :class:`Behavior` at construction).
+    :ivar t: the fault budget the spec claims; construction fails if the
+        corrupt set exceeds it.
+    :ivar delivery: optional delivery-power spec string (see
+        :func:`repro.sim.make_delivery`) granted to the run.
+    :ivar overrides: ``(node, Protocol)`` pairs installing custom
+        behaviours directly — counted against the same budget; may make
+        the spec unpicklable (in-process use only).
+
+    Construction normalises and validates: behaviours parse, node ids
+    are distinct across ``corrupt`` and ``overrides``, and the total
+    corruption stays within ``t``.
+    """
+
+    corrupt: tuple[tuple[NodeId, Behavior], ...] = ()
+    t: int = 0
+    delivery: str | None = None
+    overrides: tuple[tuple[NodeId, Protocol], ...] = ()
+
+    def __post_init__(self) -> None:
+        corrupt = tuple(
+            (int(node), parse_behavior(behavior))
+            for node, behavior in (
+                self.corrupt.items()
+                if isinstance(self.corrupt, Mapping)
+                else self.corrupt
+            )
+        )
+        object.__setattr__(
+            self, "corrupt", tuple(sorted(corrupt, key=lambda pair: pair[0]))
+        )
+        overrides = tuple(
+            (int(node), protocol)
+            for node, protocol in (
+                self.overrides.items()
+                if isinstance(self.overrides, Mapping)
+                else self.overrides
+            )
+        )
+        object.__setattr__(
+            self, "overrides", tuple(sorted(overrides, key=lambda pair: pair[0]))
+        )
+        if self.t < 0:
+            raise ConfigurationError(f"fault budget must be >= 0, got {self.t}")
+        nodes = [node for node, _ in self.corrupt] + [
+            node for node, _ in self.overrides
+        ]
+        if len(set(nodes)) != len(nodes):
+            duplicates = sorted({n for n in nodes if nodes.count(n) > 1})
+            raise ConfigurationError(
+                f"nodes {duplicates} corrupted more than once in one adversary spec"
+            )
+        if any(node < 0 for node in nodes):
+            raise ConfigurationError(f"corrupt node ids must be >= 0, got {nodes}")
+        if len(nodes) > self.t:
+            raise ConfigurationError(
+                f"adversary corrupts {len(nodes)} nodes "
+                f"({sorted(nodes)}) but the fault budget is t={self.t} — "
+                "the paper's guarantees are only claimed within the budget"
+            )
+
+    @property
+    def faulty(self) -> frozenset[NodeId]:
+        """All corrupted node ids (declarative and override alike)."""
+        return frozenset(node for node, _ in self.corrupt) | frozenset(
+            node for node, _ in self.overrides
+        )
+
+    @property
+    def rushing(self) -> frozenset[NodeId]:
+        """Nodes running the ``rush`` behaviour — the conventional
+        rushing set for a ``rush`` delivery model."""
+        return frozenset(
+            node for node, behavior in self.corrupt if behavior.kind == "rush"
+        )
+
+    def spec(self) -> str:
+        """The spec as a (mostly) round-trippable string, for messages."""
+        items = [f"{node}={behavior.spec()}" for node, behavior in self.corrupt]
+        items += [f"{node}=<custom>" for node, _ in self.overrides]
+        if self.delivery:
+            items.append(f"delivery={self.delivery}")
+        return ";".join(items)
+
+    def protocols_for(
+        self,
+        protocols: Sequence[Protocol],
+        builder: BehaviorBuilder | None = None,
+    ) -> list[Protocol]:
+        """The run's protocol list with every corruption installed.
+
+        :param protocols: the honest per-node protocols (index = node
+            id); corrupt nodes' entries become the ``inner`` of wrapping
+            behaviours.
+        :param builder: optional context-specific reinterpretation of
+            declarative kinds (see :data:`BehaviorBuilder`).
+        :raises ConfigurationError: if a corrupt node id lies outside
+            the network.
+        """
+        n = len(protocols)
+        out = list(protocols)
+        for node, behavior in self.corrupt:
+            if node >= n:
+                raise ConfigurationError(
+                    f"adversary corrupts node {node} but the network has "
+                    f"only {n} nodes"
+                )
+            built = builder(node, behavior, out[node], self.t) if builder else None
+            if built is None:
+                built = build_behavior(behavior, node, out[node], self.t)
+            out[node] = built
+        for node, protocol in self.overrides:
+            if node >= n:
+                raise ConfigurationError(
+                    f"adversary overrides node {node} but the network has "
+                    f"only {n} nodes"
+                )
+            out[node] = protocol
+        return out
+
+
+def make_adversary(
+    spec: "str | AdversarySpec | Mapping[NodeId, str | Behavior] | None",
+    t: int,
+    delivery: str | None = None,
+) -> AdversarySpec | None:
+    """Build an :class:`AdversarySpec` from a primitive spec string.
+
+    The mirror of :func:`repro.sim.make_delivery` for the corruption
+    half.  Spec strings are ``;``-separated items (``;`` because
+    delivery specs contain ``,`` and ``:``):
+
+    * ``NODE=BEHAVIOR`` — e.g. ``"3=silent"``, ``"5=crash@2-6"``,
+      ``"6=drop@0.3"`` (see :func:`parse_behavior` for behaviours);
+    * ``delivery=SPEC`` — the delivery power, e.g.
+      ``delivery=loss:0.2`` (at most once).
+
+    A ready :class:`AdversarySpec` passes through unchanged; a mapping
+    ``{node: behaviour}`` is wrapped; ``None`` stays ``None`` (no
+    adversary).  The budget ``t`` is enforced at construction either
+    way.
+
+    :param delivery: default delivery power when the spec string names
+        none.
+    :raises ConfigurationError: for malformed items, unknown behaviours,
+        duplicate nodes, or a corrupt set exceeding ``t``.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, AdversarySpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return AdversarySpec(corrupt=tuple(spec.items()), t=t, delivery=delivery)
+    corrupt: list[tuple[NodeId, str]] = []
+    for item in spec.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key or not value:
+            raise ConfigurationError(
+                f"adversary items must look like 'NODE=BEHAVIOR' or "
+                f"'delivery=SPEC', got {item!r} in {spec!r}"
+            )
+        if key == "delivery":
+            delivery = value
+            continue
+        try:
+            node = int(key)
+        except ValueError:
+            raise ConfigurationError(
+                f"adversary node id must be an integer, got {item!r} in {spec!r}"
+            ) from None
+        corrupt.append((node, value))
+    return AdversarySpec(corrupt=tuple(corrupt), t=t, delivery=delivery)

@@ -38,19 +38,54 @@ class CrashProtocol(Protocol):
     A crash at round ``r`` means the node performs rounds ``0 .. r-1``
     honestly and sends nothing from round ``r`` on — the cleanest Byzantine
     behaviour, and already enough to exercise missing-message discovery.
+
+    Crash-*recovery*: with ``recover_round`` set, the node does not halt
+    but goes dark for ticks ``crash_round .. recover_round-1`` — sending
+    nothing, acting on nothing — and resumes the honest inner protocol
+    at ``recover_round`` *with its inbox intact*: every envelope that
+    arrived during the outage is buffered, in arrival order, and handed
+    to the inner protocol ahead of the recovery tick's own arrivals.
+    This is the crash-recovery timing model of the weak-delivery
+    experiments (E13): a recovering node has missed its chance to *act*
+    in the dark ticks but has lost no delivered message.  Determinism is
+    untouched — the buffer replays the kernel's own deterministic
+    arrival sequence.
+
+    :param recover_round: tick at which the node resumes, or ``None``
+        (the classic fail-stop crash).
     """
 
-    def __init__(self, inner: Protocol, crash_round: Round) -> None:
+    def __init__(
+        self,
+        inner: Protocol,
+        crash_round: Round,
+        recover_round: Round | None = None,
+    ) -> None:
+        if recover_round is not None and recover_round <= crash_round:
+            raise ValueError(
+                f"recover_round must come after crash_round, got "
+                f"crash@{crash_round} recover@{recover_round}"
+            )
         self.inner = inner
         self.crash_round = crash_round
+        self.recover_round = recover_round
+        self._outage_inbox: list[Envelope] = []
 
     def setup(self, ctx: NodeContext) -> None:
         self.inner.setup(ctx)
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         if ctx.round >= self.crash_round:
-            ctx.halt()
-            return
+            if self.recover_round is None:
+                ctx.halt()
+                return
+            if ctx.round < self.recover_round:
+                # Down but not out: keep the arrivals for the resume.
+                self._outage_inbox.extend(inbox)
+                return
+            if self._outage_inbox:
+                inbox = self._outage_inbox + list(inbox)
+                self._outage_inbox = []
         self.inner.on_round(ctx, inbox)
 
 

@@ -4,7 +4,9 @@
   ``n - 1`` messages, works under global *or* local authentication;
 * :mod:`repro.fd.nonauth` — the unauthenticated ``O(n·t)`` echo baseline;
 * :mod:`repro.fd.smallrange` — "assign values to missing messages"
-  variants for a known binary domain.
+  variants for a known binary domain;
+* :mod:`repro.fd.timeout` — heartbeat/timeout FD with retransmission,
+  designed for the unreliable delivery models (experiment E13).
 """
 
 from .authenticated import (
@@ -41,6 +43,13 @@ from .smallrange import (
     SilentZeroBroadcastProtocol,
     make_small_range_protocols,
 )
+from .timeout import (
+    HEARTBEAT,
+    TIMEOUT_VALUE,
+    TimeoutFDProtocol,
+    default_timeout,
+    make_timeout_fd_protocols,
+)
 
 __all__ = [
     "BINARY_DOMAIN",
@@ -48,7 +57,9 @@ __all__ = [
     "DEFAULT_VALUE",
     "ECHO_FD_ROUNDS",
     "ECHO_MSG",
+    "HEARTBEAT",
     "SENDER",
+    "TIMEOUT_VALUE",
     "VALUE_MSG",
     "ChainFDProtocol",
     "EchoFDProtocol",
@@ -56,15 +67,18 @@ __all__ = [
     "OracleVerdict",
     "OptimisticBinaryChainProtocol",
     "SilentZeroBroadcastProtocol",
+    "TimeoutFDProtocol",
     "certify_protocol",
     "check_weak_agreement",
     "check_weak_termination",
     "check_weak_validity",
+    "default_timeout",
     "evaluate_fd",
     "expected_signers_at",
     "judge_run",
     "make_chain_fd_protocols",
     "make_echo_fd_protocols",
     "make_small_range_protocols",
+    "make_timeout_fd_protocols",
     "reference_views",
 ]

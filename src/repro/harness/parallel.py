@@ -82,6 +82,26 @@ def _apply(item: tuple[str | Callable[..., Any], dict[str, Any]]) -> Any:
     return fn(**params)
 
 
+def _describe_unpicklable_param(pts: list[dict[str, Any]]) -> str:
+    """Name the first parameter value that cannot cross the process
+    boundary — adversary specs get their spec string in the message."""
+    from ..faults.adversary import AdversarySpec
+
+    for point in pts:
+        for key, value in point.items():
+            try:
+                pickle.dumps(value)
+            except Exception:
+                if isinstance(value, AdversarySpec):
+                    return (
+                        f"adversary spec {value.spec()!r} (parameter {key!r}) "
+                        "is not picklable — its overrides carry in-process "
+                        "protocols"
+                    )
+                return f"parameter {key!r} = {value!r} is not picklable"
+    return "a sweep parameter is not picklable"
+
+
 def sweep_parallel(
     points: Iterable[dict[str, Any]],
     fn: str | Callable[..., Any],
@@ -126,6 +146,20 @@ def sweep_parallel(
                 stacklevel=2,
             )
             return sweep(pts, fn)
+    try:
+        pickle.dumps(pts)
+    except Exception:
+        # Same degradation, different culprit: a parameter value that
+        # cannot cross the process boundary — most often an adversary
+        # spec carrying in-process overrides.  Name the offender.
+        warnings.warn(
+            f"sweep_parallel: {_describe_unpicklable_param(pts)}; "
+            "falling back to serial execution (use declarative adversary "
+            "spec strings to parallelize)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return sweep(pts, fn)
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(_apply, [(fn, p) for p in pts]))

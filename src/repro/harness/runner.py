@@ -27,12 +27,14 @@ from ..auth import (
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair
 from ..errors import ConfigurationError
+from ..faults.adversary import AdversarySpec, make_adversary
 from ..fd import (
     FDEvaluation,
     evaluate_fd,
     make_chain_fd_protocols,
     make_echo_fd_protocols,
     make_small_range_protocols,
+    make_timeout_fd_protocols,
 )
 from ..sim import DeliveryModel, Protocol, RunResult, make_delivery, run_protocols
 from ..types import NodeId
@@ -45,6 +47,12 @@ GLOBAL = "global"
 AdversaryFactory = Callable[
     [dict[NodeId, KeyPair], dict[NodeId, KeyDirectory]], dict[NodeId, Protocol]
 ]
+
+#: The ``adversary=`` parameter of the scenario runners: a spec string, a
+#: ready :class:`~repro.faults.AdversarySpec`, or a deferred factory
+#: ``(keypairs, directories) -> AdversarySpec`` for corruption that needs
+#: key material (the attack scenarios).
+AdversaryInput = Any
 
 
 @dataclass
@@ -99,6 +107,35 @@ def setup_authentication(
     raise ConfigurationError(f"unknown auth mode {auth!r}")
 
 
+def _resolve_adversary(
+    adversary: "str | AdversarySpec | None",
+    t: int,
+    legacy_adversaries: set[NodeId],
+    delivery: "str | DeliveryModel | None",
+) -> tuple[AdversarySpec | None, "str | DeliveryModel | None"]:
+    """Fold the adversary plane into a scenario's legacy knobs.
+
+    One resolution rule for both scenario runners: parse the spec
+    (budget enforced against ``t``), refuse corruption collisions with
+    the legacy factory path *of the same protocol run* (kd-phase
+    adversaries may legitimately corrupt the same nodes again — that is
+    a different run), and let the spec's delivery power apply when the
+    caller named none.
+    """
+    spec = make_adversary(adversary, t=t)
+    if spec is None:
+        return None, delivery
+    collisions = legacy_adversaries & spec.faulty
+    if collisions:
+        raise ConfigurationError(
+            f"nodes {sorted(collisions)} are corrupted by both the adversary "
+            "spec and a legacy adversary factory — name each corruption once"
+        )
+    if delivery is None and spec.delivery is not None:
+        delivery = spec.delivery
+    return spec, delivery
+
+
 def run_fd_scenario(
     n: int,
     t: int,
@@ -111,24 +148,38 @@ def run_fd_scenario(
     fd_adversary_factory: AdversaryFactory | None = None,
     faulty: set[NodeId] | None = None,
     delivery: str | DeliveryModel | None = None,
+    adversary: AdversaryInput = None,
     record_trace: bool = False,
+    protocol_params: dict[str, Any] | None = None,
 ) -> ScenarioOutcome:
     """Run one Failure Discovery scenario end to end.
 
     :param protocol: ``"chain"`` (paper Fig. 2), ``"echo"`` (non-auth
         baseline), ``"smallrange"`` / ``"smallrange-optimistic"`` (binary
-        variants).
+        variants), ``"timeout"`` (heartbeat/timeout FD for the weak
+        delivery models, :mod:`repro.fd.timeout`).
     :param kd_adversaries: Byzantine behaviours during key distribution.
     :param fd_adversary_factory: builds the FD-phase Byzantine behaviours
-        once key material exists.
+        once key material exists (legacy path; kept as a facade over the
+        adversary plane).
     :param faulty: the faulty-node set for evaluation; inferred from the
-        two adversary collections when omitted.
+        adversary collections when omitted.
     :param delivery: delivery model for the FD run — an instance or a
         spec string (see :func:`repro.sim.make_delivery`); a ``"rush"``
         spec without an explicit node list rushes the faulty set.  The
         key-distribution phase always runs lock-step (it establishes the
         baseline the paper assumes); only the FD phase is skewed.
+    :param adversary: the declarative adversary plane —
+        an :class:`~repro.faults.AdversarySpec`, its spec string (see
+        :func:`repro.faults.make_adversary`), or a deferred factory
+        ``(keypairs, directories) -> AdversarySpec`` for corruption that
+        needs key material.  Budget-checked against ``t``; its
+        corruptions are installed over the honest protocols and its
+        delivery power applies when ``delivery`` is unset.
     :param record_trace: capture the FD run's structured event log.
+    :param protocol_params: extra keyword arguments for the protocol
+        factory (e.g. ``timeout`` / ``retransmit_every`` for
+        ``"timeout"``).
     """
     if (
         protocol == "echo"
@@ -149,16 +200,37 @@ def run_fd_scenario(
         if fd_adversary_factory is not None
         else {}
     )
+    if callable(adversary) and not isinstance(adversary, (str, AdversarySpec)):
+        # Deferred spec: corruption that needs key material (the attack
+        # scenarios) supplies a factory resolved once authentication ran.
+        adversary = adversary(keypairs, directories)
+    spec, delivery = _resolve_adversary(
+        adversary, t, set(fd_adversaries), delivery
+    )
     if faulty is None:
         faulty = set(kd_adversaries or {}) | set(fd_adversaries)
+    if spec is not None:
+        faulty = set(faulty) | spec.faulty
+        # Overrides may corrupt nodes whose key material never existed
+        # (kd-phase casualties), so they enter through the factories'
+        # skip path; declarative behaviours wrap the honest protocol
+        # after construction.
+        fd_adversaries = {**fd_adversaries, **dict(spec.overrides)}
     correct = set(range(n)) - faulty
+    params = protocol_params or {}
 
     if protocol == "chain":
         protocols = make_chain_fd_protocols(
-            n, t, value, keypairs, directories, adversaries=fd_adversaries
+            n, t, value, keypairs, directories, adversaries=fd_adversaries, **params
         )
     elif protocol == "echo":
-        protocols = make_echo_fd_protocols(n, t, value, adversaries=fd_adversaries)
+        protocols = make_echo_fd_protocols(
+            n, t, value, adversaries=fd_adversaries, **params
+        )
+    elif protocol == "timeout":
+        protocols = make_timeout_fd_protocols(
+            n, t, value, keypairs, directories, adversaries=fd_adversaries, **params
+        )
     elif protocol in ("smallrange", "smallrange-optimistic"):
         protocols = make_small_range_protocols(
             n,
@@ -168,9 +240,12 @@ def run_fd_scenario(
             directories,
             adversaries=fd_adversaries,
             optimistic=protocol.endswith("optimistic"),
+            **params,
         )
     else:
         raise ConfigurationError(f"unknown FD protocol {protocol!r}")
+    if spec is not None and spec.corrupt:
+        protocols = spec.protocols_for(protocols)
 
     run = run_protocols(
         protocols,
@@ -194,6 +269,7 @@ def run_ba_scenario(
     ba_adversary_factory: AdversaryFactory | None = None,
     faulty: set[NodeId] | None = None,
     delivery: str | DeliveryModel | None = None,
+    adversary: AdversaryInput = None,
     record_trace: bool = False,
 ) -> ScenarioOutcome:
     """Run one Byzantine Agreement scenario end to end.
@@ -201,6 +277,9 @@ def run_ba_scenario(
     :param protocol: ``"extension"`` (FD→BA) or ``"signed"`` (SM(t)).
     :param delivery: delivery model for the BA run (instance or spec
         string; ``"rush"`` without node list rushes the faulty set).
+    :param adversary: declarative adversary plane spec (string or
+        :class:`~repro.faults.AdversarySpec`), budget-checked against
+        ``t`` — see :func:`run_fd_scenario`.
     :param record_trace: capture the BA run's structured event log.
     """
     keypairs, directories, kd = setup_authentication(
@@ -211,8 +290,16 @@ def run_ba_scenario(
         if ba_adversary_factory is not None
         else {}
     )
+    if callable(adversary) and not isinstance(adversary, (str, AdversarySpec)):
+        adversary = adversary(keypairs, directories)
+    spec, delivery = _resolve_adversary(
+        adversary, t, set(ba_adversaries), delivery
+    )
     if faulty is None:
         faulty = set(kd_adversaries or {}) | set(ba_adversaries)
+    if spec is not None:
+        faulty = set(faulty) | spec.faulty
+        ba_adversaries = {**ba_adversaries, **dict(spec.overrides)}
     correct = set(range(n)) - faulty
 
     if protocol == "extension":
@@ -225,6 +312,8 @@ def run_ba_scenario(
         )
     else:
         raise ConfigurationError(f"unknown BA protocol {protocol!r}")
+    if spec is not None and spec.corrupt:
+        protocols = spec.protocols_for(protocols)
 
     run = run_protocols(
         protocols,

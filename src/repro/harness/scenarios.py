@@ -4,6 +4,15 @@ Each scenario packages: which nodes are Byzantine, how they misbehave
 during key distribution and/or the FD run, and what the paper's theorems
 predict about the outcome.  The E6 benchmark and the integration tests
 iterate this catalogue.
+
+Scenarios are re-layered onto the adversary plane
+(:mod:`repro.faults.adversary`): :meth:`AttackScenario.adversary` turns
+a scenario's FD-phase corruption into a deferred
+:class:`~repro.faults.AdversarySpec` factory the scenario runners
+consume — one corruption vocabulary for the whole library, with the
+``≤ t`` budget enforced when the spec is built.  The raw
+``fd_adversary_factory`` field remains the thin facade the existing
+call sites keep using.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from ..auth.directory import KeyDirectory
 from ..crypto.keys import KeyPair
 from ..faults import (
     AdversaryCoordination,
+    AdversarySpec,
     CrossClaimAttack,
     FabricatingChainNode,
     ImpersonatingChainNode,
@@ -56,6 +66,30 @@ class AttackScenario:
     ] = field(default=_no_fd_adversaries)
     expects_discovery: bool = True
     description: str = ""
+
+    def adversary(
+        self, n: int, t: int
+    ) -> Callable[
+        [dict[NodeId, KeyPair], dict[NodeId, KeyDirectory]], AdversarySpec
+    ]:
+        """The FD-phase corruption as a deferred adversary-plane spec.
+
+        Returns the ``(keypairs, directories) -> AdversarySpec`` factory
+        the scenario runners accept as ``adversary=``: the scenario's
+        key-material-dependent behaviours ride in the spec's
+        ``overrides``, and building the spec enforces the ``≤ t``
+        corruption budget — a scenario can no longer claim a resilience
+        its faulty set exceeds.
+        """
+
+        def build(
+            keypairs: dict[NodeId, KeyPair],
+            directories: dict[NodeId, KeyDirectory],
+        ) -> AdversarySpec:
+            overrides = self.fd_adversary_factory(n, t, keypairs, directories)
+            return AdversarySpec(overrides=tuple(overrides.items()), t=t)
+
+        return build
 
 
 def _shared_key_chain_scenario(n: int, t: int) -> AttackScenario:

@@ -17,7 +17,7 @@ from ..analysis import fd_nonauth_messages
 from ..auth import run_key_distribution, trusted_dealer_setup
 from ..crypto import DEFAULT_SCHEME
 from ..fd import evaluate_fd, make_chain_fd_protocols
-from ..sim import Protocol, run_protocols
+from ..sim import Protocol, make_delivery, run_protocols
 from ..types import NodeId, validate_fault_budget
 from .runner import GLOBAL, LOCAL, AdversaryFactory, ScenarioOutcome
 
@@ -61,11 +61,16 @@ class AmortizedSession:
         auth: str = LOCAL,
         scheme: str = DEFAULT_SCHEME,
         seed: int | str = 0,
+        delivery: str | None = None,
     ) -> None:
         validate_fault_budget(t, n)
         self.n = n
         self.t = t
         self.auth = auth
+        #: Delivery model spec applied to every FD run in the session
+        #: (the key-distribution investment stays lock-step — it is the
+        #: paper's baseline being amortized).
+        self.delivery = delivery
         if auth == LOCAL:
             self._kd = run_key_distribution(n, scheme=scheme, seed=seed)
             self.keypairs = self._kd.keypairs
@@ -104,7 +109,9 @@ class AmortizedSession:
             self.n, self.t, value, self.keypairs, self.directories,
             adversaries=adversaries,
         )
-        run = run_protocols(protocols, seed=seed)
+        run = run_protocols(
+            protocols, seed=seed, delivery=make_delivery(self.delivery)
+        )
         self._fd_messages += run.metrics.messages_total
         self.ledger.append(
             LedgerEntry(

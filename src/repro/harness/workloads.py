@@ -31,7 +31,7 @@ from ..auth import (
     run_key_distribution,
 )
 from ..errors import ConfigurationError
-from ..faults import RushMirrorProtocol, SilentProtocol, TamperingProtocol
+from ..faults import AdversarySpec, SilentProtocol, TamperingProtocol, make_adversary
 from ..fd.smallrange import OptimisticBinaryChainProtocol
 from ..sim import make_delivery, run_protocols
 from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
@@ -279,7 +279,12 @@ def e5_optimistic_point(
 
 @workload("e6-scenario", suite="E6")
 def e6_scenario_point(n: int, t: int, scenario: str, seed: int | str = 0) -> dict[str, Any]:
-    """One (attack scenario, seed) cell of the E6 discovery matrix."""
+    """One (attack scenario, seed) cell of the E6 discovery matrix.
+
+    The scenario's FD-phase corruption enters through the adversary
+    plane (:meth:`~repro.harness.scenarios.AttackScenario.adversary`),
+    so the run is budget-checked like every other adversarial run.
+    """
     match = [s for s in attack_catalogue(n, t) if s.name == scenario]
     if not match:
         raise ConfigurationError(f"unknown attack scenario {scenario!r}")
@@ -292,7 +297,7 @@ def e6_scenario_point(n: int, t: int, scenario: str, seed: int | str = 0) -> dic
         scheme=COUNT_SCHEME,
         seed=seed,
         kd_adversaries=sc.kd_adversaries(),
-        fd_adversary_factory=lambda kp, dirs: sc.fd_adversary_factory(n, t, kp, dirs),
+        adversary=sc.adversary(n, t),
         faulty=sc.faulty,
     )
     genuine = {
@@ -539,15 +544,20 @@ def _mirror_nodes(n: int, faulty: int) -> tuple[int, ...]:
     return tuple(range(n - faulty, n))
 
 
-def _mirror_factory(mirrors: tuple[int, ...], t: int):
-    """Adversary factory installing rushing mirrors, or None for none."""
+def _mirror_spec(mirrors: tuple[int, ...], t: int) -> AdversarySpec | None:
+    """The conventional E12/E13 corruption as an adversary-plane spec:
+    rushing mirrors on the given nodes, or None for a failure-free run.
+
+    The budget is checked against ``max(t, len(mirrors))`` rather than
+    ``t`` alone: the sweeps deliberately let the ``faulty`` axis exceed
+    small fault budgets to map where the guarantees actually crack.
+    """
     if not mirrors:
         return None
-
-    def factory(keypairs, directories):
-        return {node: RushMirrorProtocol(halt_after=t + 2) for node in mirrors}
-
-    return factory
+    return AdversarySpec(
+        corrupt=tuple((node, "rush") for node in mirrors),
+        t=max(t, len(mirrors)),
+    )
 
 
 def _e12_result(
@@ -591,8 +601,9 @@ def e12_oral_point(
     """
     protocols = make_oral_agreement_protocols(n, t, value)
     mirrors = _mirror_nodes(n, faulty)
-    for node in mirrors:
-        protocols[node] = RushMirrorProtocol(halt_after=t + 2)
+    spec = _mirror_spec(mirrors, t)
+    if spec is not None:
+        protocols = spec.protocols_for(protocols)
     run = run_protocols(
         protocols,
         seed=seed,
@@ -637,7 +648,7 @@ def e12_fd_point(
         auth=GLOBAL,
         scheme=COUNT_SCHEME,
         seed=seed,
-        fd_adversary_factory=_mirror_factory(mirrors, t),
+        adversary=_mirror_spec(mirrors, t),
         delivery=delivery,
         record_trace=trace,
     )
@@ -675,7 +686,7 @@ def e12_ba_point(
         auth=GLOBAL,
         scheme=COUNT_SCHEME,
         seed=seed,
-        ba_adversary_factory=_mirror_factory(mirrors, t),
+        adversary=_mirror_spec(mirrors, t),
         delivery=delivery,
         record_trace=trace,
     )
@@ -684,6 +695,197 @@ def e12_ba_point(
         ba_ok=outcome.ba.ok,
         agreement=outcome.ba.agreement,
     )
+
+
+def _silent_spec(n: int, t: int, faulty: int) -> "AdversarySpec | None":
+    """The conventional E13 fault load: ``faulty`` silent nodes on the
+    highest ids (the crash case every FD protocol must catch)."""
+    nodes = _mirror_nodes(n, faulty)
+    if not nodes:
+        return None
+    return AdversarySpec(
+        corrupt=tuple((node, "silent") for node in nodes),
+        t=max(t, len(nodes)),
+    )
+
+
+@workload("e13-loss", suite="E13/regress", deliveries=("loss",))
+def e13_loss_point(
+    n: int,
+    t: int,
+    loss: float = 0.2,
+    protocol: str = "oral",
+    faulty: int = 0,
+    seed: int | str = 0,
+    value: Any = "v",
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Agreement survival under message loss: one (protocol, loss) cell.
+
+    The E13 agreement axis: the same protocols as E12's baseline —
+    ``oral`` OM(t) or ``ba`` signed SM(t) — under ``loss:p`` delivery,
+    with ``faulty`` silent nodes from the adversary plane.  The
+    measurement is how much loss each guarantee absorbs before honest
+    nodes stop agreeing (and how much of the sent traffic the network
+    ate, now first-class in the metrics).
+    """
+    delivery = f"loss:{loss}"
+    spec = _silent_spec(n, t, faulty)
+    mirrors = _mirror_nodes(n, faulty)
+    if protocol == "oral":
+        protocols = make_oral_agreement_protocols(n, t, value)
+        if spec is not None:
+            protocols = spec.protocols_for(protocols)
+        run = run_protocols(
+            protocols,
+            seed=seed,
+            delivery=make_delivery(delivery),
+            record_trace=trace,
+        )
+        honest = {
+            node: val
+            for node, val in run.decisions().items()
+            if node not in mirrors
+        }
+        outcome = {
+            "agreed": len(set(map(repr, honest.values()))) == 1 and bool(honest),
+            "decided": len(honest),
+        }
+    elif protocol == "ba":
+        scenario = run_ba_scenario(
+            n, t, value, protocol="signed", auth=GLOBAL, scheme=COUNT_SCHEME,
+            seed=seed, adversary=spec, delivery=delivery, record_trace=trace,
+        )
+        run = scenario.run
+        outcome = {
+            "agreed": scenario.ba.agreement,
+            "decided": sum(
+                1 for node in scenario.correct if run.states[node].decided
+            ),
+        }
+    else:
+        raise ConfigurationError(
+            f"e13-loss protocol must be 'oral' or 'ba', got {protocol!r}"
+        )
+    result = {
+        "n": n,
+        "t": t,
+        "protocol": protocol,
+        "loss": loss,
+        "faulty": faulty,
+        **outcome,
+        "messages": run.metrics.messages_total,
+        "drops": run.metrics.drops_total,
+        "loss_rate": round(run.metrics.loss_rate, 4),
+        "rounds": run.metrics.rounds_used,
+    }
+    if trace and run.trace is not None:
+        result["trace"] = run.trace.format()
+    return result
+
+
+@workload(
+    "e13-timeout-fd",
+    suite="E13/regress",
+    deliveries=("sync", "bounded", "loss", "partition"),
+)
+def e13_timeout_fd_point(
+    n: int,
+    t: int,
+    delivery: str = "sync",
+    protocol: str = "timeout",
+    faulty: int = 0,
+    seed: int | str = 0,
+    timeout: int | None = None,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Round-indexed vs timeout FD under a chosen delivery model.
+
+    The E13 discovery axis: the *same* fault load (``faulty`` silent
+    nodes via the adversary plane) and the same delivery spec, run
+    through the paper's round-indexed ``chain`` protocol or the
+    weak-model ``timeout`` protocol — so the spurious-vs-missed
+    discovery comparison isolates the protocol design.  ``spurious`` is
+    a discovery in a failure-free run (network skew mistaken for a
+    fault); ``missed`` is a faulty run no correct node discovered.
+    """
+    if protocol not in ("chain", "timeout"):
+        raise ConfigurationError(
+            f"e13-timeout-fd protocol must be 'chain' or 'timeout', got "
+            f"{protocol!r}"
+        )
+    params: dict[str, Any] = {}
+    if protocol == "timeout" and timeout is not None:
+        params["timeout"] = timeout
+    outcome = run_fd_scenario(
+        n,
+        t,
+        "v",
+        protocol=protocol,
+        auth=GLOBAL,
+        scheme=COUNT_SCHEME,
+        seed=seed,
+        adversary=_silent_spec(n, t, faulty),
+        delivery=delivery,
+        record_trace=trace,
+        protocol_params=params,
+    )
+    run = outcome.run
+    discovered = outcome.fd.any_discovery
+    result = {
+        "n": n,
+        "t": t,
+        "protocol": protocol,
+        "delivery": delivery,
+        "faulty": faulty,
+        "fd_ok": outcome.fd.ok,
+        "discovered": discovered,
+        "spurious": bool(discovered and faulty == 0),
+        "missed": bool(not discovered and faulty > 0),
+        "decided": sum(1 for node in outcome.correct if run.states[node].decided),
+        "messages": run.metrics.messages_total,
+        "drops": run.metrics.drops_total,
+        "rounds": run.metrics.rounds_used,
+    }
+    if trace and run.trace is not None:
+        result["trace"] = run.trace.format()
+    return result
+
+
+@workload("e13-partition", suite="E13/regress", deliveries=("partition",))
+def e13_partition_point(
+    n: int,
+    t: int,
+    heal: int = 4,
+    defer: bool = True,
+    protocol: str = "timeout",
+    seed: int | str = 0,
+    timeout: int | None = None,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Partition-heal convergence: one (heal tick, mode) cell.
+
+    The network splits ``{0 .. n//2-1}`` from ``{n//2 .. n-1}`` at tick
+    0 and heals at ``heal``; ``defer`` parks cross-partition traffic
+    until then (store-and-forward) instead of dropping it.  Measured:
+    whether every node converges on the sender's value once the
+    partition heals — which for timeout FD happens exactly when the
+    heal falls inside the protocol's ``timeout`` horizon — versus the
+    chain protocol, which has no second chance.
+    """
+    split = n // 2
+    mode = "/defer" if defer else ""
+    delivery = f"partition:0-{split - 1}|{split}-{n - 1}@{heal}{mode}"
+    return e13_timeout_fd_point(
+        n,
+        t,
+        delivery=delivery,
+        protocol=protocol,
+        faulty=0,
+        seed=seed,
+        timeout=timeout,
+        trace=trace,
+    ) | {"heal": heal, "defer": defer}
 
 
 @workload("akd-shard", suite="E11/regress")

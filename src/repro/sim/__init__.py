@@ -26,6 +26,8 @@ from .network import (
     AdversarialOrder,
     BoundedDelay,
     DeliveryModel,
+    LossyDelivery,
+    PartitionedDelivery,
     SynchronousRounds,
     available_deliveries,
     make_delivery,
@@ -46,8 +48,10 @@ __all__ = [
     "InstanceAggregate",
     "InstanceMux",
     "InstanceOutcome",
+    "LossyDelivery",
     "MUX_OUTCOMES",
     "Metrics",
+    "PartitionedDelivery",
     "NodeContext",
     "NodeState",
     "Protocol",

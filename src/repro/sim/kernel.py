@@ -195,6 +195,14 @@ class EventKernel:
             self._pending.append(envelope)
             return
         arrival = self._delivery.arrival_tick(envelope, self.tick)
+        if arrival is None:
+            # The model dropped the envelope (lossy links, partition
+            # boundary): it still counts as sent, and the loss itself is
+            # accounted so runs under unreliable delivery stay auditable.
+            self._metrics.record_drop(envelope)
+            if self._trace is not None:
+                self._trace.record_drop(envelope)
+            return
         if self._trace is not None:
             self._trace.record_send(envelope, arrival_tick=arrival)
         if arrival > self.tick:

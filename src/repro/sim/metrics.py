@@ -76,6 +76,8 @@ class Metrics:
     delivered_per_tick: Counter[Round] = field(default_factory=Counter)
     delivery_lag_total: int = 0
     deliveries_total: int = 0
+    drops_total: int = 0
+    dropped_per_round: Counter[Round] = field(default_factory=Counter)
     _settled_bytes: int = 0
     _settled_bytes_per_round: Counter[Round] = field(default_factory=Counter)
     _deferred_payloads: list[tuple[Round, Any]] = field(
@@ -114,6 +116,28 @@ class Metrics:
         self.delivered_per_tick[tick] += 1
         self.delivery_lag_total += tick - envelope.round_sent - 1
         self.deliveries_total += 1
+
+    def record_drop(self, envelope: Envelope) -> None:
+        """Account one envelope the delivery model dropped.
+
+        Recorded by the event kernel when a model's ``arrival_tick``
+        returns ``None`` (lossy links, partition boundaries).  The
+        envelope is *also* in the send counters — drops measure how much
+        of the sent traffic the network ate, keyed (like every per-round
+        counter) on the emission round.  Identically zero under reliable
+        models, keeping their metrics bit-for-bit comparable with
+        pre-drop-support runs.
+        """
+        self.drops_total += 1
+        self.dropped_per_round[envelope.round_sent] += 1
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent envelopes the network dropped (0.0 when no
+        message was ever sent)."""
+        if not self.messages_total:
+            return 0.0
+        return self.drops_total / self.messages_total
 
     @property
     def mean_delivery_lag(self) -> float:
@@ -157,6 +181,8 @@ class Metrics:
         self.delivered_per_tick.update(other.delivered_per_tick)
         self.delivery_lag_total += other.delivery_lag_total
         self.deliveries_total += other.deliveries_total
+        self.drops_total += other.drops_total
+        self.dropped_per_round.update(other.dropped_per_round)
         self._settled_bytes += other._settled_bytes
         self._settled_bytes_per_round.update(other._settled_bytes_per_round)
 

@@ -25,12 +25,28 @@ and fixes the per-tick node activation order.  Three models ship:
   foreknowledge is a pluggable strategy from :mod:`repro.faults` (for
   example :class:`~repro.faults.RushMirrorProtocol`); the model only
   grants the scheduling power.
+* :class:`LossyDelivery` — the first model that breaks N1's
+  *reliability*: each envelope is independently dropped with
+  probability ``p``, drawn from a deterministic seed-derived per-link
+  stream.  Dropped envelopes never reach an inbox; the kernel records
+  each drop in the run's metrics and (when tracing) the event log.
+* :class:`PartitionedDelivery` — epoch-indexed network partitions:
+  a schedule of disjoint node blocks; messages crossing a block
+  boundary are dropped, or (in ``defer`` mode) parked until the first
+  tick at which sender and recipient are reunited.  Experiment E13
+  measures convergence across the heal.
+
+A model signals a drop by returning ``None`` from :meth:`arrival_tick`
+— the kernel then accounts the loss instead of scheduling a delivery.
 
 Determinism: every model is a pure function of the master seed and the
-emission sequence — :class:`BoundedDelay` derives its per-link jitter
-streams from the kernel's seed via :func:`repro.sim.rng.node_rng`, and
-no model consults wall-clock or global state.  Re-running with the same
-protocols, seed and model reproduces every arrival bit-for-bit.
+emission sequence — :class:`BoundedDelay` and :class:`LossyDelivery`
+derive their per-link streams from the kernel's seed via
+:func:`repro.sim.rng.node_rng`, :class:`PartitionedDelivery` consults
+only its static schedule, and no model reads wall-clock or global
+state.  Re-running with the same protocols, seed and model reproduces
+every arrival *and every drop* bit-for-bit (property-tested in
+``tests/sim/test_network.py``).
 """
 
 from __future__ import annotations
@@ -67,13 +83,16 @@ class DeliveryModel:
     def bind(self, kernel: "EventKernel") -> None:
         """One-time hook before the run starts (seed/size derivation)."""
 
-    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
         """The tick at which ``envelope`` (emitted at ``tick``) arrives.
 
         Must be ``>= tick + 1`` for recipients that already acted this
         tick; ``== tick`` is allowed only for recipients the activation
         order places *after* the sender (the rushing case) — the kernel
-        enforces causality and raises on violations.
+        enforces causality and raises on violations.  ``None`` means the
+        network *drops* the envelope: it is never delivered, and the
+        kernel records the loss (metrics ``drops_total`` / trace
+        ``drop`` event) instead of scheduling it.
         """
         raise NotImplementedError
 
@@ -182,17 +201,213 @@ class AdversarialOrder(DeliveryModel):
         return honest + sorted(node for node in self.rushing if node < n)
 
 
+class LossyDelivery(DeliveryModel):
+    """Unreliable delivery: each envelope dropped iid with probability ``p``.
+
+    The first model that relaxes N1's *reliability* rather than its
+    timing: a surviving envelope arrives exactly one tick after emission
+    (optionally jittered within ``delay`` like :class:`BoundedDelay`),
+    but each envelope on link ``(sender, recipient)`` is independently
+    lost with probability ``p``, drawn from a deterministic per-link
+    stream namespaced under the run's master seed.  Protocols written
+    against reliable rounds (the chain FD's "silence is evidence") now
+    face genuine message loss — the axis experiment E13 sweeps, and the
+    environment the timeout FD protocol (:mod:`repro.fd.timeout`) is
+    designed for.
+
+    Determinism: the drop decision for the k-th envelope on a link is a
+    pure function of ``(master seed, link, k)``, so a re-run reproduces
+    every drop bit-for-bit.
+
+    :param p: per-envelope drop probability in ``[0, 1)``.
+    :param delay: latency bound for surviving envelopes (1 = lock-step
+        timing, >1 = additional :class:`BoundedDelay`-style jitter).
+    """
+
+    name = "loss"
+
+    def __init__(self, p: float, delay: int = 1) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(
+                f"loss probability must lie in [0, 1), got {p}"
+            )
+        if delay < 1:
+            raise ConfigurationError(f"delay must be >= 1, got {delay}")
+        self.p = p
+        self.delay = delay
+        self._seed: int | str = 0
+        self._links: dict[tuple[NodeId, NodeId], object] = {}
+
+    def bind(self, kernel: "EventKernel") -> None:
+        self._seed = kernel.seed
+        self._links = {}
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
+        link = (envelope.sender, envelope.recipient)
+        rng = self._links.get(link)
+        if rng is None:
+            rng = self._links[link] = node_rng(
+                self._seed,
+                envelope.sender,
+                purpose=f"link/{envelope.recipient}/loss",
+            )
+        # At delay == 1 no latency draw is made, so the per-link stream
+        # layout (and hence the gated drop schedule) depends on the
+        # bound: changing `delay` legitimately reshuffles drops.
+        latency = 1 + (rng.randrange(self.delay) if self.delay > 1 else 0)
+        if rng.random() < self.p:
+            return None
+        return tick + latency
+
+
+class PartitionedDelivery(DeliveryModel):
+    """Epoch-indexed network partitions with an optional healing defer.
+
+    The schedule is a sequence of ``(start_tick, blocks)`` epochs, in
+    ascending ``start_tick`` order with the first epoch starting at 0:
+    from ``start_tick`` until the next epoch begins, the network is
+    split into the given disjoint ``blocks`` of node ids (``None`` =
+    fully connected).  A node appearing in no block of a partitioned
+    epoch is isolated.  An envelope whose sender and recipient share a
+    block (or whose emission tick falls in a healed epoch) is delivered
+    next tick; a cross-block envelope is
+
+    * **dropped** (default), or
+    * **deferred** (``defer=True``): parked until the first tick at
+      which the two nodes are reunited, arriving then — the
+      store-and-forward reading, which is what makes partition-heal
+      convergence measurable (experiment E13).
+
+    A deferred envelope whose endpoints are never reunited within
+    ``horizon`` ticks of emission is dropped.  The model consults no
+    randomness at all: arrivals and drops are a pure function of the
+    static schedule and the emission sequence.
+
+    :param schedule: ``((start_tick, blocks_or_None), ...)``.
+    :param defer: park cross-block traffic until heal instead of
+        dropping it.
+    :param horizon: search bound for the healing tick in defer mode.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        schedule: Sequence[tuple[int, "Sequence[Iterable[NodeId]] | None"]],
+        defer: bool = False,
+        horizon: int = 10_000,
+    ) -> None:
+        if not schedule:
+            raise ConfigurationError("partition schedule must not be empty")
+        parsed: list[tuple[int, tuple[frozenset[NodeId], ...] | None]] = []
+        for start, blocks in schedule:
+            start = int(start)
+            if blocks is None:
+                parsed.append((start, None))
+                continue
+            frozen = tuple(frozenset(int(node) for node in block) for block in blocks)
+            seen: set[NodeId] = set()
+            for block in frozen:
+                if seen & block:
+                    raise ConfigurationError(
+                        f"partition blocks overlap: {sorted(seen & block)}"
+                    )
+                seen |= block
+            parsed.append((start, frozen))
+        starts = [start for start, _ in parsed]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ConfigurationError(
+                f"partition epochs must have strictly ascending start ticks, got {starts}"
+            )
+        if parsed[0][0] != 0:
+            raise ConfigurationError(
+                f"the first partition epoch must start at tick 0, got {parsed[0][0]}"
+            )
+        self.schedule = tuple(parsed)
+        self.defer = defer
+        self.horizon = horizon
+
+    def _connected(self, sender: NodeId, recipient: NodeId, tick: Round) -> bool:
+        """Whether the two nodes can talk in the epoch covering ``tick``."""
+        blocks: tuple[frozenset[NodeId], ...] | None = None
+        for start, epoch_blocks in self.schedule:
+            if start > tick:
+                break
+            blocks = epoch_blocks
+        if blocks is None:
+            return True
+        return any(sender in block and recipient in block for block in blocks)
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
+        if self._connected(envelope.sender, envelope.recipient, tick):
+            return tick + 1
+        if not self.defer:
+            return None
+        # Park the envelope until the first tick the endpoints reunite.
+        # Connectivity only changes at epoch starts, so the reunion tick
+        # (if any) is the first epoch start after the emission whose
+        # epoch reconnects the pair — O(schedule), not O(horizon).
+        for start, _ in self.schedule:
+            if start <= tick:
+                continue
+            if start > tick + self.horizon:
+                break
+            if self._connected(envelope.sender, envelope.recipient, start):
+                return start + 1
+        return None
+
+
 #: Spec-name -> model class, for :func:`make_delivery` / the CLI.
 DELIVERY_MODELS: dict[str, type[DeliveryModel]] = {
     SynchronousRounds.name: SynchronousRounds,
     BoundedDelay.name: BoundedDelay,
     AdversarialOrder.name: AdversarialOrder,
+    LossyDelivery.name: LossyDelivery,
+    PartitionedDelivery.name: PartitionedDelivery,
 }
 
 
 def available_deliveries() -> list[str]:
     """Registered delivery-model spec names, sorted."""
     return sorted(DELIVERY_MODELS)
+
+
+def _parse_partition_spec(spec: str, arg: str) -> PartitionedDelivery:
+    """``partition:0-3|4-6@8`` (optionally ``/defer``) -> model.
+
+    ``BLOCKS@HEAL``: blocks are ``|``-separated node ranges/lists
+    (``0-3`` or ``0,2,5``), partitioned from tick 0 and healed (fully
+    connected) from tick ``HEAL`` on; append ``/defer`` to park
+    cross-block traffic until the heal instead of dropping it.
+    """
+    defer = False
+    if arg.endswith("/defer"):
+        defer = True
+        arg = arg[: -len("/defer")]
+    blocks_part, sep, heal_part = arg.partition("@")
+    if not sep or not blocks_part or not heal_part:
+        raise ConfigurationError(
+            f"partition spec must look like 'partition:0-3|4-6@8', got {spec!r}"
+        )
+    try:
+        heal = int(heal_part)
+        blocks = []
+        for block_spec in blocks_part.split("|"):
+            block: set[NodeId] = set()
+            for item in block_spec.split(","):
+                low, dash, high = item.partition("-")
+                if dash:
+                    block.update(range(int(low), int(high) + 1))
+                else:
+                    block.add(int(item))
+            blocks.append(block)
+    except ValueError:
+        raise ConfigurationError(
+            f"partition spec must use integer node ids and heal tick, got {spec!r}"
+        ) from None
+    return PartitionedDelivery(
+        schedule=((0, tuple(blocks)), (heal, None)), defer=defer
+    )
 
 
 def make_delivery(
@@ -209,12 +424,19 @@ def make_delivery(
       given bound (default 2);
     * ``"rush"`` / ``"rush:5,6"`` — :class:`AdversarialOrder`; the
       rushing set comes from the spec suffix when given, else from
-      ``rushing`` (conventionally the scenario's faulty set).
+      ``rushing`` (conventionally the scenario's faulty set);
+    * ``"loss:0.2"`` / ``"loss:0.2:3"`` — :class:`LossyDelivery` with
+      drop probability 0.2 (and optional latency bound 3);
+    * ``"partition:0-3|4-6@8"`` (optionally ``.../defer``) —
+      :class:`PartitionedDelivery`: ``|``-separated blocks of node
+      ranges, healed from tick 8 on; ``/defer`` parks cross-block
+      traffic until the heal instead of dropping it.
 
     A ready :class:`DeliveryModel` instance passes through unchanged;
     ``None`` means the default synchronous model.
 
-    :raises ConfigurationError: for unknown or malformed specs.
+    :raises ConfigurationError: for unknown or malformed specs — the
+        error names the valid spec heads.
     """
     if spec is None:
         return SynchronousRounds()
@@ -242,6 +464,18 @@ def make_delivery(
                     f"rush node list must be integers, got {spec!r}"
                 ) from None
         return AdversarialOrder(rushing)
+    if head == LossyDelivery.name:
+        parts = arg.split(":") if arg else []
+        try:
+            p = float(parts[0]) if parts else 0.1
+            delay = int(parts[1]) if len(parts) > 1 else 1
+        except (ValueError, IndexError):
+            raise ConfigurationError(
+                f"loss spec must look like 'loss:0.2' or 'loss:0.2:3', got {spec!r}"
+            ) from None
+        return LossyDelivery(p, delay=delay)
+    if head == PartitionedDelivery.name:
+        return _parse_partition_spec(spec, arg)
     raise ConfigurationError(
         f"unknown delivery model {spec!r}; "
         f"available: {', '.join(available_deliveries())}"

@@ -22,11 +22,12 @@ class TraceEvent:
     """One run event.
 
     :ivar round: round (kernel tick) in which the event happened.
-    :ivar kind: ``"send"``, ``"decide"``, ``"discover"`` or ``"halt"``.
+    :ivar kind: ``"send"``, ``"drop"``, ``"decide"``, ``"discover"`` or
+        ``"halt"``.
     :ivar node: the acting node.
-    :ivar detail: kind-specific payload: for sends, ``(recipient, payload
-        kind tag)``; for decisions, the value; for discoveries, the reason;
-        for halts, ``None``.
+    :ivar detail: kind-specific payload: for sends and drops,
+        ``(recipient, payload kind tag)``; for decisions, the value; for
+        discoveries, the reason; for halts, ``None``.
     :ivar tick: delivery timestamp for sends under a non-lock-step
         :class:`~repro.sim.network.DeliveryModel`: the kernel tick at
         which the envelope *arrives* (``None`` under lock-step delivery,
@@ -45,6 +46,11 @@ class TraceEvent:
             recipient, tag = self.detail
             stamp = f"  @t{self.tick}" if self.tick is not None else ""
             return f"r{self.round:<3} P{self.node} -> P{recipient}  [{tag}]{stamp}"
+        if self.kind == "drop":
+            recipient, tag = self.detail
+            return (
+                f"r{self.round:<3} P{self.node} -> P{recipient}  [{tag}]  DROPPED"
+            )
         if self.kind == "decide":
             return f"r{self.round:<3} P{self.node} decides {self.detail!r}"
         if self.kind == "discover":
@@ -88,6 +94,22 @@ class Trace:
                 node=envelope.sender,
                 detail=(envelope.recipient, payload_kind(envelope.payload)),
                 tick=arrival_tick,
+            )
+        )
+
+    def record_drop(self, envelope: Envelope) -> None:
+        """Log one envelope the delivery model dropped (never delivered).
+
+        Recorded *instead of* the send event — a dropped envelope has no
+        arrival tick, and the distinct kind keeps loss visible when
+        reading a trace of an unreliable-network run.
+        """
+        self._append(
+            TraceEvent(
+                round=envelope.round_sent,
+                kind="drop",
+                node=envelope.sender,
+                detail=(envelope.recipient, payload_kind(envelope.payload)),
             )
         )
 

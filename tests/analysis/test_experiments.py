@@ -74,7 +74,8 @@ class TestIndividualExperiments:
 class TestRunAll:
     def test_quick_run_all_green(self):
         tables = run_all(quick=True)
-        assert len(tables) == 10
+        assert len(tables) == 11
+        assert tables[-1].experiment == "E13"
         failing = [table.experiment for table in tables if not table.ok]
         assert failing == []
 

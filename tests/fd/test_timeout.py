@@ -1,0 +1,144 @@
+"""Timeout FD: F1-F3 in the synchronous model, robustness under the weak
+delivery models, and the spurious-vs-missed contrast with chain FD."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth import trusted_dealer_setup
+from repro.errors import ConfigurationError
+from repro.fd import TimeoutFDProtocol, default_timeout, make_timeout_fd_protocols
+from repro.harness import run_fd_scenario
+
+N, T = 7, 2
+SCHEME = "simulated-hmac"
+
+
+def timeout_outcome(**kwargs):
+    kwargs.setdefault("scheme", SCHEME)
+    return run_fd_scenario(N, T, "v", protocol="timeout", **kwargs)
+
+
+class TestSynchronousModel:
+    def test_failure_free_run_satisfies_f1_f3(self):
+        outcome = timeout_outcome(seed=1)
+        assert outcome.fd.ok
+        assert not outcome.fd.any_discovery
+        assert all(s.decided for s in outcome.run.states)
+        assert set(outcome.run.decisions().values()) == {"v"}
+
+    def test_every_node_halts_at_the_deadline(self):
+        outcome = timeout_outcome(seed=1)
+        assert outcome.run.rounds_executed == default_timeout(T) + 1
+
+    def test_works_under_local_authentication(self):
+        outcome = timeout_outcome(seed=2, auth="local")
+        assert outcome.fd.ok and not outcome.fd.any_discovery
+
+    def test_silent_sender_discovered_by_timeout(self):
+        outcome = timeout_outcome(seed=1, adversary="0=silent")
+        assert outcome.fd.ok
+        assert outcome.fd.any_discovery
+        reasons = [
+            s.discovered for s in outcome.run.states if s.discovered is not None
+        ]
+        assert any("no valid value" in reason for reason in reasons)
+
+    def test_silent_receiver_discovered_by_heartbeat_absence(self):
+        """The structural win over chain FD: a crashed node *off* the
+        chain path has no scheduled message for the chain to miss, but
+        its heartbeat silence is evidence here."""
+        chain = run_fd_scenario(
+            N, T, "v", protocol="chain", scheme=SCHEME, seed=1,
+            adversary=f"{N - 1}=silent",
+        )
+        timeout = timeout_outcome(seed=1, adversary=f"{N - 1}=silent")
+        assert not chain.fd.any_discovery  # structurally blind
+        assert timeout.fd.any_discovery
+        reasons = [
+            s.discovered for s in timeout.run.states if s.discovered is not None
+        ]
+        assert any(str(N - 1) in reason for reason in reasons)
+
+    def test_tampered_value_discovered_as_crypto_failure(self):
+        outcome = timeout_outcome(seed=1, adversary="0=tamper@1.0")
+        assert outcome.fd.any_discovery
+
+    def test_parameter_validation(self):
+        keypairs, directories = trusted_dealer_setup(N, seed="to")
+        with pytest.raises(ConfigurationError):
+            TimeoutFDProtocol(N, T, keypairs[0], directories[0], timeout=1)
+        with pytest.raises(ConfigurationError):
+            TimeoutFDProtocol(
+                N, T, keypairs[0], directories[0], retransmit_every=0
+            )
+
+    def test_honest_node_needs_key_material(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            make_timeout_fd_protocols(N, T, "v", {}, {})
+
+
+class TestWeakDeliveryModels:
+    @pytest.mark.parametrize("delivery", ["bounded:2", "bounded:3", "loss:0.2"])
+    def test_no_spurious_discovery_where_chain_fd_cries_wolf(self, delivery):
+        """The E13 headline, pinned per cell: the same failure-free runs
+        in which round-indexed chain FD discovers spurious failures pass
+        cleanly through timeout FD."""
+        for seed in (1, 2, 3):
+            timeout = timeout_outcome(seed=seed, delivery=delivery)
+            assert timeout.fd.ok
+            assert not timeout.fd.any_discovery, (delivery, seed)
+            assert all(s.decided for s in timeout.run.states)
+
+    def test_chain_fd_is_spurious_on_the_same_grid(self):
+        spurious = 0
+        for delivery in ("bounded:2", "bounded:3", "loss:0.2"):
+            for seed in (1, 2, 3):
+                chain = run_fd_scenario(
+                    N, T, "v", protocol="chain", scheme=SCHEME, seed=seed,
+                    delivery=delivery,
+                )
+                spurious += chain.fd.any_discovery
+        assert spurious > 0
+
+    def test_retransmission_beats_moderate_loss(self):
+        outcome = timeout_outcome(seed=5, delivery="loss:0.3")
+        assert outcome.run.metrics.drops_total > 0
+        assert all(s.decided for s in outcome.run.states)
+        assert not outcome.fd.any_discovery
+
+    def test_silent_node_still_caught_under_loss(self):
+        for seed in (1, 2, 3):
+            outcome = timeout_outcome(
+                seed=seed, delivery="loss:0.2", adversary=f"{N - 1}=silent"
+            )
+            assert outcome.fd.any_discovery, seed
+
+    def test_partition_heal_within_horizon_converges(self):
+        outcome = timeout_outcome(
+            seed=1, delivery="partition:0-2|3-6@4/defer"
+        )
+        assert outcome.fd.ok and not outcome.fd.any_discovery
+        assert all(s.decided for s in outcome.run.states)
+
+    def test_partition_past_horizon_times_out(self):
+        outcome = timeout_outcome(
+            seed=1, delivery=f"partition:0-2|3-6@{default_timeout(T) + 4}"
+        )
+        assert outcome.fd.any_discovery
+        # The sender's block still decides; the cut-off block discovers.
+        decided = [s.node for s in outcome.run.states if s.decided]
+        assert 0 in decided
+
+    @given(seed=st.integers(0, 2**12))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_under_loss(self, seed):
+        first = timeout_outcome(seed=seed, delivery="loss:0.25")
+        second = timeout_outcome(seed=seed, delivery="loss:0.25")
+        assert first.run.metrics.drops_total == second.run.metrics.drops_total
+        assert first.run.decisions() == second.run.decisions()
+        assert [s.discovered for s in first.run.states] == [
+            s.discovered for s in second.run.states
+        ]

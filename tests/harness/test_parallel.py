@@ -23,6 +23,11 @@ def _square(x, seed):
     return {"value": x * x, "seed": seed}
 
 
+def _adversary_point(x, seed, adversary):
+    """Module-level point function taking an adversary spec param."""
+    return adversary.delivery
+
+
 class TestSweepParallelContract:
     def test_identical_to_serial_for_fixed_seed_grid(self):
         points = grid(x=[1, 2, 3, 4], seed=[0, 7])
@@ -136,6 +141,41 @@ class TestFallbacks:
         parallel = sweep_parallel(points, _square, workers=3)
         assert [p.result for p in fallback] == [p.result for p in parallel]
         assert [p.params for p in fallback] == [p.params for p in parallel]
+
+    def test_unpicklable_adversary_spec_warns_naming_the_spec(self):
+        """The E13 degradation contract: a sweep whose *adversary
+        parameter* (not its workload callable) cannot cross the process
+        boundary falls back serially, and the warning names the
+        offending spec."""
+        from repro.faults import AdversarySpec, SilentProtocol
+
+        class Unpicklable(SilentProtocol):
+            def __reduce__(self):
+                raise TypeError("deliberately unpicklable")
+
+        spec = AdversarySpec(overrides=((1, Unpicklable()),), t=1)
+
+        points = [
+            {"x": 1, "seed": 0, "adversary": spec},
+            {"x": 2, "seed": 0, "adversary": spec},
+        ]
+        with pytest.warns(RuntimeWarning) as caught:
+            results = sweep_parallel(points, _adversary_point, workers=2)
+        messages = [str(w.message) for w in caught]
+        assert any("adversary spec" in m for m in messages)
+        assert any("1=<custom>" in m for m in messages)
+        assert any("falling back to serial" in m for m in messages)
+        assert [p.result for p in results] == [None, None]
+
+    def test_picklable_adversary_specs_do_not_degrade(self):
+        from repro.faults import make_adversary
+
+        spec = make_adversary("1=silent;delivery=loss:0.2", t=1)
+        points = [{"x": 1, "seed": 0, "adversary": spec}]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = sweep_parallel(points, _adversary_point, workers=2)
+        assert results[0].result == spec.delivery
 
     def test_single_worker_is_serial(self):
         assert sweep_parallel([{"x": 2, "seed": 0}], _square, workers=1) == sweep(

@@ -39,6 +39,9 @@ EXPECTED = {
     "e12-ba",
     "e12-fd",
     "e12-oral",
+    "e13-loss",
+    "e13-partition",
+    "e13-timeout-fd",
     "fd",
     "keydist",
     "oral",
@@ -74,15 +77,20 @@ class TestRegistry:
             workload_suite("nope")
 
     def test_delivery_metadata(self):
-        """E12 sweeps advertise the delivery axis; everything else is
-        lock-step only."""
+        """E12/E13 sweeps advertise their delivery axes; everything else
+        is lock-step only."""
+        expected = {
+            "e13-loss": ("loss",),
+            "e13-timeout-fd": ("sync", "bounded", "loss", "partition"),
+            "e13-partition": ("partition",),
+        }
         for name in available_workloads():
-            expected = (
-                ("sync", "bounded", "rush")
-                if name.startswith("e12-")
-                else ("sync",)
-            )
-            assert workload_deliveries(name) == expected, name
+            if name.startswith("e12-"):
+                assert workload_deliveries(name) == ("sync", "bounded", "rush")
+            else:
+                assert workload_deliveries(name) == expected.get(
+                    name, ("sync",)
+                ), name
 
     def test_delivery_lookup_raises_for_unknown_names(self):
         with pytest.raises(ConfigurationError, match="unknown workload"):

@@ -11,6 +11,8 @@ from repro.sim import (
     AdversarialOrder,
     BoundedDelay,
     Envelope,
+    LossyDelivery,
+    PartitionedDelivery,
     Protocol,
     SynchronousRounds,
     available_deliveries,
@@ -50,7 +52,33 @@ class TestMakeDelivery:
             make_delivery(spec)
 
     def test_available_deliveries_lists_all(self):
-        assert available_deliveries() == ["bounded", "rush", "sync"]
+        assert available_deliveries() == [
+            "bounded", "loss", "partition", "rush", "sync"
+        ]
+
+    def test_loss_specs(self):
+        model = make_delivery("loss:0.25")
+        assert model.p == 0.25 and model.delay == 1
+        jittered = make_delivery("loss:0.1:3")
+        assert jittered.p == 0.1 and jittered.delay == 3
+        with pytest.raises(ConfigurationError):
+            make_delivery("loss:1.5")
+        with pytest.raises(ConfigurationError):
+            make_delivery("loss:x")
+
+    def test_partition_specs(self):
+        model = make_delivery("partition:0-2|3-5@6")
+        assert model.schedule == (
+            (0, (frozenset({0, 1, 2}), frozenset({3, 4, 5}))),
+            (6, None),
+        )
+        assert not model.defer
+        deferred = make_delivery("partition:0-1|2-3@4/defer")
+        assert deferred.defer
+        with pytest.raises(ConfigurationError):
+            make_delivery("partition:0-2|3-5")  # no heal tick
+        with pytest.raises(ConfigurationError):
+            make_delivery("partition:0-2|2-5@6")  # overlapping blocks
 
     def test_bad_bound_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -157,3 +185,192 @@ class TestAdversarialOrder:
             delivery=AdversarialOrder(rushing=[]),
         )
         assert arrivals and all(t == sent + 1 for t, sent in arrivals)
+
+
+class _Chatter(Protocol):
+    """Broadcasts a tagged payload every round for ``rounds`` rounds and
+    records what it receives — the probe protocol for the unreliable
+    models."""
+
+    def __init__(self, rounds=4, log=None):
+        self._rounds = rounds
+        self.log = log if log is not None else []
+
+    def on_round(self, ctx, inbox):
+        self.log.extend(
+            (ctx.tick, ctx.node, env.sender, env.payload) for env in inbox
+        )
+        if ctx.round < self._rounds:
+            ctx.broadcast(("say", ctx.node, ctx.round))
+        else:
+            ctx.halt()
+
+
+def _chatter_run(n, delivery, seed=0, rounds=4):
+    log = []
+    result = run_protocols(
+        [_Chatter(rounds, log) for _ in range(n)], seed=seed, delivery=delivery
+    )
+    return result, sorted(log)
+
+
+class TestLossyDelivery:
+    def test_rejects_bad_probability(self):
+        for p in (-0.1, 1.0, 2.0):
+            with pytest.raises(ConfigurationError):
+                LossyDelivery(p)
+
+    def test_zero_loss_delivers_everything(self):
+        result, log = _chatter_run(3, LossyDelivery(0.0), seed=3)
+        assert result.metrics.drops_total == 0
+        assert result.metrics.loss_rate == 0.0
+        # All pre-final-tick broadcasts arrive (final-tick sends are
+        # never delivered — the run ends when all nodes halt).
+        assert len(log) > 0
+
+    def test_drops_are_counted_and_missing_from_inboxes(self):
+        result, log = _chatter_run(4, LossyDelivery(0.4), seed=7)
+        metrics = result.metrics
+        assert metrics.drops_total > 0
+        assert 0.0 < metrics.loss_rate < 1.0
+        assert metrics.deliveries_total + metrics.drops_total <= metrics.messages_total
+        assert sum(metrics.dropped_per_round.values()) == metrics.drops_total
+
+    @given(seed=st.integers(0, 2**16), p=st.floats(0.05, 0.6))
+    @settings(max_examples=30, deadline=None)
+    def test_reruns_reproduce_every_arrival_and_drop(self, seed, p):
+        """The determinism contract under loss: same seed -> the same
+        drops, the same arrivals, bit-for-bit."""
+        first_result, first_log = _chatter_run(4, LossyDelivery(p), seed=seed)
+        second_result, second_log = _chatter_run(4, LossyDelivery(p), seed=seed)
+        assert first_log == second_log
+        assert first_result.metrics.drops_total == second_result.metrics.drops_total
+        assert (
+            first_result.metrics.dropped_per_round
+            == second_result.metrics.dropped_per_round
+        )
+        assert (
+            first_result.metrics.delivered_per_tick
+            == second_result.metrics.delivered_per_tick
+        )
+
+    def test_seed_changes_the_drop_schedule(self):
+        schedules = [
+            _chatter_run(4, LossyDelivery(0.4), seed=seed)[0].metrics.dropped_per_round
+            for seed in (1, 2)
+        ]
+        assert schedules[0] != schedules[1]
+
+
+class TestPartitionedDelivery:
+    def test_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedDelivery(())
+        with pytest.raises(ConfigurationError):
+            PartitionedDelivery(((0, ({0, 1}, {1, 2})),))  # overlap
+        with pytest.raises(ConfigurationError):
+            PartitionedDelivery(((2, None),))  # first epoch must start at 0
+        with pytest.raises(ConfigurationError):
+            PartitionedDelivery(((0, None), (0, ({0},))))  # duplicate start
+
+    def test_cross_block_traffic_is_dropped_until_heal(self):
+        heal = 3
+        model = PartitionedDelivery(((0, ({0, 1}, {2, 3})), (heal, None)))
+        result, log = _chatter_run(4, model, seed=1, rounds=5)
+        # Pre-heal cross-block messages were dropped and counted ...
+        assert result.metrics.drops_total > 0
+        same_block = {(0, 1), (1, 0), (2, 3), (3, 2)}
+        for tick, receiver, sender, payload in log:
+            if payload[2] < heal:
+                # ... so anything delivered from the partitioned epochs
+                # stayed within a block.
+                assert (sender, receiver) in same_block, (sender, receiver)
+        # After the heal, cross-block traffic flows again.
+        assert any(
+            (sender, receiver) not in same_block
+            for _, receiver, sender, payload in log
+            if payload[2] >= heal
+        )
+
+    def test_defer_parks_messages_until_heal(self):
+        heal = 3
+        model = PartitionedDelivery(
+            ((0, ({0, 1}, {2, 3})), (heal, None)), defer=True
+        )
+        result, log = _chatter_run(4, model, seed=1, rounds=5)
+        # Nothing is lost: deferred, not dropped.
+        assert result.metrics.drops_total == 0
+        same_block = {(0, 1), (1, 0), (2, 3), (3, 2)}
+        deferred = [
+            (tick, receiver, sender, payload)
+            for tick, receiver, sender, payload in log
+            if payload[2] < heal and (sender, receiver) not in same_block
+        ]
+        # Every pre-heal cross-block emission arrives exactly when the
+        # partition heals (one hop after the first connected tick).
+        assert deferred
+        assert all(tick == heal + 1 for tick, _, _, _ in deferred)
+        # In-block traffic was never delayed.
+        assert all(
+            tick == payload[2] + 1
+            for tick, receiver, sender, payload in log
+            if (sender, receiver) in same_block
+        )
+
+    @given(seed=st.integers(0, 2**10))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_runs_are_deterministic(self, seed):
+        model = lambda: PartitionedDelivery(  # noqa: E731 - fresh each run
+            ((0, ({0, 1}, {2, 3})), (4, None)), defer=True
+        )
+        assert _chatter_run(4, model(), seed=seed) == _chatter_run(
+            4, model(), seed=seed
+        )
+
+
+class TestCrashRecovery:
+    def test_recovered_node_resumes_with_inbox_intact(self):
+        from repro.faults import CrashProtocol
+
+        seen = []
+
+        class Receiver(Protocol):
+            def on_round(self, ctx, inbox):
+                seen.extend((ctx.tick, env.sender, env.payload) for env in inbox)
+                if ctx.round >= 4:
+                    ctx.halt()
+
+        crashed = CrashProtocol(Receiver(), crash_round=1, recover_round=3)
+        run_protocols([_Chatter(4), _Chatter(4), crashed], seed=2)
+        # Broadcasts emitted in rounds 0..2 arrive at ticks 1..3; the
+        # node is down for ticks 1 and 2, so the inner protocol sees
+        # those arrivals only at the recovery tick — but it *does* see
+        # them: the inbox survives the outage intact.
+        outage_payloads = {p for t, _, p in seen if t == 3}
+        assert {("say", 0, 0), ("say", 0, 1), ("say", 0, 2)} <= outage_payloads
+        # And nothing was handed over while the node was down.
+        assert all(t == 0 or t >= 3 for t, _, _ in seen)
+
+    def test_recovery_must_follow_crash(self):
+        from repro.faults import CrashProtocol
+
+        with pytest.raises(ValueError):
+            CrashProtocol(_Chatter(), crash_round=3, recover_round=3)
+
+    @given(seed=st.integers(0, 2**10), crash=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_crash_recovery_is_deterministic(self, seed, crash):
+        from repro.faults import CrashProtocol
+
+        def run_once():
+            log = []
+            inner = _Chatter(5, log)
+            protocols = [
+                _Chatter(5),
+                _Chatter(5),
+                CrashProtocol(inner, crash_round=crash, recover_round=crash + 2),
+            ]
+            result = run_protocols(protocols, seed=seed, delivery=BoundedDelay(2))
+            return sorted(log), result.metrics.messages_total
+
+        assert run_once() == run_once()

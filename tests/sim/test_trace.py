@@ -1,11 +1,23 @@
-"""Event tracing: order, transitions, caps, rendering."""
+"""Event tracing: order, transitions, caps, rendering — including the
+arrival/drop annotations under combined delivery-model + mux runs."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.auth import trusted_dealer_setup
+from repro.errors import SimulationError
 from repro.faults import SilentProtocol
 from repro.fd import make_chain_fd_protocols
-from repro.sim import Protocol, Trace, run_protocols
+from repro.sim import (
+    BoundedDelay,
+    InstanceMux,
+    LossyDelivery,
+    PartitionedDelivery,
+    Protocol,
+    Trace,
+    run_protocols,
+)
 from repro.sim.message import Envelope
 
 
@@ -81,3 +93,117 @@ class TestCap:
         assert len(trace.events) == 2
         assert trace.truncated
         assert "truncated" in trace.format()
+
+
+class _MuxTalker(Protocol):
+    """Broadcasts one tagged payload per round inside a mux instance."""
+
+    def __init__(self, rounds=3):
+        self._rounds = rounds
+
+    def on_round(self, ctx, inbox):
+        if ctx.round < self._rounds:
+            ctx.broadcast(("mux-say", ctx.node, ctx.round))
+        else:
+            ctx.halt()
+
+
+def mux_run(n=4, delivery=None, seed=3, instances=2):
+    protocols = [
+        InstanceMux(
+            {k: _MuxTalker() for k in range(instances)}, channel="tchan"
+        )
+        for _ in range(n)
+    ]
+    return run_protocols(
+        protocols, seed=seed, delivery=delivery, record_trace=True
+    )
+
+
+class TestRecordingUnderDeliveryModels:
+    """The recording branch under a skewed model *and* an instance mux
+    combined — each was only pinned per-model before."""
+
+    def test_bounded_delay_plus_mux_sends_carry_arrival_ticks(self):
+        result = mux_run(delivery=BoundedDelay(3))
+        sends = result.trace.of_kind("send")
+        assert sends
+        # Every send is annotated with its arrival tick, within the bound.
+        assert all(e.tick is not None for e in sends)
+        assert all(e.round + 1 <= e.tick <= e.round + 3 for e in sends)
+        # Per-kind attribution still names the mux channel, not the
+        # transport tag — the trace and the metrics agree.
+        assert all(e.detail[1] == "tchan" for e in sends)
+        assert set(result.metrics.messages_per_kind) == {"tchan"}
+        assert "@t" in result.trace.format()
+
+    def test_lockstep_mux_sends_carry_no_arrival_ticks(self):
+        result = mux_run(delivery=None)
+        sends = result.trace.of_kind("send")
+        assert sends and all(e.tick is None for e in sends)
+
+    def test_lossy_mux_run_records_drops_with_channel_attribution(self):
+        result = mux_run(delivery=LossyDelivery(0.4), seed=5)
+        drops = result.trace.of_kind("drop")
+        sends = result.trace.of_kind("send")
+        assert drops
+        assert len(drops) == result.metrics.drops_total
+        # A dropped envelope is a drop event instead of a send event.
+        assert len(sends) + len(drops) == result.metrics.messages_total
+        assert all(e.detail[1] == "tchan" for e in drops)
+        assert "DROPPED" in result.trace.format()
+
+    def test_partition_drops_are_traced(self):
+        result = mux_run(
+            delivery=PartitionedDelivery(((0, ({0, 1}, {2, 3})), (2, None)))
+        )
+        drops = result.trace.of_kind("drop")
+        assert drops
+        same_block = {(0, 1), (1, 0), (2, 3), (3, 2)}
+        assert all(
+            (e.node, e.detail[0]) not in same_block for e in drops
+        )
+
+
+class _WaitsForever(Protocol):
+    """Halts only on hearing from node 0 — stuck if the message is lost."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.node == 0:
+            if ctx.round == 0:
+                ctx.broadcast(("go",))
+            ctx.halt()
+            return
+        if any(env.sender == 0 for env in inbox):
+            ctx.halt()
+
+
+class TestHorizonUnderNewModels:
+    def test_loss_starved_run_names_stuck_nodes(self):
+        """A protocol whose one trigger message the network ate must die
+        at the horizon with the stuck nodes named — same diagnostics as
+        the lock-step path."""
+        with pytest.raises(SimulationError) as err:
+            run_protocols(
+                [_WaitsForever() for _ in range(3)],
+                seed=1,
+                max_rounds=6,
+                delivery=LossyDelivery(0.999),
+            )
+        message = str(err.value)
+        assert "max_rounds=6" in message
+        assert "_WaitsForever" in message
+        assert "2 of 3 nodes" in message
+
+    def test_partitioned_run_names_stuck_nodes(self):
+        with pytest.raises(SimulationError) as err:
+            run_protocols(
+                [_WaitsForever() for _ in range(4)],
+                seed=1,
+                max_rounds=5,
+                delivery=PartitionedDelivery(((0, ({0, 1}, {2, 3})),)),
+            )
+        message = str(err.value)
+        assert "max_rounds=5" in message
+        # Nodes 2 and 3 never hear from node 0 across the partition.
+        assert "2:_WaitsForever" in message and "3:_WaitsForever" in message

@@ -181,11 +181,73 @@ class TestDeliveryKnob:
         ) == 0
         assert "rush" in capsys.readouterr().out
 
-    def test_unknown_delivery_spec_errors(self):
-        from repro.errors import ConfigurationError
+    def test_unknown_delivery_spec_errors(self, capsys):
+        """A typo'd spec gets the CLI contract — message naming the
+        valid specs plus exit 2 — not a traceback."""
+        assert main(["fd", "--n", "5", "--t", "1", "--delivery", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown delivery" in err
+        for name in ("bounded", "loss", "partition", "rush", "sync"):
+            assert name in err
 
-        with pytest.raises(ConfigurationError, match="unknown delivery"):
-            main(["fd", "--n", "5", "--t", "1", "--delivery", "warp"])
+    def test_keydist_accepts_delivery_spec(self, capsys):
+        assert main(
+            ["keydist", "--n", "5", "--scheme", "simulated-hmac",
+             "--delivery", "bounded:1"]
+        ) == 0
+        assert "bounded:1" in capsys.readouterr().out
+
+    def test_attack_accepts_delivery_spec(self, capsys):
+        assert main(
+            ["attack", "--n", "7", "--t", "2", "--name",
+             "crashed-chain-node", "--scheme", "simulated-hmac",
+             "--delivery", "sync"]
+        ) == 0
+        assert "crashed-chain-node" in capsys.readouterr().out
+
+    def test_amortize_accepts_delivery_spec(self, capsys):
+        assert main(
+            ["amortize", "--n", "6", "--t", "1", "--runs", "3",
+             "--scheme", "simulated-hmac", "--delivery", "sync"]
+        ) == 0
+        assert "amortization ledger" in capsys.readouterr().out
+
+
+class TestAdversaryKnob:
+    def test_fd_accepts_adversary_spec(self, capsys):
+        assert main(
+            ["fd", "--n", "7", "--t", "2", "--scheme", "simulated-hmac",
+             "--adversary", "5=crash@1;6=silent"]
+        ) == 0
+        assert "5=crash@1;6=silent" in capsys.readouterr().out
+
+    def test_fd_timeout_protocol_with_loss(self, capsys):
+        assert main(
+            ["fd", "--n", "7", "--t", "2", "--scheme", "simulated-hmac",
+             "--protocol", "timeout", "--delivery", "loss:0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dropped by network" in out
+
+    def test_unknown_behaviour_errors(self, capsys):
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--adversary", "2=gremlin"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown behaviour" in err and "silent" in err
+
+    def test_over_budget_adversary_errors(self, capsys):
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--adversary", "2=silent;3=silent"]
+        ) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_ba_accepts_adversary_spec(self, capsys):
+        assert main(
+            ["ba", "--n", "7", "--t", "2", "--protocol", "signed",
+             "--scheme", "simulated-hmac", "--adversary", "6=rush;delivery=rush"]
+        ) == 0
+        assert "6=rush" in capsys.readouterr().out
 
 
 class TestFormulas:
