@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_4.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_5.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,7 +9,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_4.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_5.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
 worktree) to measure the same workloads on older code: the baseline
@@ -17,8 +17,9 @@ experiment set only uses APIs present since the seed, so those numbers
 are directly comparable.  The *extended grid* (n=128 points for the
 polynomial-cost protocols, the n=128/t=3 oral point only the succinct
 engine makes feasible, the agreement-based key-distribution mux
-points only the instance multiplexer makes expressible, and the E13
-unreliable-delivery points only the adversary plane makes expressible)
+points only the instance multiplexer makes expressible, the E13
+unreliable-delivery points only the adversary plane makes expressible,
+and the E14 arms-race points only the adaptive FD makes expressible)
 is added when the running source tree supports it — old trees simply
 measure fewer experiments, and the comparison intersects by name.
 ``scripts/bench_check.py`` wraps this runner with wall-clock and memory
@@ -78,6 +79,13 @@ try:  # unreliable-delivery grid: adversary plane (PR 5+ source trees only)
     HAS_ADVERSARY_PLANE = True
 except ImportError:  # pragma: no cover - only on old source trees
     HAS_ADVERSARY_PLANE = False
+
+try:  # arms-race grid: adaptive FD (PR 6+ source trees only)
+    from repro.fd import adaptive as _adaptive  # noqa: F401
+
+    HAS_ADAPTIVE_FD = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_ADAPTIVE_FD = False
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -244,6 +252,42 @@ def _e13_partition(n: int, t: int, heal: int) -> dict[str, Any]:
     }
 
 
+def _e14_fd(
+    protocol: str, n: int, t: int, delivery: str, attack: str
+) -> dict[str, Any]:
+    """One E14 arms-race point: (defence protocol, delivery, attack).
+
+    Committed corruptions are seed-derived like drops, so the committed
+    count is gated alongside messages/rounds.
+    """
+    from repro.harness.workloads import e14_adaptive_point
+
+    result = e14_adaptive_point(
+        n, t, delivery=delivery, protocol=protocol, attack=attack, seed=n
+    )
+    return {
+        "messages": result["messages"],
+        "drops": result["drops"],
+        "rounds": result["rounds"],
+        "discovered": result["discovered"],
+        "spurious": result["spurious"],
+        "committed": result["committed"],
+    }
+
+
+def _e14_equivocation(n: int, t: int, heal: int) -> dict[str, Any]:
+    """One E14 partition-equivocation point (adaptive FD, defer mode)."""
+    from repro.harness.workloads import e14_equivocation_point
+
+    result = e14_equivocation_point(n, t, heal=heal, defer=True, seed=n)
+    return {
+        "messages": result["messages"],
+        "drops": result["drops"],
+        "decided": result["decided"],
+        "discovered": result["discovered"],
+    }
+
+
 #: Experiments too heavy for best-of-``--repeats`` timing: measured once.
 #: Bounds the full-suite wall-clock; single-shot numbers are noisier, so
 #: the gate only ever compares these by *count* (full sections are
@@ -292,6 +336,20 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             suite.append(
                 ("e13_partition_heal4_n7_t2", lambda: _e13_partition(7, 2, 4))
             )
+        if HAS_ADAPTIVE_FD:
+            # Arms-race points at CI size: the adaptive FD on the cell
+            # where the static horizon is wrong, and the adaptive
+            # adversary driving the static FD under loss.
+            suite.append(
+                ("e14_adaptive_bounded12_n7_t2",
+                 lambda: _e14_fd("adaptive", 7, 2, "bounded:12", "none"))
+            )
+            suite.append(
+                ("e14_timeout_vs_muffler_n7_t2",
+                 lambda: _e14_fd(
+                     "timeout", 7, 2, "loss:0.3", "adaptive:silence-muffled"
+                 ))
+            )
     else:
         # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
         # budget.  The tree is exponential in t: t=10 at n=32 would mean
@@ -333,6 +391,18 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             suite.append(
                 ("e13_partition_heal6_n32_t3",
                  lambda: _e13_partition(32, 3, 6))
+            )
+        if HAS_ADAPTIVE_FD:
+            # Full-size arms-race points: the adaptive FD's estimator
+            # bookkeeping is per-link (n² estimators at n=32), and the
+            # equivocation point exercises the deferred-sweep path.
+            suite.append(
+                ("e14_adaptive_loss_n32_t3",
+                 lambda: _e14_fd("adaptive", 32, 3, "loss:0.2", "silent"))
+            )
+            suite.append(
+                ("e14_equivocation_heal6_n32_t3",
+                 lambda: _e14_equivocation(32, 3, 6))
             )
         if HAS_INSTANCE_MUX and HAS_SUCCINCT_ENGINE:
             # Agreement-based key distribution at scale: n concurrent

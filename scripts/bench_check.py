@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_4.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_5.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_4.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_5.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -36,12 +36,15 @@ per-experiment speedups under ``speedup_vs_baseline_src``.  Historical
 note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers,
 ``BENCH_2.json`` (PR 2) added the extended n=128 grid, ``BENCH_3.json``
 (PRs 3/4) added the agreement-based key-distribution mux points and the
-event-kernel delivery points; this PR's gate file is ``BENCH_4.json``,
-which adds the E13 unreliable-delivery points (timeout FD under loss,
-partition-heal convergence — drop counts gated alongside message
-counts).  The BENCH_3 experiments keep their names, so their counts are
-directly comparable across the two files (and were verified identical
-when BENCH_4 was established).
+event-kernel delivery points, ``BENCH_4.json`` (PR 5) added the E13
+unreliable-delivery points (timeout FD under loss, partition-heal
+convergence — drop counts gated alongside message counts); this PR's
+gate file is ``BENCH_5.json``, which adds the E14 arms-race points
+(adaptive FD on the cells where the static horizon is wrong, the
+adaptive adversary driving the static FD, partition equivocation).
+Experiment names are stable across files, so shared counts are directly
+comparable (the BENCH_4 experiments were verified count-identical when
+BENCH_5 was established).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -184,7 +187,7 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_4.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_5.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
@@ -193,6 +196,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="pre-PR smoke: small suite once, gate counts only, no "
         "memory probes, no baseline rewrite",
+    )
+    parser.add_argument(
+        "--quick-out",
+        default=str(REPO_ROOT / "bench_quick_fresh.json"),
+        metavar="PATH",
+        help="where --quick writes the freshly measured small suite "
+        "(pass/fail alike) so CI can attach it as an artifact when the "
+        "counts gate trips; the committed baseline is never touched",
     )
     parser.add_argument(
         "--full", action="store_true", help="also refresh the full-size section"
@@ -225,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
         fresh_small = regress.run_suite(small=True, repeats=1)
         for name, entry in fresh_small["experiments"].items():
             print(f"  {name}: {entry['seconds']:.5f}s  {entry['counts']}")
+        quick_out = Path(args.quick_out)
+        quick_out.write_text(
+            json.dumps({"small": fresh_small}, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote fresh measurements to {quick_out}")
         status = 0
         if committed.get("small"):
             # Infinite threshold: only the counts-changed branch can fire.

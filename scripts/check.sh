@@ -5,9 +5,13 @@
 #
 # Runs, in order:
 #   1. python -m compileall src     — no syntax-broken modules slip in;
-#   2. the tier-1 test suite        — semantics (ROADMAP.md's verify line);
-#   3. bench_check --quick          — count determinism vs BENCH_3.json
-#                                     (smoke wall-clock, no --memory).
+#   2. the tier-1 test suite        — semantics (ROADMAP.md's verify line),
+#                                     with --durations=10 so creeping slow
+#                                     tests are visible in every run;
+#   3. bench_check --quick          — count determinism vs BENCH_5.json
+#                                     (smoke wall-clock, no --memory);
+#                                     emits bench_quick_fresh.json for CI
+#                                     to attach on failure.
 #
 # The full wall-clock/memory gate (scripts/bench_check.py --memory, and
 # --full for the n=128 grid) stays a pre-merge step; this script is the
@@ -20,7 +24,7 @@ echo "== check: compileall =="
 python -m compileall -q src
 
 echo "== check: tier-1 tests =="
-python -m pytest -x -q
+python -m pytest -x -q --durations=10
 
 echo "== check: bench smoke =="
 python scripts/bench_check.py --quick

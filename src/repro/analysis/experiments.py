@@ -408,6 +408,73 @@ def e13_unreliable(
     )
 
 
+def e14_adaptive_arms_race(
+    n: int = 7,
+    t: int = 2,
+    deliveries: Sequence[str] = ("sync", "bounded:12", "loss:0.3"),
+    attacks: Sequence[str] = ("none", "silent", "adaptive:silence-muffled"),
+    seeds: int = 3,
+) -> ExperimentTable:
+    """E14: static vs adaptive timeout FD against static and adaptive
+    adversaries — the closed arms race.
+
+    The grid crosses the defence (fixed-horizon ``timeout`` FD vs the
+    delay-estimating ``adaptive`` FD), the delivery model, and the
+    offence (failure-free, one statically silent node, and the
+    ``silence-muffled`` adaptive strategy that watches the run's drop
+    counters and silences the most-muffled node online).  Per cell, the
+    usual two pathologies: **spurious** (discovery with nothing faulty
+    and nothing committed) and **missed** (faults present, nobody
+    discovered).
+
+    The verdict gates the E14 defence claim: the adaptive FD must be
+    spurious-free across the *whole* grid — including the ``bounded:12``
+    cells where the static FD's hard-coded horizon of 8 is simply wrong
+    and it cries wolf — while still catching every statically silent
+    node.  (Adaptively committed late silence is reported, not gated:
+    a node silenced *after* first contact leaves evidence with no one,
+    which is exactly the attack the table is there to show.)
+    """
+    from ..harness.workloads import e14_adaptive_point
+
+    rows = []
+    spurious_totals = {"timeout": 0, "adaptive": 0}
+    static_missed_totals = {"timeout": 0, "adaptive": 0}
+    for protocol in ("timeout", "adaptive"):
+        for delivery in deliveries:
+            for attack in attacks:
+                healthy = spurious = missed = committed = 0
+                for seed in range(1, seeds + 1):
+                    result = e14_adaptive_point(
+                        n, t, delivery=delivery, protocol=protocol,
+                        attack=attack, seed=seed,
+                    )
+                    healthy += result["fd_ok"]
+                    spurious += result["spurious"]
+                    missed += result["missed"]
+                    committed += result["committed"]
+                spurious_totals[protocol] += spurious
+                if attack == "silent":
+                    static_missed_totals[protocol] += missed
+                rows.append(
+                    [protocol, delivery, attack, f"{healthy}/{seeds}",
+                     f"{spurious}/{seeds}", f"{missed}/{seeds}", committed]
+                )
+    ok = (
+        spurious_totals["adaptive"] == 0
+        and spurious_totals["adaptive"] < spurious_totals["timeout"]
+        and static_missed_totals["adaptive"] == 0
+    )
+    return _table(
+        "E14",
+        f"adaptive FD vs adaptive adversaries, n={n}, t={t}",
+        ["protocol", "delivery", "attack", "F1-F3", "spurious", "missed",
+         "committed"],
+        rows,
+        ok,
+    )
+
+
 def run_all(quick: bool = True) -> list[ExperimentTable]:
     """Regenerate every count-based experiment.
 
@@ -427,4 +494,5 @@ def run_all(quick: bool = True) -> list[ExperimentTable]:
         e11_keydist_methods(),
         e12_delivery_models(seeds=2 if quick else 4),
         e13_unreliable(seeds=2 if quick else 4),
+        e14_adaptive_arms_race(seeds=2 if quick else 4),
     ]

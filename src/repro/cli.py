@@ -69,17 +69,18 @@ def _add_delivery(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_adversary(parser: argparse.ArgumentParser) -> None:
-    from .faults.adversary import PARSEABLE_KINDS
+    from .faults.adversary import behavior_grammar_help
 
     parser.add_argument(
         "--adversary",
         default=None,
         metavar="SPEC",
         help="adversary plane spec: ';'-separated NODE=BEHAVIOR items "
-        "plus optional delivery=SPEC (behaviours: "
-        + ", ".join(PARSEABLE_KINDS)
-        + "; e.g. '5=silent;6=crash@2-5;delivery=loss:0.2'); the "
-        "corruption budget is checked against --t",
+        "plus optional delivery=SPEC and adaptive:STRATEGY (behaviours: "
+        + behavior_grammar_help()
+        + "; e.g. '5=silent;6=crash@2-5;delivery=loss:0.2' or "
+        "'adaptive:silence-muffled'); the corruption budget is checked "
+        "against --t, adaptive commitments at commitment time",
     )
 
 
@@ -202,6 +203,11 @@ def _cmd_fd(args: argparse.Namespace) -> int:
                 ["authentication", args.auth],
                 ["delivery", _shown_delivery(args)],
                 ["adversary", args.adversary or "-"],
+                [
+                    "committed (adaptive)",
+                    "; ".join(f"{node}={spec}" for node, spec in outcome.committed)
+                    or "-",
+                ],
                 ["messages", metrics.messages_total],
                 ["dropped by network", metrics.drops_total],
                 ["paper formula", expected],
@@ -511,7 +517,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--protocol",
         default="chain",
-        choices=["chain", "echo", "timeout", "smallrange", "smallrange-optimistic"],
+        choices=[
+            "chain",
+            "echo",
+            "timeout",
+            "adaptive",
+            "smallrange",
+            "smallrange-optimistic",
+        ],
     )
     p.add_argument("--auth", default=GLOBAL, choices=[GLOBAL, LOCAL])
     p.add_argument("--value", default="demo-value")

@@ -3,10 +3,13 @@ targeted attacks.
 
 * :mod:`repro.faults.adversary` — the declarative adversary plane:
   :class:`AdversarySpec` names which nodes are corrupt, how each
-  misbehaves, and which delivery power the run grants, with the paper's
-  ``≤ t`` budget enforced at construction;
+  misbehaves, which delivery power the run grants, and (optionally) an
+  *adaptive* strategy committing corruptions online, with the paper's
+  ``≤ t`` budget enforced at construction (static) and commitment time
+  (adaptive);
 * :mod:`repro.faults.behaviors` — crash (with recovery), silence, drop,
-  tamper, scripted;
+  tamper, scripted, plus the loss-/partition-exploiting ``ack-lie`` and
+  ``equivocate`` lies of experiment E14;
 * :mod:`repro.faults.keyattacks` — the key-distribution attacks of the
   paper's section 3.2 (key sharing, cross claiming, mixed predicates,
   foreign claims);
@@ -16,16 +19,25 @@ targeted attacks.
 """
 
 from .adversary import (
+    ADAPTIVE_STRATEGIES,
+    BEHAVIOR_GRAMMAR,
     BEHAVIOR_KINDS,
     PARSEABLE_KINDS,
+    AdaptiveCoordinator,
+    AdaptiveCorruptible,
+    AdversaryObservation,
     AdversarySpec,
     Behavior,
+    behavior_grammar_help,
     build_behavior,
     make_adversary,
     parse_behavior,
+    register_adaptive_strategy,
 )
 from .behaviors import (
+    AckLieProtocol,
     CrashProtocol,
+    EquivocatingProtocol,
     RandomNoiseProtocol,
     RushMirrorProtocol,
     ScriptedProtocol,
@@ -50,12 +62,19 @@ from .keyattacks import (
 )
 
 __all__ = [
+    "ADAPTIVE_STRATEGIES",
+    "AckLieProtocol",
+    "AdaptiveCoordinator",
+    "AdaptiveCorruptible",
     "AdversaryCoordination",
+    "AdversaryObservation",
     "AdversarySpec",
+    "BEHAVIOR_GRAMMAR",
     "BEHAVIOR_KINDS",
     "Behavior",
     "ClaimForeignPredicateAttack",
     "CrashProtocol",
+    "EquivocatingProtocol",
     "CrossClaimAttack",
     "DelayedRelayChainNode",
     "EquivocatingSender",
@@ -69,10 +88,12 @@ __all__ = [
     "SharedKeyAttack",
     "SilentProtocol",
     "TamperingProtocol",
+    "behavior_grammar_help",
     "build_behavior",
     "duplicating_chain_node",
     "garbling_chain_node",
     "make_adversary",
     "parse_behavior",
+    "register_adaptive_strategy",
     "withholding_chain_node",
 ]

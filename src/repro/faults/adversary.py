@@ -10,8 +10,13 @@ budget.  An :class:`AdversarySpec` subsumes all three:
 * **who is corrupt** — ``corrupt`` pairs each node id with a
   :class:`Behavior` (or its spec string): ``silent``, ``crash@r`` /
   ``crash@r-s`` (crash-recovery), ``noise``, ``rush``, ``drop@p``,
-  ``tamper@p``, ``scripted`` — subsuming the generic wrappers of
-  :mod:`repro.faults.behaviors`;
+  ``tamper@p``, ``ack-lie``, ``equivocate``, ``scripted`` — subsuming
+  the generic wrappers of :mod:`repro.faults.behaviors` (the grammar
+  is the :data:`BEHAVIOR_GRAMMAR` parse table);
+* **adaptive corruption** — ``strategy`` names a registered
+  :data:`AdaptiveStrategy` (spec item ``adaptive:NAME``) that observes
+  the run online and commits corruptions lazily, budget-checked at
+  commitment time by the :class:`AdaptiveCoordinator`;
 * **custom corruption** — ``overrides`` pairs node ids with ready
   :class:`~repro.sim.node.Protocol` instances, the escape hatch the
   attack scenarios (which need key material) re-layer through;
@@ -47,10 +52,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
-from ..sim.node import Protocol
+from ..sim.node import NodeContext, Protocol
 from ..types import NodeId, Round
 from .behaviors import (
+    AckLieProtocol,
     CrashProtocol,
+    EquivocatingProtocol,
     RandomNoiseProtocol,
     RushMirrorProtocol,
     ScriptedProtocol,
@@ -58,20 +65,92 @@ from .behaviors import (
     TamperingProtocol,
 )
 
-#: All declarative behaviour kinds a :class:`Behavior` can carry.
-BEHAVIOR_KINDS = (
-    "silent",
-    "crash",
-    "noise",
-    "rush",
-    "drop",
-    "tamper",
-    "scripted",
-)
+def _parse_plain(head: str):
+    """Grammar entry for parameterless behaviours."""
 
-#: The kinds expressible as spec strings (:func:`parse_behavior`) —
+    def parse(arg: str, spec: str) -> "Behavior":
+        if arg:
+            raise ConfigurationError(
+                f"behaviour {head!r} takes no argument, got {spec!r}"
+            )
+        return Behavior(head)
+
+    return parse
+
+
+def _parse_crash(arg: str, spec: str) -> "Behavior":
+    crash_at, dash, recover = arg.partition("-")
+    try:
+        return Behavior(
+            "crash",
+            at=int(crash_at),
+            recover=int(recover) if dash else None,
+        )
+    except ValueError:
+        raise ConfigurationError(
+            f"crash behaviour must look like 'crash@2' or 'crash@2-5', "
+            f"got {spec!r}"
+        ) from None
+
+
+def _parse_prob(head: str):
+    """Grammar entry for the per-message probability behaviours."""
+
+    def parse(arg: str, spec: str) -> "Behavior":
+        try:
+            return Behavior(head, prob=float(arg))
+        except ValueError:
+            raise ConfigurationError(
+                f"{head} behaviour must look like '{head}@0.3', got {spec!r}"
+            ) from None
+
+    return parse
+
+
+def _parse_from_tick(head: str):
+    """Grammar entry for behaviours with an optional from-tick."""
+
+    def parse(arg: str, spec: str) -> "Behavior":
+        try:
+            return Behavior(head, at=int(arg) if arg else None)
+        except ValueError:
+            raise ConfigurationError(
+                f"{head} behaviour must look like '{head}' or '{head}@3', "
+                f"got {spec!r}"
+            ) from None
+
+    return parse
+
+
+#: The behaviour-spec parse table: head -> (example form, parser).
+#: Single source of truth for what the grammar accepts — the CLI help,
+#: the parse-error message and :data:`PARSEABLE_KINDS` all derive from
+#: it, so adding a behaviour here is the *whole* registration.
+BEHAVIOR_GRAMMAR: dict[str, tuple[str, Callable[[str, str], "Behavior"]]] = {
+    "silent": ("silent", _parse_plain("silent")),
+    "crash": ("crash@R[-S]", _parse_crash),
+    "noise": ("noise", _parse_plain("noise")),
+    "rush": ("rush", _parse_plain("rush")),
+    "drop": ("drop@P", _parse_prob("drop")),
+    "tamper": ("tamper@P", _parse_prob("tamper")),
+    "ack-lie": ("ack-lie[@T]", _parse_from_tick("ack-lie")),
+    "equivocate": ("equivocate[@T]", _parse_from_tick("equivocate")),
+}
+
+#: The kinds expressible as spec strings, derived from the parse table.
+PARSEABLE_KINDS = tuple(BEHAVIOR_GRAMMAR)
+
+#: All declarative behaviour kinds a :class:`Behavior` can carry —
 #: ``scripted`` carries payload data and is construction-only.
-PARSEABLE_KINDS = tuple(kind for kind in BEHAVIOR_KINDS if kind != "scripted")
+BEHAVIOR_KINDS = PARSEABLE_KINDS + ("scripted",)
+
+
+def behavior_grammar_help() -> str:
+    """The grammar's example forms, comma-joined — the one string every
+    user-facing enumeration of behaviours (CLI help, parse errors)
+    renders, so it can never drift from the table."""
+    return ", ".join(example for example, _ in BEHAVIOR_GRAMMAR.values())
+
 
 #: Payload pool the generic ``noise`` behaviour draws from: wire-encodable
 #: garbage of the families every protocol must shrug off.
@@ -134,7 +213,8 @@ class Behavior:
     the network shape are known.
 
     :ivar kind: one of :data:`BEHAVIOR_KINDS`.
-    :ivar at: crash tick (``crash`` only).
+    :ivar at: crash tick (``crash``), or the first tick the lie applies
+        (``ack-lie`` / ``equivocate``; ``None`` = from the start).
     :ivar recover: crash-recovery tick, or ``None`` for fail-stop
         (``crash`` only).
     :ivar prob: per-message probability (``drop`` / ``tamper`` only).
@@ -176,6 +256,12 @@ class Behavior:
                 "scripted behaviour needs a non-empty script of "
                 "(round, recipient, payload) triples"
             )
+        if self.kind in ("ack-lie", "equivocate") and (
+            self.at is not None and self.at < 0
+        ):
+            raise ConfigurationError(
+                f"{self.kind} from-tick must be >= 0, got {self.at}"
+            )
 
     def spec(self) -> str:
         """The behaviour as its spec string (inverse of
@@ -185,6 +271,8 @@ class Behavior:
             return f"{base}-{self.recover}" if self.recover is not None else base
         if self.kind in ("drop", "tamper"):
             return f"{self.kind}@{self.prob:g}"
+        if self.kind in ("ack-lie", "equivocate") and self.at is not None:
+            return f"{self.kind}@{self.at}"
         return self.kind
 
 
@@ -194,46 +282,28 @@ def parse_behavior(spec: "str | Behavior") -> Behavior:
 
     * ``silent`` / ``noise`` / ``rush`` — parameterless;
     * ``crash@R`` — fail-stop at tick R; ``crash@R-S`` — recover at S;
-    * ``drop@P`` / ``tamper@P`` — per-message probability P.
+    * ``drop@P`` / ``tamper@P`` — per-message probability P;
+    * ``ack-lie`` / ``equivocate`` — loss- and partition-exploiting
+      lies, optionally ``@T`` for the first tick they apply.
+
+    The accepted forms are exactly the rows of
+    :data:`BEHAVIOR_GRAMMAR`; this function is a table lookup.
 
     :raises ConfigurationError: for unknown or malformed specs — the
-        error names the valid behaviour kinds.
+        error enumerates the grammar.
     """
     if isinstance(spec, Behavior):
         return spec
     head, _, arg = spec.partition("@")
-    if head in ("silent", "noise", "rush"):
-        if arg:
-            raise ConfigurationError(
-                f"behaviour {head!r} takes no argument, got {spec!r}"
-            )
-        return Behavior(head)
-    if head == "crash":
-        crash_at, dash, recover = arg.partition("-")
-        try:
-            return Behavior(
-                "crash",
-                at=int(crash_at),
-                recover=int(recover) if dash else None,
-            )
-        except ValueError:
-            raise ConfigurationError(
-                f"crash behaviour must look like 'crash@2' or 'crash@2-5', "
-                f"got {spec!r}"
-            ) from None
-    if head in ("drop", "tamper"):
-        try:
-            return Behavior(head, prob=float(arg))
-        except ValueError:
-            raise ConfigurationError(
-                f"{head} behaviour must look like '{head}@0.3', got {spec!r}"
-            ) from None
-    raise ConfigurationError(
-        f"unknown behaviour {spec!r}; "
-        f"available: {', '.join(PARSEABLE_KINDS)} "
-        "(scripted behaviours carry payload data and are construction-only: "
-        "Behavior('scripted', script=...))"
-    )
+    grammar = BEHAVIOR_GRAMMAR.get(head)
+    if grammar is None:
+        raise ConfigurationError(
+            f"unknown behaviour {spec!r}; "
+            f"available: {behavior_grammar_help()} "
+            "(scripted behaviours carry payload data and are construction-only: "
+            "Behavior('scripted', script=...))"
+        )
+    return grammar[1](arg, spec)
 
 
 def build_behavior(
@@ -263,6 +333,10 @@ def build_behavior(
         return TamperingProtocol(
             inner, transform=TamperPayloads(behavior.prob, node)
         )
+    if behavior.kind == "ack-lie":
+        return AckLieProtocol(inner, from_tick=behavior.at or 0)
+    if behavior.kind == "equivocate":
+        return EquivocatingProtocol(inner, from_tick=behavior.at or 0)
     script: dict[Round, list[tuple[NodeId, Any]]] = {}
     for round_, recipient, payload in behavior.script:
         script.setdefault(round_, []).append((recipient, payload))
@@ -274,6 +348,223 @@ def build_behavior(
 #: richer corruption (the AKD mux noise) reinterpret a kind without
 #: forking the spec format.
 BehaviorBuilder = Callable[[NodeId, Behavior, Protocol, int], "Protocol | None"]
+
+
+@dataclass(frozen=True)
+class AdversaryObservation:
+    """What an adaptive strategy sees of the run, one snapshot per tick.
+
+    A pure value: every field derives from the master seed and the
+    events observed so far, so a strategy keyed on it is itself a pure
+    function — which is what keeps adaptive runs bit-for-bit
+    reproducible and plane-vs-manual property tests meaningful.
+
+    :ivar tick: the kernel tick about to execute (no node has acted in
+        it yet when the snapshot is taken).
+    :ivar n: network size.
+    :ivar t: the spec's fault budget.
+    :ivar seed: the run's master seed.
+    :ivar activity: per-node ``(messages sent, drops charged)`` counts
+        over all earlier ticks (:meth:`repro.sim.Metrics.activity_snapshot`).
+    :ivar faulty: nodes already corrupt — statically named by the spec
+        or committed by this strategy in an earlier tick.
+    :ivar budget_remaining: corruptions the strategy may still commit.
+    """
+
+    tick: Round
+    n: int
+    t: int
+    seed: int | str
+    activity: tuple[tuple[int, int], ...]
+    faulty: tuple[NodeId, ...]
+    budget_remaining: int
+
+
+#: An adaptive strategy: observation -> corruptions to commit *now*
+#: (``(node, behaviour-spec)`` pairs), or ``None`` / ``()`` for "not
+#: yet".  Must be pure — no state, no randomness beyond the seed already
+#: inside the observation.
+AdaptiveStrategy = Callable[
+    [AdversaryObservation], "Sequence[tuple[NodeId, str | Behavior]] | None"
+]
+
+#: Registered adaptive strategies, by ``adaptive:NAME`` spec name.
+ADAPTIVE_STRATEGIES: dict[str, AdaptiveStrategy] = {}
+
+
+def register_adaptive_strategy(name: str):
+    """Register an :data:`AdaptiveStrategy` under ``adaptive:{name}``."""
+
+    def decorate(strategy: AdaptiveStrategy) -> AdaptiveStrategy:
+        if name in ADAPTIVE_STRATEGIES:
+            raise ConfigurationError(
+                f"adaptive strategy {name!r} registered twice"
+            )
+        ADAPTIVE_STRATEGIES[name] = strategy
+        return strategy
+
+    return decorate
+
+
+class AdaptiveCoordinator:
+    """Runs one adaptive strategy against a live run.
+
+    Installed by :meth:`AdversarySpec.adaptive_protocols_for`: every
+    honest node's protocol is wrapped in an :class:`AdaptiveCorruptible`
+    that reports to this coordinator.  Once per tick — driven by the
+    first wrapper the kernel activates, i.e. *before any node acts in
+    that tick* — the coordinator snapshots the run and asks the strategy
+    whether to commit corruptions.  The ≤ t budget is enforced at
+    commitment time: static corruptions plus commitments may never
+    exceed the spec's ``t``.
+
+    :ivar committed: node -> behaviour, every corruption committed so
+        far (in commitment order).
+    """
+
+    def __init__(self, spec: "AdversarySpec") -> None:
+        strategy = ADAPTIVE_STRATEGIES.get(spec.strategy or "")
+        if strategy is None:
+            raise ConfigurationError(
+                f"unknown adaptive strategy {spec.strategy!r}; "
+                f"available: {', '.join(sorted(ADAPTIVE_STRATEGIES))}"
+            )
+        self._spec = spec
+        self._strategy = strategy
+        self._static_faulty = spec.faulty
+        self.committed: dict[NodeId, Behavior] = {}
+        self._last_tick: Round = -1
+
+    @property
+    def committed_nodes(self) -> frozenset[NodeId]:
+        """Nodes corrupted online (excludes static corruptions)."""
+        return frozenset(self.committed)
+
+    @property
+    def budget_remaining(self) -> int:
+        """Corruptions the strategy may still commit within ``t``."""
+        return self._spec.t - len(self._static_faulty) - len(self.committed)
+
+    def observe(self, ctx: NodeContext) -> None:
+        """Advance the strategy to ``ctx``'s tick (idempotent per tick)."""
+        tick = ctx.round
+        if tick <= self._last_tick:
+            return
+        self._last_tick = tick
+        observation = AdversaryObservation(
+            tick=tick,
+            n=ctx.n,
+            t=self._spec.t,
+            seed=ctx.seed,
+            activity=ctx.metrics.activity_snapshot(ctx.n),
+            faulty=tuple(sorted(self._static_faulty | set(self.committed))),
+            budget_remaining=self.budget_remaining,
+        )
+        for node, behavior in self._strategy(observation) or ():
+            self.commit(node, behavior)
+
+    def commit(self, node: NodeId, behavior: "str | Behavior") -> None:
+        """Corrupt ``node`` from the current tick on.
+
+        :raises ConfigurationError: if the node is already corrupt or
+            the commitment would exceed the budget — the adaptive
+            power's ``≤ t`` bound is enforced *here*, at commitment
+            time, not at spec construction.
+        """
+        node = int(node)
+        if node in self._static_faulty or node in self.committed:
+            raise ConfigurationError(
+                f"adaptive strategy {self._spec.strategy!r} committed node "
+                f"{node} twice"
+            )
+        if self.budget_remaining <= 0:
+            raise ConfigurationError(
+                f"adaptive strategy {self._spec.strategy!r} exceeded the "
+                f"fault budget t={self._spec.t}: static corruptions "
+                f"{sorted(self._static_faulty)} + committed "
+                f"{sorted(self.committed)} leave no budget for node {node}"
+            )
+        self.committed[node] = parse_behavior(behavior)
+
+
+class AdaptiveCorruptible(Protocol):
+    """Wrapper giving the adaptive adversary a hook on one honest node.
+
+    Delegates to the honest inner protocol verbatim — same sends, same
+    decisions, zero own traffic — until the coordinator commits a
+    corruption for this node; from that tick on the committed behaviour
+    (realised once via :func:`build_behavior`, inner already set up — no
+    second ``setup``) runs instead.  An uncommitted wrapper is therefore
+    observationally identical to the bare inner protocol, which is what
+    the plane-vs-manual property tests pin bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        node: NodeId,
+        coordinator: AdaptiveCoordinator,
+        t: int,
+    ) -> None:
+        self.inner = inner
+        self.node = node
+        self._coordinator = coordinator
+        self._t = t
+        self._active: Protocol | None = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.inner.setup(ctx)
+
+    def _resolve(self, ctx: NodeContext) -> Protocol:
+        self._coordinator.observe(ctx)
+        if self._active is None:
+            behavior = self._coordinator.committed.get(self.node)
+            if behavior is not None:
+                self._active = build_behavior(
+                    behavior, self.node, self.inner, self._t
+                )
+        return self._active if self._active is not None else self.inner
+
+    def on_round(self, ctx: NodeContext, inbox: list) -> None:
+        self._resolve(ctx).on_round(ctx, inbox)
+
+    def on_activate(self, ctx: NodeContext, inbox: list) -> None:
+        self._resolve(ctx).on_activate(ctx, inbox)
+
+
+@register_adaptive_strategy("silence-muffled")
+def _silence_muffled(obs: AdversaryObservation):
+    """Corrupt the node whose silence maximises FD confusion.
+
+    Waits two ticks of evidence, then silences the non-sender node the
+    network has already muffled hardest (most drops charged to it; ties
+    to the lowest id) — the node whose disappearance is hardest for a
+    timeout FD to tell apart from ordinary loss.
+    """
+    if obs.tick < 2 or obs.budget_remaining <= 0 or obs.faulty:
+        return None
+    candidates = [
+        (drops, -node)
+        for node, (_, drops) in enumerate(obs.activity)
+        if node != 0
+    ]
+    if not candidates:
+        return None
+    drops, neg_node = max(candidates)
+    return ((-neg_node, "silent"),)
+
+
+@register_adaptive_strategy("gag-sender")
+def _gag_sender(obs: AdversaryObservation):
+    """Corrupt the designated sender with ack-lies once the run is warm.
+
+    From tick 1 the sender keeps heartbeating but stops emitting value
+    payloads — the adversary that makes a static-horizon FD wait its
+    whole deadline before (correctly) crying foul.
+    """
+    if obs.tick < 1 or obs.budget_remaining <= 0 or 0 in obs.faulty:
+        return None
+    return ((0, "ack-lie"),)
 
 
 @dataclass(frozen=True)
@@ -289,16 +580,23 @@ class AdversarySpec:
     :ivar overrides: ``(node, Protocol)`` pairs installing custom
         behaviours directly — counted against the same budget; may make
         the spec unpicklable (in-process use only).
+    :ivar strategy: optional *adaptive* power — the name of a registered
+        :data:`AdaptiveStrategy` that observes the run online and
+        commits further corruptions lazily (spec form
+        ``adaptive:NAME``).  Static corruptions plus online commitments
+        share the one ``t`` budget; the online half is enforced at
+        commitment time by the :class:`AdaptiveCoordinator`.
 
     Construction normalises and validates: behaviours parse, node ids
-    are distinct across ``corrupt`` and ``overrides``, and the total
-    corruption stays within ``t``.
+    are distinct across ``corrupt`` and ``overrides``, the strategy (if
+    named) is registered, and the static corruption stays within ``t``.
     """
 
     corrupt: tuple[tuple[NodeId, Behavior], ...] = ()
     t: int = 0
     delivery: str | None = None
     overrides: tuple[tuple[NodeId, Protocol], ...] = ()
+    strategy: str | None = None
 
     def __post_init__(self) -> None:
         corrupt = tuple(
@@ -341,6 +639,11 @@ class AdversarySpec:
                 f"({sorted(nodes)}) but the fault budget is t={self.t} — "
                 "the paper's guarantees are only claimed within the budget"
             )
+        if self.strategy is not None and self.strategy not in ADAPTIVE_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown adaptive strategy {self.strategy!r}; "
+                f"available: {', '.join(sorted(ADAPTIVE_STRATEGIES))}"
+            )
 
     @property
     def faulty(self) -> frozenset[NodeId]:
@@ -361,6 +664,8 @@ class AdversarySpec:
         """The spec as a (mostly) round-trippable string, for messages."""
         items = [f"{node}={behavior.spec()}" for node, behavior in self.corrupt]
         items += [f"{node}=<custom>" for node, _ in self.overrides]
+        if self.strategy:
+            items.append(f"adaptive:{self.strategy}")
         if self.delivery:
             items.append(f"delivery={self.delivery}")
         return ";".join(items)
@@ -401,6 +706,34 @@ class AdversarySpec:
             out[node] = protocol
         return out
 
+    def adaptive_protocols_for(
+        self,
+        protocols: Sequence[Protocol],
+        builder: BehaviorBuilder | None = None,
+    ) -> tuple[list[Protocol], AdaptiveCoordinator | None]:
+        """Like :meth:`protocols_for`, plus the adaptive power.
+
+        When the spec names a ``strategy``, every *honest* node's
+        protocol is additionally wrapped in an
+        :class:`AdaptiveCorruptible` reporting to a fresh
+        :class:`AdaptiveCoordinator`, which is returned so the caller
+        can read the committed corruptions after the run.  Without a
+        strategy this is exactly :meth:`protocols_for` (coordinator
+        ``None``).
+        """
+        out = self.protocols_for(protocols, builder)
+        if self.strategy is None:
+            return out, None
+        coordinator = AdaptiveCoordinator(self)
+        statically_faulty = self.faulty
+        out = [
+            protocol
+            if node in statically_faulty
+            else AdaptiveCorruptible(protocol, node, coordinator, self.t)
+            for node, protocol in enumerate(out)
+        ]
+        return out, coordinator
+
 
 def make_adversary(
     spec: "str | AdversarySpec | Mapping[NodeId, str | Behavior] | None",
@@ -416,7 +749,10 @@ def make_adversary(
     * ``NODE=BEHAVIOR`` — e.g. ``"3=silent"``, ``"5=crash@2-6"``,
       ``"6=drop@0.3"`` (see :func:`parse_behavior` for behaviours);
     * ``delivery=SPEC`` — the delivery power, e.g.
-      ``delivery=loss:0.2`` (at most once).
+      ``delivery=loss:0.2`` (at most once);
+    * ``adaptive:STRATEGY`` — the adaptive power, e.g.
+      ``adaptive:silence-muffled`` (at most once; see
+      :data:`ADAPTIVE_STRATEGIES`).
 
     A ready :class:`AdversarySpec` passes through unchanged; a mapping
     ``{node: behaviour}`` is wrapped; ``None`` stays ``None`` (no
@@ -435,15 +771,21 @@ def make_adversary(
     if isinstance(spec, Mapping):
         return AdversarySpec(corrupt=tuple(spec.items()), t=t, delivery=delivery)
     corrupt: list[tuple[NodeId, str]] = []
+    strategy: str | None = None
     for item in spec.split(";"):
         item = item.strip()
         if not item:
             continue
         key, sep, value = item.partition("=")
         if not sep or not key or not value:
+            head, colon, name = item.partition(":")
+            if head == "adaptive" and colon and name:
+                strategy = name
+                continue
             raise ConfigurationError(
-                f"adversary items must look like 'NODE=BEHAVIOR' or "
-                f"'delivery=SPEC', got {item!r} in {spec!r}"
+                f"adversary items must look like 'NODE=BEHAVIOR', "
+                f"'delivery=SPEC' or 'adaptive:STRATEGY', got {item!r} "
+                f"in {spec!r}"
             )
         if key == "delivery":
             delivery = value
@@ -455,4 +797,6 @@ def make_adversary(
                 f"adversary node id must be an integer, got {item!r} in {spec!r}"
             ) from None
         corrupt.append((node, value))
-    return AdversarySpec(corrupt=tuple(corrupt), t=t, delivery=delivery)
+    return AdversarySpec(
+        corrupt=tuple(corrupt), t=t, delivery=delivery, strategy=strategy
+    )

@@ -13,12 +13,31 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..sim import Envelope, NodeContext, Protocol
+from ..sim.message import payload_kind
 from ..types import NodeId, Round
 
 # (round, recipient, payload) -> deliver?  Used by the drop filter.
 SendPredicate = Callable[[Round, NodeId, Any], bool]
 # (round, recipient, payload) -> replacement payload.
 PayloadTransform = Callable[[Round, NodeId, Any], Any]
+
+#: Payload tags that carry an FD protocol's *value* (as opposed to pure
+#: liveness traffic).  Duplicated literals rather than imports: the fault
+#: layer must not import :mod:`repro.fd` (which imports back into
+#: :mod:`repro.faults` for its attack scenarios), so the tags are pinned
+#: here and equality with the FD modules' constants is asserted in
+#: ``tests/faults/test_loss_exploits.py``.
+FD_VALUE_TAGS = ("fd-timeout-value", "fd-adaptive-value")
+
+#: Tag of the adaptive FD's acknowledgement payloads (same duplication
+#: rationale as :data:`FD_VALUE_TAGS`).
+FD_ACK_TAG = "fd-adaptive-ack"
+
+#: The FD problem's designated sender.
+_FD_SENDER: NodeId = 0
+
+#: Marker embedded in an equivocator's garbled twin payloads.
+EQUIVOCAL_TWIN = "equivocal-twin"
 
 
 class SilentProtocol(Protocol):
@@ -256,3 +275,99 @@ class RandomNoiseProtocol(Protocol):
             ctx.send(recipient, payload)
         if ctx.round >= self._halt_after:
             ctx.halt()
+
+
+class AckLieProtocol(Protocol):
+    """Selective-acknowledgement lies against FD retransmission.
+
+    The loss-exploiting attack of experiment E14, in both placements:
+
+    * **on the designated sender** — from ``from_tick`` on, every
+      outgoing *value-bearing* payload (:data:`FD_VALUE_TAGS`) is
+      suppressed while liveness traffic (heartbeats) still flows: the
+      sender looks alive, so the static FD's receivers wait out their
+      whole horizon before discovering, and retransmissions silently
+      stop carrying the value;
+    * **on a receiver** — on first contact from the sender it emits a
+      *forged acknowledgement* (:data:`FD_ACK_TAG`) without having
+      received any value: an ack-driven retransmitter (the adaptive FD)
+      then strikes this node off its retry list, so lost value copies
+      towards it are never resent — ack-then-drop.
+
+    Everything else delegates to the honest inner protocol, so the
+    corrupt node's timing footprint stays indistinguishable from an
+    honest one's.
+
+    :param inner: the honest behaviour to corrupt.
+    :param from_tick: first tick the lies apply (default 0 = always).
+    """
+
+    def __init__(self, inner: Protocol, from_tick: Round = 0) -> None:
+        self.inner = inner
+        self.from_tick = from_tick
+        self._lied = False
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.inner.setup(ctx)
+
+    def _should_send(self, round_: Round, to: NodeId, payload: Any) -> bool:
+        if round_ < self.from_tick:
+            return True
+        return payload_kind(payload) not in FD_VALUE_TAGS
+
+    def _forge_ack(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if (
+            self._lied
+            or ctx.node == _FD_SENDER
+            or ctx.round < self.from_tick
+            or not any(env.sender == _FD_SENDER for env in inbox)
+        ):
+            return
+        ctx.send(_FD_SENDER, (FD_ACK_TAG, int(ctx.node)))
+        self._lied = True
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        self._forge_ack(ctx, inbox)
+        proxy = _InterceptingContext(ctx, self._should_send, None)
+        self.inner.on_round(proxy, inbox)  # type: ignore[arg-type]
+
+
+class EquivocatingProtocol(Protocol):
+    """Partition-straddling equivocation: two stories, one per side.
+
+    From ``from_tick`` on, payloads to the *lower* half of the id space
+    (``node < n // 2``) pass through genuine while payloads to the upper
+    half are replaced by recognisably-garbled twins — same leading tag,
+    body stamped :data:`EQUIVOCAL_TWIN`.  Under a
+    :class:`~repro.sim.network.PartitionedDelivery` split along the same
+    boundary, each side sees a *consistent* story for as long as the
+    partition holds; whether the heal exposes the equivocation (garbled
+    twins finally crossing, failing signature checks) or hides it (run
+    ends first, deferred twins swept as drops) is exactly what the
+    ``e14-equivocation`` workload measures.
+
+    :param inner: the honest behaviour to corrupt.
+    :param from_tick: first tick the equivocation applies (default 0).
+    """
+
+    def __init__(self, inner: Protocol, from_tick: Round = 0) -> None:
+        self.inner = inner
+        self.from_tick = from_tick
+
+    def setup(self, ctx: NodeContext) -> None:
+        self.inner.setup(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        split = ctx.n // 2
+        node = int(ctx.node)
+        from_tick = self.from_tick
+
+        def transform(round_: Round, to: NodeId, payload: Any) -> Any:
+            if round_ < from_tick or to < split:
+                return payload
+            if isinstance(payload, tuple) and payload:
+                return (payload[0], EQUIVOCAL_TWIN, node, int(round_))
+            return (EQUIVOCAL_TWIN, node, int(round_))
+
+        proxy = _InterceptingContext(ctx, None, transform)
+        self.inner.on_round(proxy, inbox)  # type: ignore[arg-type]

@@ -6,9 +6,19 @@
 * :mod:`repro.fd.smallrange` — "assign values to missing messages"
   variants for a known binary domain;
 * :mod:`repro.fd.timeout` — heartbeat/timeout FD with retransmission,
-  designed for the unreliable delivery models (experiment E13).
+  designed for the unreliable delivery models (experiment E13);
+* :mod:`repro.fd.adaptive` — adaptive-timeout FD estimating per-link
+  delay bounds online (Chen/Jacobson-style), the defence side of the
+  E14 arms race.
 """
 
+from .adaptive import (
+    ADAPTIVE_ACK,
+    ADAPTIVE_VALUE,
+    AdaptiveTimeoutFDProtocol,
+    default_max_timeout,
+    make_adaptive_fd_protocols,
+)
 from .authenticated import (
     CHAIN_MSG,
     SENDER,
@@ -52,6 +62,9 @@ from .timeout import (
 )
 
 __all__ = [
+    "ADAPTIVE_ACK",
+    "ADAPTIVE_VALUE",
+    "AdaptiveTimeoutFDProtocol",
     "BINARY_DOMAIN",
     "CHAIN_MSG",
     "DEFAULT_VALUE",
@@ -72,10 +85,12 @@ __all__ = [
     "check_weak_agreement",
     "check_weak_termination",
     "check_weak_validity",
+    "default_max_timeout",
     "default_timeout",
     "evaluate_fd",
     "expected_signers_at",
     "judge_run",
+    "make_adaptive_fd_protocols",
     "make_chain_fd_protocols",
     "make_echo_fd_protocols",
     "make_small_range_protocols",

@@ -31,6 +31,7 @@ from ..faults.adversary import AdversarySpec, make_adversary
 from ..fd import (
     FDEvaluation,
     evaluate_fd,
+    make_adaptive_fd_protocols,
     make_chain_fd_protocols,
     make_echo_fd_protocols,
     make_small_range_protocols,
@@ -63,7 +64,11 @@ class ScenarioOutcome:
     :ivar run: the protocol run itself.
     :ivar fd: F1-F3 evaluation (None for BA scenarios).
     :ivar ba: BA evaluation (None for FD scenarios).
-    :ivar correct: the correct-node set the evaluation used.
+    :ivar correct: the correct-node set the evaluation used — with
+        adaptive corruptions already subtracted.
+    :ivar committed: corruptions an adaptive adversary strategy
+        committed online, as ``(node, behaviour-spec)`` pairs in node
+        order (empty for static adversaries).
     """
 
     kd: KeyDistributionResult | None
@@ -71,6 +76,7 @@ class ScenarioOutcome:
     fd: FDEvaluation | None
     ba: BAEvaluation | None
     correct: set[NodeId]
+    committed: tuple[tuple[NodeId, str], ...] = ()
 
     @property
     def total_messages(self) -> int:
@@ -157,7 +163,9 @@ def run_fd_scenario(
     :param protocol: ``"chain"`` (paper Fig. 2), ``"echo"`` (non-auth
         baseline), ``"smallrange"`` / ``"smallrange-optimistic"`` (binary
         variants), ``"timeout"`` (heartbeat/timeout FD for the weak
-        delivery models, :mod:`repro.fd.timeout`).
+        delivery models, :mod:`repro.fd.timeout`), ``"adaptive"``
+        (adaptive-timeout FD with measured deadlines,
+        :mod:`repro.fd.adaptive`).
     :param kd_adversaries: Byzantine behaviours during key distribution.
     :param fd_adversary_factory: builds the FD-phase Byzantine behaviours
         once key material exists (legacy path; kept as a facade over the
@@ -231,6 +239,10 @@ def run_fd_scenario(
         protocols = make_timeout_fd_protocols(
             n, t, value, keypairs, directories, adversaries=fd_adversaries, **params
         )
+    elif protocol == "adaptive":
+        protocols = make_adaptive_fd_protocols(
+            n, t, value, keypairs, directories, adversaries=fd_adversaries, **params
+        )
     elif protocol in ("smallrange", "smallrange-optimistic"):
         protocols = make_small_range_protocols(
             n,
@@ -244,8 +256,9 @@ def run_fd_scenario(
         )
     else:
         raise ConfigurationError(f"unknown FD protocol {protocol!r}")
-    if spec is not None and spec.corrupt:
-        protocols = spec.protocols_for(protocols)
+    coordinator = None
+    if spec is not None and (spec.corrupt or spec.strategy is not None):
+        protocols, coordinator = spec.adaptive_protocols_for(protocols)
 
     run = run_protocols(
         protocols,
@@ -253,8 +266,20 @@ def run_fd_scenario(
         delivery=make_delivery(delivery, rushing=faulty),
         record_trace=record_trace,
     )
+    committed: tuple[tuple[NodeId, str], ...] = ()
+    if coordinator is not None and coordinator.committed:
+        # Adaptive corruptions exist only now the run has happened —
+        # recompute the evaluation sets before judging F1-F3.
+        committed = tuple(
+            (node, behavior.spec())
+            for node, behavior in sorted(coordinator.committed.items())
+        )
+        faulty = set(faulty) | coordinator.committed_nodes
+        correct = set(range(n)) - faulty
     fd_eval = evaluate_fd(run, correct, sender=0, sender_value=value)
-    return ScenarioOutcome(kd=kd, run=run, fd=fd_eval, ba=None, correct=correct)
+    return ScenarioOutcome(
+        kd=kd, run=run, fd=fd_eval, ba=None, correct=correct, committed=committed
+    )
 
 
 def run_ba_scenario(
@@ -312,8 +337,9 @@ def run_ba_scenario(
         )
     else:
         raise ConfigurationError(f"unknown BA protocol {protocol!r}")
-    if spec is not None and spec.corrupt:
-        protocols = spec.protocols_for(protocols)
+    coordinator = None
+    if spec is not None and (spec.corrupt or spec.strategy is not None):
+        protocols, coordinator = spec.adaptive_protocols_for(protocols)
 
     run = run_protocols(
         protocols,
@@ -321,5 +347,15 @@ def run_ba_scenario(
         delivery=make_delivery(delivery, rushing=faulty),
         record_trace=record_trace,
     )
+    committed: tuple[tuple[NodeId, str], ...] = ()
+    if coordinator is not None and coordinator.committed:
+        committed = tuple(
+            (node, behavior.spec())
+            for node, behavior in sorted(coordinator.committed.items())
+        )
+        faulty = set(faulty) | coordinator.committed_nodes
+        correct = set(range(n)) - faulty
     ba_eval = evaluate_ba(run, correct, sender=0, sender_value=value)
-    return ScenarioOutcome(kd=kd, run=run, fd=None, ba=ba_eval, correct=correct)
+    return ScenarioOutcome(
+        kd=kd, run=run, fd=None, ba=ba_eval, correct=correct, committed=committed
+    )

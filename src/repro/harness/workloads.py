@@ -888,6 +888,140 @@ def e13_partition_point(
     ) | {"heal": heal, "defer": defer}
 
 
+@workload(
+    "e14-adaptive",
+    suite="E14/regress",
+    deliveries=("sync", "bounded", "loss", "partition"),
+)
+def e14_adaptive_point(
+    n: int,
+    t: int,
+    delivery: str = "sync",
+    protocol: str = "adaptive",
+    attack: str = "none",
+    seed: int | str = 0,
+    timeout: int | None = None,
+    max_timeout: int | None = None,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Static vs adaptive timeout FD against a chosen attack: one cell.
+
+    The E14 arms-race axis.  ``protocol`` selects the defence (the
+    fixed-horizon ``timeout`` FD or the delay-estimating ``adaptive``
+    FD); ``attack`` selects the offence:
+
+    * ``none`` — failure-free (measures spurious discovery);
+    * ``silent`` — one statically silent node (the E13 load);
+    * ``ack-lie`` — the corrupt node acks-then-drops so retransmission
+      stops while the value never lands;
+    * ``equivocate`` — node 1 tells the two halves of the network
+      different stories;
+    * an ``adaptive:STRATEGY`` spec — the adversary watches the run's
+      live counters and commits corruptions online, budget-checked at
+      commitment time.
+
+    ``spurious`` is a discovery with nothing faulty *and* nothing
+    committed — an adaptively committed corruption is a real fault, so
+    discovering it is the FD doing its job.
+    """
+    if protocol not in ("timeout", "adaptive"):
+        raise ConfigurationError(
+            f"e14-adaptive protocol must be 'timeout' or 'adaptive', got "
+            f"{protocol!r}"
+        )
+    if attack == "none":
+        adversary: AdversarySpec | None = None
+    elif attack == "silent":
+        adversary = _silent_spec(n, t, 1)
+    elif attack == "ack-lie":
+        adversary = AdversarySpec(corrupt=((n - 1, "ack-lie"),), t=t)
+    elif attack == "equivocate":
+        adversary = AdversarySpec(corrupt=((1, "equivocate"),), t=t)
+    elif attack.startswith("adaptive:"):
+        adversary = make_adversary(attack, t=t)
+    else:
+        raise ConfigurationError(
+            f"e14-adaptive attack must be 'none', 'silent', 'ack-lie', "
+            f"'equivocate' or 'adaptive:STRATEGY', got {attack!r}"
+        )
+    params: dict[str, Any] = {}
+    if protocol == "timeout" and timeout is not None:
+        params["timeout"] = timeout
+    if protocol == "adaptive" and max_timeout is not None:
+        params["max_timeout"] = max_timeout
+    outcome = run_fd_scenario(
+        n,
+        t,
+        "v",
+        protocol=protocol,
+        auth=GLOBAL,
+        scheme=COUNT_SCHEME,
+        seed=seed,
+        adversary=adversary,
+        delivery=delivery,
+        record_trace=trace,
+        protocol_params=params,
+    )
+    run = outcome.run
+    discovered = outcome.fd.any_discovery
+    faulty = 0 if adversary is None else len(adversary.faulty)
+    committed = len(outcome.committed)
+    result = {
+        "n": n,
+        "t": t,
+        "protocol": protocol,
+        "delivery": delivery,
+        "attack": attack,
+        "faulty": faulty,
+        "committed": committed,
+        "fd_ok": outcome.fd.ok,
+        "discovered": discovered,
+        "spurious": bool(discovered and faulty == 0 and committed == 0),
+        "missed": bool(not discovered and (faulty > 0 or committed > 0)),
+        "decided": sum(1 for node in outcome.correct if run.states[node].decided),
+        "messages": run.metrics.messages_total,
+        "drops": run.metrics.drops_total,
+        "rounds": run.metrics.rounds_used,
+    }
+    if trace and run.trace is not None:
+        result["trace"] = run.trace.format()
+    return result
+
+
+@workload("e14-equivocation", suite="E14/regress", deliveries=("partition",))
+def e14_equivocation_point(
+    n: int,
+    t: int,
+    heal: int = 4,
+    defer: bool = True,
+    protocol: str = "adaptive",
+    seed: int | str = 0,
+    trace: bool = False,
+) -> dict[str, Any]:
+    """Partition-straddling equivocation: one (heal tick, mode) cell.
+
+    The network splits in half and heals at ``heal`` (``defer`` parks
+    cross-partition traffic until then); node 1 — inside the sender's
+    partition — tells the two sides different stories from tick 0
+    (:class:`repro.faults.EquivocatingProtocol`), so the heal either
+    exposes the lie to the far side or buries it with the dropped
+    deferrals.  Measured: whether the FD under test still converges on
+    the sender's value and whether anyone catches the equivocator.
+    """
+    split = n // 2
+    mode = "/defer" if defer else ""
+    delivery = f"partition:0-{split - 1}|{split}-{n - 1}@{heal}{mode}"
+    return e14_adaptive_point(
+        n,
+        t,
+        delivery=delivery,
+        protocol=protocol,
+        attack="equivocate",
+        seed=seed,
+        trace=trace,
+    ) | {"heal": heal, "defer": defer}
+
+
 @workload("akd-shard", suite="E11/regress")
 def akd_shard_point(
     n: int,

@@ -182,6 +182,20 @@ class EventKernel:
         """The delivery model driving this run."""
         return self._delivery
 
+    @property
+    def metrics(self) -> Metrics:
+        """Live run counters (read-only view for online observers).
+
+        The observation surface for adaptive adversary strategies: a
+        strategy hook may *read* the instrument mid-run, never write it.
+        """
+        return self._metrics
+
+    @property
+    def trace(self) -> Trace | None:
+        """The live event log, or ``None`` when trace recording is off."""
+        return self._trace
+
     def enqueue(self, envelope: Envelope) -> None:
         """Accept an envelope for delivery (called by contexts).
 
@@ -301,6 +315,18 @@ class EventKernel:
                         halted += 1
 
             self.tick += 1
+
+        if self._calendar and getattr(self._delivery, "sweep_undelivered", False):
+            # Envelopes still parked past the final tick (a defer-mode
+            # partition whose heal lands at or after run end) would
+            # otherwise vanish without a drop record.  Models that opt in
+            # get them swept into the loss accounting, in deterministic
+            # (tick, seq) order.
+            for arrival in sorted(self._calendar):
+                for envelope in self._calendar.pop(arrival):
+                    self._metrics.record_drop(envelope)
+                    if self._trace is not None:
+                        self._trace.record_drop(envelope)
 
         return RunResult(
             n=self.n,

@@ -78,6 +78,7 @@ class Metrics:
     deliveries_total: int = 0
     drops_total: int = 0
     dropped_per_round: Counter[Round] = field(default_factory=Counter)
+    dropped_per_sender: Counter[NodeId] = field(default_factory=Counter)
     _settled_bytes: int = 0
     _settled_bytes_per_round: Counter[Round] = field(default_factory=Counter)
     _deferred_payloads: list[tuple[Round, Any]] = field(
@@ -130,6 +131,7 @@ class Metrics:
         """
         self.drops_total += 1
         self.dropped_per_round[envelope.round_sent] += 1
+        self.dropped_per_sender[envelope.sender] += 1
 
     @property
     def loss_rate(self) -> float:
@@ -183,6 +185,7 @@ class Metrics:
         self.deliveries_total += other.deliveries_total
         self.drops_total += other.drops_total
         self.dropped_per_round.update(other.dropped_per_round)
+        self.dropped_per_sender.update(other.dropped_per_sender)
         self._settled_bytes += other._settled_bytes
         self._settled_bytes_per_round.update(other._settled_bytes_per_round)
 
@@ -216,6 +219,19 @@ class Metrics:
         """round -> bytes sent that round."""
         self._settle()
         return self._settled_bytes_per_round
+
+    def activity_snapshot(self, n: int) -> tuple[tuple[int, int], ...]:
+        """Per-node ``(sent, dropped)`` counts as a hashable snapshot.
+
+        The observation surface for adaptive adversary strategies
+        (:mod:`repro.faults.adversary`): a pure value derived from the
+        run so far, so a strategy keyed on it stays a deterministic
+        function of the master seed plus observed events.
+        """
+        return tuple(
+            (self.messages_per_sender[node], self.dropped_per_sender[node])
+            for node in range(n)
+        )
 
     def messages_from(self, nodes: set[NodeId]) -> int:
         """Messages sent by any node in ``nodes``.

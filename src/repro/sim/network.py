@@ -75,10 +75,18 @@ class DeliveryModel:
 
     :ivar name: stable spec name (see :func:`make_delivery`).
     :ivar lockstep: whether the kernel may use the lock-step fast path.
+    :ivar sweep_undelivered: whether envelopes still parked in the
+        calendar when the run ends should be swept into the drop
+        accounting (metrics ``drops_total`` + trace ``drop`` events).
+        Off by default — only models that *park* traffic for later
+        (defer-mode partitions) can strand envelopes past the final
+        tick; for everything else the calendar drains naturally and the
+        flag keeps historical drop counts bit-for-bit unchanged.
     """
 
     name = "abstract"
     lockstep = False
+    sweep_undelivered = False
 
     def bind(self, kernel: "EventKernel") -> None:
         """One-time hook before the run starts (seed/size derivation)."""
@@ -326,6 +334,11 @@ class PartitionedDelivery(DeliveryModel):
         self.schedule = tuple(parsed)
         self.defer = defer
         self.horizon = horizon
+        # Deferred envelopes can be parked past the run's final tick
+        # (a heal landing at or after the last halt); have the kernel
+        # sweep them into the drop accounting instead of losing them
+        # silently.
+        self.sweep_undelivered = defer
 
     def _connected(self, sender: NodeId, recipient: NodeId, tick: Round) -> bool:
         """Whether the two nodes can talk in the epoch covering ``tick``."""

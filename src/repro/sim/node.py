@@ -22,6 +22,7 @@ if TYPE_CHECKING:
     import random
 
     from .kernel import EventKernel
+    from .metrics import Metrics
 
 
 @dataclass
@@ -106,6 +107,17 @@ class NodeContext:
         keep using :attr:`rng`.
         """
         return self._runner.seed
+
+    @property
+    def metrics(self) -> "Metrics":
+        """The run's live counters (read-only by convention).
+
+        The observation surface for online observers — adaptive
+        adversary strategies read per-sender send/drop counts here.
+        Protocols implementing the paper's model must not consult it:
+        it sees the whole network, not one node's view.
+        """
+        return self._runner.metrics
 
     def others(self) -> list[NodeId]:
         """All node ids except this node's, in id order."""

@@ -15,6 +15,7 @@ from repro.analysis.experiments import (
     e8_rounds,
     e11_keydist_methods,
     e12_delivery_models,
+    e14_adaptive_arms_race,
     run_all,
 )
 
@@ -70,12 +71,36 @@ class TestIndividualExperiments:
         table = e12_delivery_models(seeds=1)
         assert any(row[-1] == "diverges" for row in table.rows)
 
+    def test_e14_adaptive_fd_wins_the_bounded_cells(self):
+        table = e14_adaptive_arms_race(seeds=2)
+        assert table.ok
+        static_wolf = [
+            row for row in table.rows
+            if row[0] == "timeout" and row[1] == "bounded:12"
+            and row[2] == "none"
+        ]
+        assert static_wolf and all(
+            row[4] != "0/2" for row in static_wolf
+        )
+        adaptive_rows = [row for row in table.rows if row[0] == "adaptive"]
+        assert adaptive_rows and all(
+            row[4].startswith("0/") for row in adaptive_rows
+        )
+
+    def test_e14_adaptive_adversary_commits_on_the_grid(self):
+        table = e14_adaptive_arms_race(seeds=2)
+        committed = [
+            row[-1] for row in table.rows
+            if row[2] == "adaptive:silence-muffled"
+        ]
+        assert committed and all(count > 0 for count in committed)
+
 
 class TestRunAll:
     def test_quick_run_all_green(self):
         tables = run_all(quick=True)
-        assert len(tables) == 11
-        assert tables[-1].experiment == "E13"
+        assert len(tables) == 12
+        assert tables[-1].experiment == "E14"
         failing = [table.experiment for table in tables if not table.ok]
         assert failing == []
 

@@ -12,12 +12,15 @@ from hypothesis import strategies as st
 from repro.agreement import make_oral_agreement_protocols
 from repro.errors import ConfigurationError
 from repro.faults import (
+    AckLieProtocol,
     AdversarySpec,
     Behavior,
     CrashProtocol,
+    EquivocatingProtocol,
     RandomNoiseProtocol,
     RushMirrorProtocol,
     SilentProtocol,
+    behavior_grammar_help,
     make_adversary,
     parse_behavior,
 )
@@ -51,12 +54,26 @@ class TestParseBehavior:
         with pytest.raises(ConfigurationError):
             parse_behavior(spec)
 
+    def test_loss_exploiting_kinds(self):
+        assert parse_behavior("ack-lie") == Behavior("ack-lie")
+        assert parse_behavior("ack-lie@3") == Behavior("ack-lie", at=3)
+        assert parse_behavior("equivocate@2") == Behavior("equivocate", at=2)
+
     def test_unknown_kind_error_lists_kinds(self):
         with pytest.raises(ConfigurationError, match="silent"):
             parse_behavior("gremlin")
 
+    def test_unknown_kind_error_derives_from_the_parse_table(self):
+        """The CLI's exit-2 message is this error verbatim, so the list
+        must come from the grammar table — a behaviour added there is
+        advertised everywhere without a second edit."""
+        with pytest.raises(ConfigurationError, match="ack-lie"):
+            parse_behavior("gremlin")
+        assert "equivocate[@T]" in behavior_grammar_help()
+
     def test_round_trip_through_spec(self):
-        for spec in ("silent", "crash@2", "crash@2-5", "drop@0.3", "rush"):
+        for spec in ("silent", "crash@2", "crash@2-5", "drop@0.3", "rush",
+                     "ack-lie@1", "equivocate"):
             assert parse_behavior(spec).spec() == spec
 
 
@@ -122,6 +139,24 @@ class TestMakeAdversary:
         with pytest.raises(ConfigurationError):
             make_adversary(spec, t=2)
 
+    def test_adaptive_item(self):
+        spec = make_adversary("adaptive:silence-muffled", t=2)
+        assert spec.strategy == "silence-muffled"
+        assert spec.corrupt == ()
+        assert spec.spec() == "adaptive:silence-muffled"
+
+    def test_adaptive_item_composes_with_corruptions_and_delivery(self):
+        spec = make_adversary(
+            "6=silent;adaptive:gag-sender;delivery=loss:0.1", t=2
+        )
+        assert spec.strategy == "gag-sender"
+        assert spec.faulty == frozenset({6})
+        assert spec.delivery == "loss:0.1"
+
+    def test_unknown_adaptive_strategy_rejected(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_adversary("adaptive:gremlin", t=2)
+
 
 class TestPicklability:
     def test_declarative_specs_pickle(self):
@@ -141,7 +176,10 @@ class TestPicklability:
         assert tamper(3, 1, ("real", 1)) == ("tampered", 2, 3)
 
 
-BEHAVIOR_POOL = ("silent", "crash@1", "crash@1-3", "noise", "rush")
+BEHAVIOR_POOL = (
+    "silent", "crash@1", "crash@1-3", "noise", "rush", "ack-lie",
+    "equivocate@1",
+)
 
 
 def manual_protocols(spec_pairs, value="v"):
@@ -160,6 +198,10 @@ def manual_protocols(spec_pairs, value="v"):
             protocols[node] = RandomNoiseProtocol(NOISE_POOL, halt_after=T + 2)
         elif kind == "rush":
             protocols[node] = RushMirrorProtocol(halt_after=T + 2)
+        elif kind == "ack-lie":
+            protocols[node] = AckLieProtocol(protocols[node])
+        elif kind == "equivocate@1":
+            protocols[node] = EquivocatingProtocol(protocols[node], from_tick=1)
     return protocols
 
 

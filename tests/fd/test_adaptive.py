@@ -1,0 +1,150 @@
+"""Adaptive-timeout FD: F1-F3, the measured-deadline win over the static
+FD's guessed horizon, and behaviour against the E14 attack library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import trusted_dealer_setup
+from repro.errors import ConfigurationError
+from repro.fd import (
+    AdaptiveTimeoutFDProtocol,
+    default_max_timeout,
+    make_adaptive_fd_protocols,
+)
+from repro.harness import run_fd_scenario
+
+N, T = 7, 2
+SCHEME = "simulated-hmac"
+
+
+def adaptive_outcome(**kwargs):
+    kwargs.setdefault("scheme", SCHEME)
+    return run_fd_scenario(N, T, "v", protocol="adaptive", **kwargs)
+
+
+class TestSynchronousModel:
+    def test_failure_free_run_satisfies_f1_f3(self):
+        outcome = adaptive_outcome(seed=1)
+        assert outcome.fd.ok
+        assert not outcome.fd.any_discovery
+        assert all(s.decided for s in outcome.run.states)
+        assert set(outcome.run.decisions().values()) == {"v"}
+
+    def test_halts_well_before_the_hard_cap_in_lock_step(self):
+        """The adaptive dividend: a lock-step run measures a tight
+        profile and leaves long before ``max_timeout``."""
+        outcome = adaptive_outcome(seed=1)
+        assert outcome.run.rounds_executed < default_max_timeout(T) // 2
+
+    def test_works_under_local_authentication(self):
+        outcome = adaptive_outcome(seed=2, auth="local")
+        assert outcome.fd.ok and not outcome.fd.any_discovery
+
+    def test_silent_sender_discovered(self):
+        outcome = adaptive_outcome(seed=1, adversary="0=silent")
+        assert outcome.fd.ok
+        assert outcome.fd.any_discovery
+        reasons = [
+            s.discovered for s in outcome.run.states if s.discovered is not None
+        ]
+        assert any("no valid value" in reason for reason in reasons)
+
+    def test_silent_receiver_discovered_by_heartbeat_absence(self):
+        outcome = adaptive_outcome(seed=1, adversary=f"{N - 1}=silent")
+        assert outcome.fd.any_discovery
+        reasons = [
+            s.discovered for s in outcome.run.states if s.discovered is not None
+        ]
+        assert any(str(N - 1) in reason for reason in reasons)
+
+    def test_tampered_value_discovered_as_crypto_failure(self):
+        outcome = adaptive_outcome(seed=1, adversary="0=tamper@1.0")
+        assert outcome.fd.any_discovery
+
+    def test_parameter_validation(self):
+        keypairs, directories = trusted_dealer_setup(N, seed="ad")
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutFDProtocol(
+                N, T, keypairs[0], directories[0], max_timeout=1
+            )
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutFDProtocol(
+                N, T, keypairs[0], directories[0], retransmit_every=0
+            )
+
+    def test_honest_node_needs_key_material(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            make_adaptive_fd_protocols(N, T, "v", {}, {})
+
+
+class TestArmsRaceHeadline:
+    """The E14 defence claim, pinned to the acceptance grid cell."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_spurious_free_where_static_fd_cries_wolf(self, seed):
+        """Under ``bounded:12`` the static FD's horizon of 8 expires with
+        the value still in flight — it must cry wolf or wait forever.
+        The adaptive FD measures the lag and waits exactly long enough:
+        same cell, zero discoveries, everyone decides."""
+        static = run_fd_scenario(
+            N, T, "v", protocol="timeout", scheme=SCHEME, seed=seed,
+            delivery="bounded:12",
+        )
+        adaptive = adaptive_outcome(seed=seed, delivery="bounded:12")
+        assert static.fd.any_discovery, seed  # the wolf-cry
+        assert not adaptive.fd.any_discovery, seed
+        assert adaptive.fd.ok
+        assert all(s.decided for s in adaptive.run.states)
+
+    @pytest.mark.parametrize("delivery", ["bounded:3", "loss:0.2", "loss:0.3"])
+    def test_no_spurious_discovery_on_the_e13_grid(self, delivery):
+        for seed in (1, 2, 3):
+            outcome = adaptive_outcome(seed=seed, delivery=delivery)
+            assert outcome.fd.ok
+            assert not outcome.fd.any_discovery, (delivery, seed)
+
+    def test_silent_node_still_caught_under_loss(self):
+        for seed in (1, 2, 3):
+            outcome = adaptive_outcome(
+                seed=seed, delivery="loss:0.2", adversary=f"{N - 1}=silent"
+            )
+            assert outcome.fd.any_discovery, seed
+
+    def test_hard_cap_bounds_every_run(self):
+        """F1 insurance: whatever the profile estimates, no run outlives
+        ``max_timeout`` by more than the conclude tick."""
+        for delivery in ("sync", "bounded:12", "loss:0.3"):
+            outcome = adaptive_outcome(seed=7, delivery=delivery)
+            assert outcome.run.rounds_executed <= default_max_timeout(T) + 1
+
+    def test_ack_lie_starves_retransmission(self):
+        """The attack the ack channel invites: a lying *sender*-side ack
+        (``0=ack-lie`` is placement-guarded, so the lie sits on a
+        receiver) forges an early ack to the sender, whose selective
+        retransmission then stops towards it.  The liar still hears
+        heartbeats, so nothing is spuriously discovered — the lie costs
+        the liar its own value, nobody else."""
+        outcome = adaptive_outcome(seed=3, adversary=f"{N - 1}=ack-lie")
+        honest = [s for s in outcome.run.states if s.node != N - 1]
+        assert all(s.decided for s in honest)
+        assert outcome.fd.ok
+
+
+class TestDeterminism:
+    def test_bit_for_bit_reproducible(self):
+        def observe(outcome):
+            m = outcome.run.metrics
+            return (
+                outcome.run.rounds_executed,
+                m.messages_total,
+                m.bytes_total,
+                dict(m.messages_per_kind),
+                {s.node: (s.decided, repr(s.decision), s.discovered)
+                 for s in outcome.run.states},
+            )
+
+        for delivery in ("bounded:12", "loss:0.3"):
+            first = observe(adaptive_outcome(seed=9, delivery=delivery))
+            second = observe(adaptive_outcome(seed=9, delivery=delivery))
+            assert first == second, delivery

@@ -142,3 +142,60 @@ class TestWeakDeliveryModels:
         assert [s.discovered for s in first.run.states] == [
             s.discovered for s in second.run.states
         ]
+
+
+class TestCrashRecoveryUnderLoss:
+    """Crash-with-recovery × timeout FD × lossy delivery, as a property
+    over ``crash@R-S`` specs: a sender whose outage ends comfortably
+    inside the deadline is retransmitted back to irrelevance (no
+    discovery), while a sender silent through the whole horizon is
+    discovered by every correct receiver."""
+
+    TIMEOUT = 12
+
+    def crash_outcome(self, crash, recover, seed, loss=0.2):
+        return timeout_outcome(
+            seed=seed,
+            delivery=f"loss:{loss}",
+            adversary=f"0=crash@{crash}-{recover}",
+            protocol_params={
+                "timeout": self.TIMEOUT,
+                # A dense retransmit/heartbeat schedule keeps the
+                # recovered branch a property, not a coin flip: >= 8
+                # post-recovery copies per link at loss 0.2 puts the
+                # all-dropped probability below 1e-5 per run.
+                "retransmit_every": 1,
+            },
+        )
+
+    @given(
+        crash=st.integers(0, 3),
+        recover=st.integers(1, 4),
+        seed=st.integers(0, 2**10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_inside_the_deadline_is_not_discovered(
+        self, crash, recover, seed
+    ):
+        if recover <= crash:
+            recover = crash + 1
+        outcome = self.crash_outcome(crash, recover, seed)
+        assert not outcome.fd.any_discovery, (crash, recover, seed)
+        assert all(
+            outcome.run.states[node].decided for node in outcome.correct
+        )
+
+    @given(
+        recover=st.integers(0, 4),
+        seed=st.integers(0, 2**10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_outage_spanning_the_deadline_is_discovered(self, recover, seed):
+        outcome = self.crash_outcome(0, self.TIMEOUT + recover, seed)
+        assert outcome.fd.any_discovery, (recover, seed)
+        reasons = [
+            outcome.run.states[node].discovered
+            for node in outcome.correct
+            if outcome.run.states[node].discovered is not None
+        ]
+        assert any("no valid value" in reason for reason in reasons)

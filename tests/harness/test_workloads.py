@@ -42,6 +42,8 @@ EXPECTED = {
     "e13-loss",
     "e13-partition",
     "e13-timeout-fd",
+    "e14-adaptive",
+    "e14-equivocation",
     "fd",
     "keydist",
     "oral",
@@ -83,6 +85,8 @@ class TestRegistry:
             "e13-loss": ("loss",),
             "e13-timeout-fd": ("sync", "bounded", "loss", "partition"),
             "e13-partition": ("partition",),
+            "e14-adaptive": ("sync", "bounded", "loss", "partition"),
+            "e14-equivocation": ("partition",),
         }
         for name in available_workloads():
             if name.startswith("e12-"):
@@ -176,3 +180,28 @@ class TestPointFunctions:
         )
         assert "DISCOVERS" in result["trace"] or "halts" in result["trace"]
         assert "@t" in result["trace"]
+
+    def test_e14_adaptive_point_shapes(self):
+        point = get_workload("e14-adaptive")
+        clean = point(7, 2, delivery="bounded:12", protocol="adaptive", seed=1)
+        assert not clean["spurious"] and clean["decided"] == 7
+        static = point(7, 2, delivery="bounded:12", protocol="timeout", seed=1)
+        assert static["spurious"]
+        committed = point(
+            7, 2, delivery="loss:0.3", protocol="timeout",
+            attack="adaptive:silence-muffled", seed=5,
+        )
+        assert committed["committed"] == 1 and not committed["spurious"]
+
+    def test_e14_points_reject_bad_axes(self):
+        point = get_workload("e14-adaptive")
+        with pytest.raises(ConfigurationError, match="protocol"):
+            point(7, 2, protocol="chain")
+        with pytest.raises(ConfigurationError, match="attack"):
+            point(7, 2, attack="gremlin")
+
+    def test_e14_equivocation_point(self):
+        result = get_workload("e14-equivocation")(8, 2, heal=4, seed=1)
+        assert result["attack"] == "equivocate"
+        assert result["heal"] == 4 and result["defer"]
+        assert result["decided"] >= 7

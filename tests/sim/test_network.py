@@ -317,6 +317,42 @@ class TestPartitionedDelivery:
             if (sender, receiver) in same_block
         )
 
+    def test_deferred_messages_past_run_end_are_swept_as_drops(self):
+        """The defer-until-heal edge case: a heal landing at or after
+        the run's end leaves deferred envelopes parked in the calendar.
+        They must leave an audit trail — counted in ``drops_total`` and
+        visible as ``drop`` trace events — not vanish silently."""
+        heal = 100  # far beyond the chatter run's natural end
+        model = PartitionedDelivery(
+            ((0, ({0, 1}, {2, 3})), (heal, None)), defer=True
+        )
+        log = []
+        result = run_protocols(
+            [_Chatter(4, log) for _ in range(4)],
+            seed=1,
+            delivery=model,
+            record_trace=True,
+        )
+        same_block = {(0, 1), (1, 0), (2, 3), (3, 2)}
+        # Nothing cross-block was ever delivered ...
+        assert all((s, r) in same_block for _, r, s, _ in log)
+        # ... and every parked envelope was swept into the drop ledger.
+        assert result.metrics.drops_total > 0
+        drop_events = result.trace.of_kind("drop")
+        assert len(drop_events) == result.metrics.drops_total
+        assert all(
+            (event.node, event.detail[0]) not in same_block
+            for event in drop_events
+        )
+
+    def test_heal_within_the_run_still_sweeps_nothing(self):
+        heal = 3
+        model = PartitionedDelivery(
+            ((0, ({0, 1}, {2, 3})), (heal, None)), defer=True
+        )
+        result, _ = _chatter_run(4, model, seed=1, rounds=5)
+        assert result.metrics.drops_total == 0
+
     @given(seed=st.integers(0, 2**10))
     @settings(max_examples=20, deadline=None)
     def test_partition_runs_are_deterministic(self, seed):

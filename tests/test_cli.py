@@ -236,6 +236,48 @@ class TestAdversaryKnob:
         err = capsys.readouterr().err
         assert "unknown behaviour" in err and "silent" in err
 
+    def test_unknown_behaviour_error_lists_the_live_grammar(self, capsys):
+        """The exit-2 message derives from the parse table, so new
+        behaviours (and their argument shapes) are always advertised."""
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--adversary", "2=gremlin"]
+        ) == 2
+        err = capsys.readouterr().err
+        for token in ("ack-lie[@T]", "equivocate[@T]", "crash@R[-S]"):
+            assert token in err
+
+    def test_malformed_item_error_mentions_adaptive_grammar(self, capsys):
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--adversary", "bogus"]
+        ) == 2
+        assert "adaptive:STRATEGY" in capsys.readouterr().err
+
+    def test_unknown_adaptive_strategy_errors(self, capsys):
+        assert main(
+            ["fd", "--n", "5", "--t", "1", "--adversary", "adaptive:gremlin"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown adaptive strategy" in err
+        assert "silence-muffled" in err
+
+    def test_fd_adaptive_protocol_runs(self, capsys):
+        assert main(
+            ["fd", "--n", "7", "--t", "2", "--scheme", "simulated-hmac",
+             "--protocol", "adaptive", "--delivery", "bounded:3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "ok" in out
+
+    def test_fd_reports_adaptive_commitments(self, capsys):
+        assert main(
+            ["fd", "--n", "7", "--t", "2", "--scheme", "simulated-hmac",
+             "--protocol", "timeout", "--seed", "5",
+             "--adversary", "adaptive:silence-muffled;delivery=loss:0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "committed (adaptive)" in out
+        assert "=silent" in out
+
     def test_over_budget_adversary_errors(self, capsys):
         assert main(
             ["fd", "--n", "5", "--t", "1", "--adversary", "2=silent;3=silent"]
