@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_5.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_6.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_5.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_6.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -14,6 +14,7 @@ Usage::
     PYTHONPATH=src python scripts/bench_check.py --quick          # pre-PR smoke
     PYTHONPATH=src python scripts/bench_check.py --full           # also full sizes
     PYTHONPATH=src python scripts/bench_check.py --memory         # also memory gate
+    PYTHONPATH=src python scripts/bench_check.py --profile akd_n64_t3
     PYTHONPATH=src python scripts/bench_check.py --compare /path/to/other/src
 
 ``--quick`` is the smoke mode ``scripts/check.sh`` runs before every PR:
@@ -22,7 +23,14 @@ determinism contract — counts must match the committed baseline exactly —
 while skipping the wall-clock threshold (single-shot timings are noise),
 the memory probes and the baseline rewrite.  It answers "did I change
 observable behaviour?" in a couple of seconds; the full gate stays the
-pre-merge answer to "did I slow anything down?".
+pre-merge answer to "did I slow anything down?".  Alongside the counts
+gate it prints the baseline-vs-fresh wall time per experiment — advisory
+only (single shots), but enough to spot an accidental 10x on the spot.
+
+``--profile EXPERIMENT`` runs one named experiment (from either suite
+section) once under :mod:`cProfile` and prints the top 20 functions by
+cumulative time — the first stop when a bench number moves and you want
+to know *where* before reaching for heavier tooling.
 
 ``--memory`` measures tracemalloc peaks for the EIG memory probes (the
 succinct engine's headline win is *memory*: the dense engine's per-node
@@ -38,13 +46,15 @@ note: ``BENCH_1.json`` (PR 1) captured the seed-vs-PR1 numbers,
 (PRs 3/4) added the agreement-based key-distribution mux points and the
 event-kernel delivery points, ``BENCH_4.json`` (PR 5) added the E13
 unreliable-delivery points (timeout FD under loss, partition-heal
-convergence — drop counts gated alongside message counts); this PR's
-gate file is ``BENCH_5.json``, which adds the E14 arms-race points
-(adaptive FD on the cells where the static horizon is wrong, the
-adaptive adversary driving the static FD, partition equivocation).
-Experiment names are stable across files, so shared counts are directly
-comparable (the BENCH_4 experiments were verified count-identical when
-BENCH_5 was established).
+convergence — drop counts gated alongside message counts),
+``BENCH_5.json`` (PR 6) added the E14 arms-race points (adaptive FD on
+the cells where the static horizon is wrong, the adaptive adversary
+driving the static FD, partition equivocation); this PR's gate file is
+``BENCH_6.json``, which records the columnar mux engine's wall-clock on
+an unchanged experiment set — the akd grid points dropped ~10x and
+``akd_n128_t3`` left ``HEAVY_EXPERIMENTS``.  Experiment names are
+stable across files, so shared counts are directly comparable (every
+BENCH_5 count was verified bit-identical when BENCH_6 was established).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -151,6 +161,35 @@ def compare_memory(
     return lines, regressions
 
 
+def profile_experiment(name: str) -> int:
+    """Run one named experiment under cProfile; print top-20 cumulative.
+
+    Searches the small section first, then the full one (names are
+    unique within each; grid points live in full).  Returns an exit
+    status: 2 when the name is unknown, listing what exists.
+    """
+    import cProfile
+    import pstats
+
+    for small in (True, False):
+        for exp_name, fn in regress.experiments(small):
+            if exp_name == name:
+                section = "small" if small else "full"
+                print(f"== cProfile: {name} ({section} suite, one run) ==")
+                profiler = cProfile.Profile()
+                profiler.enable()
+                counts = fn()
+                profiler.disable()
+                pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+                print(f"counts: {counts}")
+                return 0
+    known = sorted(
+        {exp_name for small in (True, False) for exp_name, _ in regress.experiments(small)}
+    )
+    print(f"unknown experiment {name!r}; known: {', '.join(known)}", file=sys.stderr)
+    return 2
+
+
 def measure_other_src(src_path: str, small: bool, repeats: int) -> dict:
     """Run the same suite against another source tree, out of process."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
@@ -187,7 +226,7 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_5.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_6.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
@@ -226,7 +265,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SRC",
         help="source tree to measure as the speedup baseline (subprocess)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="EXPERIMENT",
+        help="cProfile one named experiment (top 20 by cumulative time) "
+        "and exit; no gating, no baseline touch",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_experiment(args.profile)
 
     out_path = Path(args.out)
     committed = json.loads(out_path.read_text()) if out_path.exists() else {}
@@ -244,9 +293,14 @@ def main(argv: list[str] | None = None) -> int:
         status = 0
         if committed.get("small"):
             # Infinite threshold: only the counts-changed branch can fire.
-            _, regressions = compare_runs(
+            # The timing lines are advisory (single-shot runs are noise)
+            # but put baseline-vs-fresh seconds side by side so a gross
+            # slowdown is visible right in the smoke output.
+            lines, regressions = compare_runs(
                 committed["small"], fresh_small, float("inf")
             )
+            print("== wall time vs committed baseline (advisory, 1 run) ==")
+            print("\n".join(lines))
             if regressions:
                 print("== FAIL: counts diverged from baseline ==", file=sys.stderr)
                 print("\n".join(regressions), file=sys.stderr)

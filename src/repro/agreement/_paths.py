@@ -93,14 +93,23 @@ def level_wire_stats(n: int, sender: NodeId, length: int) -> LevelWireStats:
     (length <= t) ever need these; the exponential leaf level ``t + 1`` is
     never passed here by the engine.
     """
-    from ..crypto.encoding import byte_size
+    from ..crypto.encoding import byte_size, uvarint_size
 
+    # The canonical encoding is additive (container = tag + varint length
+    # + item encodings), so a path's size is the tuple header plus its
+    # ids' scalar sizes — n scalar encodes total instead of one full
+    # tuple encode per path, which matters at n=128 where the report
+    # levels hold ~16k paths per sender.
+    id_size = [byte_size(node) for node in range(n)]
+    header = 1 + uvarint_size(length)
     count_with = [0] * n
     path_bytes_with = [0] * n
     total = 0
     paths = paths_of_length(n, sender, length)
     for path in paths:
-        size = byte_size(path)
+        size = header
+        for node in path:
+            size += id_size[node]
         total += size
         for node in path:
             count_with[node] += 1

@@ -114,6 +114,8 @@ class OralAgreementProtocol(Protocol):
             SuccinctEigStore(n, t, sender, default) if engine == SUCCINCT else None
         )
 
+    supports_batch_inbox = True
+
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         round_ = ctx.round
         if round_ == 0:
@@ -126,7 +128,63 @@ class OralAgreementProtocol(Protocol):
             return
 
         self._ingest(ctx, inbox, round_)
+        self._round_tail(ctx, round_)
 
+    def on_round_batch(self, ctx: NodeContext, batch) -> None:
+        """Columnar ingest: file one channel batch instead of an inbox.
+
+        The succinct engine hands the whole batch to
+        :func:`repro.agreement.eigtree.ingest_rle_batch`, which hoists
+        the per-report validation out of the per-receiver loop and memos
+        receiver-independent verdicts in ``batch.shared`` — the win that
+        pays for the whole columnar layer at n=128.  Everything else
+        (round-1 values, dense reports, Byzantine noise) flows through
+        the same per-payload filing as :meth:`on_round`.
+        """
+        round_ = ctx.round
+        if round_ == 0:
+            self.on_round(ctx, [])
+            return
+        me = ctx.node
+        store = self._store
+        if store is not None and round_ >= 2:
+            rest = eigtree.ingest_rle_batch(
+                store,
+                batch.senders,
+                batch.payloads,
+                batch.targets,
+                me,
+                round_,
+                batch.shared,
+            )
+            if rest is not None:
+                for sender, payload in rest:
+                    self._ingest_one(me, sender, payload, round_, None)
+        else:
+            valid_prefixes = (
+                path_set(self._n, self._sender, round_ - 1)
+                if round_ >= 2
+                else None
+            )
+            senders = batch.senders
+            payloads = batch.payloads
+            targets = batch.targets
+            for i in range(len(senders)):
+                target = targets[i]
+                sender = senders[i]
+                if target is None:
+                    if sender == me:
+                        continue
+                elif type(target) is int:
+                    if target != me:
+                        continue
+                elif me not in target:
+                    continue
+                self._ingest_one(me, sender, payloads[i], round_, valid_prefixes)
+        self._round_tail(ctx, round_)
+
+    def _round_tail(self, ctx: NodeContext, round_: int) -> None:
+        """Post-ingest phase logic shared by both inbox shapes."""
         if round_ <= self._t:
             self._report(ctx, round_)
         if round_ >= self._t + 1:
@@ -142,7 +200,6 @@ class OralAgreementProtocol(Protocol):
         """File this round's values/reports into the EIG tree."""
         me = ctx.node
         store = self._store
-        tree = self._tree
         # Valid reports extend a length-(round-1) path by the relayer, with
         # all ids distinct and starting at the sender; anything else is
         # Byzantine noise and is simply not filed (missing -> default).
@@ -157,43 +214,58 @@ class OralAgreementProtocol(Protocol):
             payload = env.payload
             if store is not None and round_ >= 2 and isinstance(payload, RleReport):
                 eigtree.ingest_rle(store, payload, env.sender, me, round_)
-            elif (
-                round_ == 1
-                and env.sender == self._sender
-                and isinstance(payload, tuple)
-                and len(payload) == 2
-                and payload[0] == OM_VALUE
-            ):
-                if store is not None:
-                    store.set_root(payload[1])
-                else:
-                    tree[(self._sender,)] = payload[1]
-            elif (
-                round_ >= 2
-                and isinstance(payload, tuple)
-                and len(payload) == 2
-                and payload[0] == OM_REPORT
-                and isinstance(payload[1], (tuple, list))
-            ):
-                relayer = env.sender
-                if store is not None:
-                    eigtree.ingest_dense_items(store, payload[1], relayer, me, round_)
+            else:
+                self._ingest_one(me, env.sender, payload, round_, valid_prefixes)
+
+    def _ingest_one(
+        self,
+        me: NodeId,
+        sender: NodeId,
+        payload: Any,
+        round_: int,
+        valid_prefixes,
+    ) -> None:
+        """File one payload from ``sender`` (any shape but an RLE report,
+        which the callers fast-path)."""
+        store = self._store
+        if (
+            round_ == 1
+            and sender == self._sender
+            and isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == OM_VALUE
+        ):
+            if store is not None:
+                store.set_root(payload[1])
+            else:
+                self._tree[(self._sender,)] = payload[1]
+        elif (
+            round_ >= 2
+            and isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == OM_REPORT
+            and isinstance(payload[1], (tuple, list))
+        ):
+            relayer = sender
+            if store is not None:
+                eigtree.ingest_dense_items(store, payload[1], relayer, me, round_)
+                return
+            tree = self._tree
+            for item in payload[1]:
+                if not (isinstance(item, (tuple, list)) and len(item) == 2):
                     continue
-                for item in payload[1]:
-                    if not (isinstance(item, (tuple, list)) and len(item) == 2):
-                        continue
-                    raw_path, value = item
-                    if not isinstance(raw_path, (tuple, list)):
-                        continue
-                    path: Path = tuple(raw_path)
-                    try:
-                        valid = path in valid_prefixes
-                    except TypeError:
-                        # Unhashable elements can never form a valid path;
-                        # Byzantine noise, not filed.
-                        continue
-                    if valid and relayer not in path and me not in path:
-                        tree.setdefault(path + (relayer,), value)
+                raw_path, value = item
+                if not isinstance(raw_path, (tuple, list)):
+                    continue
+                path: Path = tuple(raw_path)
+                try:
+                    valid = path in valid_prefixes
+                except TypeError:
+                    # Unhashable elements can never form a valid path;
+                    # Byzantine noise, not filed.
+                    continue
+                if valid and relayer not in path and me not in path:
+                    tree.setdefault(path + (relayer,), value)
 
     def _report(self, ctx: NodeContext, round_: int) -> None:
         """Relay every known path of length ``round_`` not containing us."""

@@ -49,6 +49,7 @@ from ..errors import ConfigurationError
 from ..faults.adversary import AdversarySpec, Behavior
 from ..faults.behaviors import RandomNoiseProtocol, SilentProtocol
 from ..sim import (
+    DEFAULT_MUX_ENGINE,
     InstanceAggregate,
     InstanceMux,
     NodeContext,
@@ -90,7 +91,11 @@ def akd_noise_pool(n: int) -> tuple:
 
 
 def akd_byzantine_protocol(
-    kind: str, n: int, t: int, instances: Sequence[int]
+    kind: str,
+    n: int,
+    t: int,
+    instances: Sequence[int],
+    engine: str = DEFAULT_MUX_ENGINE,
 ) -> Protocol:
     """Build one Byzantine node behaviour from its picklable spec name.
 
@@ -112,6 +117,7 @@ def akd_byzantine_protocol(
                 for instance in instances
             },
             channel=AKD_CHANNEL,
+            engine=engine,
         )
     raise ConfigurationError(
         f"unknown byzantine kind {kind!r}; expected one of {BYZANTINE_KINDS}"
@@ -142,6 +148,7 @@ class AgreementKeyDistributionProtocol(Protocol):
         t: int,
         scheme: str = DEFAULT_SCHEME,
         instances: Sequence[int] | None = None,
+        engine: str = DEFAULT_MUX_ENGINE,
     ) -> None:
         validate_fault_budget(t, n)
         if n <= 3 * t:
@@ -153,6 +160,7 @@ class AgreementKeyDistributionProtocol(Protocol):
         self._n = n
         self._t = t
         self._scheme_name = scheme
+        self._engine = engine
         self._instance_ids = validate_akd_instances(n, instances)
         self._keypair: KeyPair | None = None
         self._mux: InstanceMux | None = None
@@ -172,7 +180,7 @@ class AgreementKeyDistributionProtocol(Protocol):
             )
             for instance in self._instance_ids
         }
-        self._mux = InstanceMux(inner, channel=AKD_CHANNEL)
+        self._mux = InstanceMux(inner, channel=AKD_CHANNEL, engine=self._engine)
         self._host = PhaseHost(self._mux, offset=0)
 
     def on_round(self, ctx: NodeContext, inbox: list) -> None:
@@ -257,7 +265,9 @@ def _byzantine_spec(
     return AdversarySpec(corrupt=pairs, t=t)
 
 
-def _akd_behavior_builder(n: int, instance_ids: Sequence[int]):
+def _akd_behavior_builder(
+    n: int, instance_ids: Sequence[int], engine: str = DEFAULT_MUX_ENGINE
+):
     """Adversary-plane builder reinterpreting ``noise`` for the mux.
 
     AKD's noise adversary must live *inside* an :class:`InstanceMux` on
@@ -268,7 +278,7 @@ def _akd_behavior_builder(n: int, instance_ids: Sequence[int]):
 
     def build(node: NodeId, behavior: Behavior, inner, t: int):
         if behavior.kind == "noise":
-            return akd_byzantine_protocol("noise", n, t, instance_ids)
+            return akd_byzantine_protocol("noise", n, t, instance_ids, engine=engine)
         return None
 
     return build
@@ -283,6 +293,7 @@ def run_agreement_key_distribution(
     byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None = None,
     instances: Sequence[int] | None = None,
     delivery: "str | None" = None,
+    engine: str = DEFAULT_MUX_ENGINE,
 ) -> AgreementKeyDistributionResult:
     """Distribute all n public keys via n concurrent OM(t) instances.
 
@@ -298,6 +309,10 @@ def run_agreement_key_distribution(
         run is the default.
     :param delivery: optional delivery model or spec for the run (see
         :func:`repro.sim.make_delivery`); default lock-step.
+    :param engine: mux execution engine (``"columnar"`` default /
+        ``"object"`` reference path) — an execution-strategy knob with
+        bit-for-bit identical observables, threaded to every mux of the
+        run (honest nodes and noise adversaries alike).
     :raises ConfigurationError: when ``n <= 3t`` — the feasibility boundary
         the paper contrasts local authentication against — or when the
         byzantine pairs exceed the fault budget.
@@ -307,7 +322,10 @@ def run_agreement_key_distribution(
     instance_ids = validate_akd_instances(n, instances)
     protocols: list[Protocol] = [
         adversaries.get(
-            node, AgreementKeyDistributionProtocol(n, t, scheme, instances=instance_ids)
+            node,
+            AgreementKeyDistributionProtocol(
+                n, t, scheme, instances=instance_ids, engine=engine
+            ),
         )
         for node in range(n)
     ]
@@ -325,7 +343,7 @@ def run_agreement_key_distribution(
                 t=spec.t,
             )
         protocols = spec.protocols_for(
-            protocols, builder=_akd_behavior_builder(n, instance_ids)
+            protocols, builder=_akd_behavior_builder(n, instance_ids, engine=engine)
         )
     run = run_protocols(protocols, seed=seed, delivery=make_delivery(delivery))
     result = AgreementKeyDistributionResult(

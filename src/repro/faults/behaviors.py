@@ -143,6 +143,29 @@ class _InterceptingContext:
         for recipient in recipients:
             self.send(recipient, payload)
 
+    def send_batch(
+        self,
+        channel: str,
+        instance: int,
+        payload: Any,
+        to: list[NodeId] | None = None,
+    ) -> int:
+        # A columnar mux under this lens loses the batch fast path by
+        # construction: the filter's contract is per-message, so the
+        # batch send is re-materialised as the per-recipient wrapped
+        # sends the object engine would have made (same wrapper object
+        # shared across recipients, so byte metering still deduplicates
+        # by identity).  Without this override the batch record would
+        # slip past the filter via ``__getattr__`` and a tampered
+        # columnar run would diverge from the object oracle.
+        from ..sim.message import mux_wrap
+
+        recipients = self._ctx.others() if to is None else list(to)
+        wrapped = mux_wrap(channel, instance, payload)
+        for recipient in recipients:
+            self.send(recipient, wrapped)
+        return len(recipients)
+
 
 class TamperingProtocol(Protocol):
     """Runs an honest protocol through a message-tampering lens.
@@ -266,6 +289,8 @@ class RandomNoiseProtocol(Protocol):
         self._halt_after = halt_after
         self._max_sends = max_sends
 
+    supports_batch_inbox = True
+
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         rng = ctx.rng
         others = ctx.others()
@@ -275,6 +300,11 @@ class RandomNoiseProtocol(Protocol):
             ctx.send(recipient, payload)
         if ctx.round >= self._halt_after:
             ctx.halt()
+
+    def on_round_batch(self, ctx: NodeContext, batch) -> None:
+        """Inbox-oblivious, so the columnar form costs nothing: never
+        materialise envelopes this behaviour would not read."""
+        self.on_round(ctx, [])
 
 
 class AckLieProtocol(Protocol):

@@ -38,7 +38,10 @@ the instances (per-instance wire tags + namespaced rng streams) makes
 every shard's per-instance decisions, rounds and metrics bit-for-bit
 identical to the unsharded run, so merging is a disjoint dict union;
 the sharding property tests enforce that equivalence under random
-Byzantine behaviour.
+Byzantine behaviour.  Params travel verbatim to the workers, so shard
+runs ride whatever mux execution engine the caller picked (the columnar
+batch plane by default — see :mod:`repro.sim.batch`) with no executor
+involvement: sharding and columnar execution compose freely.
 """
 
 from __future__ import annotations

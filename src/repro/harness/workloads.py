@@ -33,7 +33,7 @@ from ..auth import (
 from ..errors import ConfigurationError
 from ..faults import AdversarySpec, SilentProtocol, TamperingProtocol, make_adversary
 from ..fd.smallrange import OptimisticBinaryChainProtocol
-from ..sim import make_delivery, run_protocols
+from ..sim import DEFAULT_MUX_ENGINE, make_delivery, run_protocols
 from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
 from .scenarios import attack_catalogue
 from .session import AmortizedSession
@@ -1030,6 +1030,7 @@ def akd_shard_point(
     scheme: str = COUNT_SCHEME,
     instances: tuple[int, ...] | None = None,
     byzantine: tuple[tuple[int, str], ...] = (),
+    engine: str = DEFAULT_MUX_ENGINE,
 ) -> dict[int, Any]:
     """One shard of an agreement-based key-distribution mux run.
 
@@ -1043,7 +1044,13 @@ def akd_shard_point(
     a flat count dict — it is executor plumbing, not a sweep point.
     """
     result = run_agreement_key_distribution(
-        n, t, scheme=scheme, seed=seed, byzantine=byzantine, instances=instances
+        n,
+        t,
+        scheme=scheme,
+        seed=seed,
+        byzantine=byzantine,
+        instances=instances,
+        engine=engine,
     )
     return result.per_instance
 
@@ -1056,6 +1063,7 @@ def akd_point(
     scheme: str = COUNT_SCHEME,
     shard_workers: int = 0,
     byzantine: tuple[tuple[int, str], ...] = (),
+    engine: str = DEFAULT_MUX_ENGINE,
 ) -> dict[str, Any]:
     """One agreement-based key-distribution run: per-instance counts.
 
@@ -1063,20 +1071,28 @@ def akd_point(
     executor (:func:`repro.harness.parallel.run_mux_shards`); the counts
     are shard-invariant by the mux equivalence property, so the flat
     result is identical either way — only wall-clock and peak memory
-    change.
+    change.  ``engine`` picks the mux execution engine (columnar default
+    / object reference); counts are engine-invariant likewise.
     """
     if shard_workers and shard_workers > 1:
         from .parallel import run_mux_shards
 
         per_instance = run_mux_shards(
             "akd-shard",
-            {"n": n, "t": t, "seed": seed, "scheme": scheme, "byzantine": byzantine},
+            {
+                "n": n,
+                "t": t,
+                "seed": seed,
+                "scheme": scheme,
+                "byzantine": byzantine,
+                "engine": engine,
+            },
             range(n),
             workers=shard_workers,
         )
     else:
         per_instance = run_agreement_key_distribution(
-            n, t, scheme=scheme, seed=seed, byzantine=byzantine
+            n, t, scheme=scheme, seed=seed, byzantine=byzantine, engine=engine
         ).per_instance
     messages = [agg.messages for agg in per_instance.values()]
     byte_counts = [agg.bytes for agg in per_instance.values()]

@@ -10,11 +10,15 @@ and the determinism contract; :mod:`repro.sim.scheduler` keeps the
 pre-kernel ``Runner`` API as a facade.
 """
 
+from .batch import BatchPlane, BatchRecord, ChannelBatch
 from .kernel import EventKernel
 from .message import Envelope, mux_unwrap, mux_wrap, payload_kind
 from .metrics import Metrics
 from .multiplex import (
+    COLUMNAR_ENGINE,
+    DEFAULT_MUX_ENGINE,
     MUX_OUTCOMES,
+    OBJECT_ENGINE,
     InstanceAggregate,
     InstanceMux,
     InstanceOutcome,
@@ -40,7 +44,12 @@ from .views import ReceivedMessage, View
 
 __all__ = [
     "AdversarialOrder",
+    "BatchPlane",
+    "BatchRecord",
     "BoundedDelay",
+    "COLUMNAR_ENGINE",
+    "ChannelBatch",
+    "DEFAULT_MUX_ENGINE",
     "DELIVERY_MODELS",
     "DeliveryModel",
     "Envelope",
@@ -51,6 +60,7 @@ __all__ = [
     "LossyDelivery",
     "MUX_OUTCOMES",
     "Metrics",
+    "OBJECT_ENGINE",
     "PartitionedDelivery",
     "NodeContext",
     "NodeState",

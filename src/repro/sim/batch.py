@@ -1,0 +1,274 @@
+"""Columnar batch execution: structure-of-arrays delivery for mux traffic.
+
+The object-per-envelope pipeline prices every multiplexed send at one
+:class:`~repro.sim.message.Envelope` NamedTuple, one ``mux_wrap`` tuple,
+one metrics record, one calendar append and one ``mux_unwrap`` on
+arrival.  For the agreement-based key-distribution grid that is ~6.2M
+envelope objects per ``n=128`` run, and the interpreter overhead of that
+plumbing dominates everything the crypto memos and the succinct EIG
+engine already removed (PERFORMANCE.md).  This module replaces the
+per-envelope chain with *batch records*:
+
+* a :class:`BatchRecord` stands for one logical mux broadcast — K
+  recipients share one record instead of K envelopes;
+* the :class:`BatchPlane` (owned by the kernel) collects the records
+  delivered in a tick into per-``(channel, instance)``
+  :class:`ChannelBatch` groups — parallel ``senders[]`` / ``payloads[]``
+  / ``targets[]`` arrays that every consuming node *shares* read-only,
+  filtering by recipient mask instead of materialising inboxes;
+* consumers (an :class:`~repro.sim.multiplex.InstanceMux` running its
+  ``"columnar"`` engine) register per channel; traffic addressed to
+  non-consumers is materialised back into ordinary wrapped envelopes, so
+  plain protocols, Byzantine behaviours and mixed object/columnar runs
+  keep exact object-path semantics.
+
+Equivalence contract
+--------------------
+The plane is an execution-engine choice, never a semantics choice: runs
+with and without it are bit-for-bit identical in decisions, per-instance
+outcomes and every metrics counter (``tests/sim/test_batch.py``
+property-tests this under random Byzantine behaviour, lossy delivery and
+adaptive adversaries).  The ingredients:
+
+* **ordering** — records enter the per-tick buffer in emission order, so
+  group arrays are ascending in sender exactly like the object path's
+  sender-sorted inboxes; cross-sender interleave beyond that is
+  irrelevant by N2 (receivers key their ingest per sender).
+* **timing** — the plane only runs under ``batch_capable`` delivery
+  models, which promise "every surviving envelope arrives exactly one
+  tick after emission"; a materialised envelope's ``round_sent`` is
+  therefore always ``arrival tick - 1``, matching the object path.
+* **loss** — :meth:`~repro.sim.network.DeliveryModel.batch_survivors`
+  draws per-link drop decisions in the same per-link stream order as the
+  object path's per-envelope ``arrival_tick`` calls, so the surviving
+  recipient mask (and every drop counter) reproduces exactly.
+* **recording** — the kernel disables the plane whenever views or traces
+  are recorded, so observability always sees real envelopes.
+
+Consumer registration is snapshotted at each tick's delivery drain:
+a node that registers mid-tick (the lazy ``PhaseHost`` setup on its
+first activation) becomes a group consumer from the *next* drain on,
+and any traffic delivered before that was materialised to its plain
+inbox — no record is ever both grouped and materialised for one node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..types import NodeId, Round
+from .message import Envelope
+
+if TYPE_CHECKING:
+    from .kernel import EventKernel
+    from .metrics import Metrics
+
+#: Shared read-only result for "consumer channel with no traffic yet".
+_EMPTY_GROUPS: dict[int, "ChannelBatch"] = {}
+
+
+class BatchRecord:
+    """One logical mux broadcast in flight: the batch unit of delivery.
+
+    ``target`` encodes the recipient set: ``None`` = every node except
+    the sender (the broadcast fast path — no per-recipient structure at
+    all), an ``int`` = exactly one recipient (single sends, and the
+    per-recipient split of explicit recipient lists), or a ``frozenset``
+    = the surviving subset of a broadcast under a lossy model.
+
+    ``wrapped`` is the ordinary mux wire tuple for ``payload``, built
+    once at enqueue: it is what run-level metrics charge and what gets
+    materialised into plain envelopes for non-consumer recipients, so a
+    record is observably indistinguishable from the per-envelope sends
+    it replaces.
+    """
+
+    __slots__ = (
+        "channel",
+        "instance",
+        "sender",
+        "payload",
+        "wrapped",
+        "target",
+        "round_sent",
+    )
+
+    def __init__(
+        self,
+        channel: str,
+        instance: int,
+        sender: NodeId,
+        payload: Any,
+        wrapped: tuple,
+        target: "NodeId | frozenset[NodeId] | None",
+        round_sent: Round,
+    ) -> None:
+        self.channel = channel
+        self.instance = instance
+        self.sender = sender
+        self.payload = payload
+        self.wrapped = wrapped
+        self.target = target
+        self.round_sent = round_sent
+
+    def recipient_count(self, n: int) -> int:
+        """How many deliveries this record stands for."""
+        target = self.target
+        if target is None:
+            return n - 1
+        if type(target) is int:
+            return 1
+        return len(target)
+
+    def covers(self, node: NodeId) -> bool:
+        """Whether ``node`` is among this record's recipients."""
+        target = self.target
+        if target is None:
+            return node != self.sender
+        if type(target) is int:
+            return target == node
+        return node in target
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"BatchRecord({self.channel}/{self.instance} from {self.sender} "
+            f"@{self.round_sent} -> {self.target!r})"
+        )
+
+
+class ChannelBatch:
+    """Structure-of-arrays view of one instance's deliveries this tick.
+
+    Parallel arrays in emission order (hence ascending sender under the
+    batch-capable models): ``senders[i]`` emitted ``payloads[i]`` to the
+    recipient set ``targets[i]`` (encoded as in
+    :attr:`BatchRecord.target`).  One ``ChannelBatch`` is shared by
+    every consumer of the channel — consumers filter by their own id and
+    must never mutate the arrays.
+
+    ``shared`` is a scratch dict for cross-consumer memoisation: any
+    receiver-independent work (the succinct EIG ingest's report
+    validation) can be computed by the first consumer that needs it and
+    keyed by entry index for the other ~n-1 consumers to reuse.  It is
+    scoped to this tick's batch, so entries can never leak across ticks
+    or instances.
+    """
+
+    __slots__ = ("senders", "payloads", "targets", "shared")
+
+    def __init__(self) -> None:
+        self.senders: list[NodeId] = []
+        self.payloads: list[Any] = []
+        self.targets: list[Any] = []
+        self.shared: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+
+class BatchPlane:
+    """The kernel's per-tick batch buffer and consumer registry.
+
+    Created by the kernel only when the delivery model is
+    ``batch_capable`` and no views/trace are being recorded; the mux's
+    columnar engine probes for it via
+    :meth:`~repro.sim.node.NodeContext.register_batch_consumer` and
+    falls back to the object path when absent.
+    """
+
+    __slots__ = ("_n", "_consumers", "_snapshot", "_outsiders", "_groups", "used")
+
+    def __init__(self, kernel: "EventKernel") -> None:
+        self._n = kernel.n
+        # channel -> registered consumer node ids (grows only).
+        self._consumers: dict[str, set[NodeId]] = {}
+        # Per-tick snapshot of the registry, frozen at drain start.
+        self._snapshot: dict[str, frozenset[NodeId]] = {}
+        # channel -> nodes *not* in the snapshot (materialisation targets).
+        self._outsiders: dict[str, list[NodeId]] = {}
+        # channel -> instance -> this tick's batch.
+        self._groups: dict[str, dict[int, ChannelBatch]] = {}
+        #: Whether any consumer ever registered — the kernel's gate for
+        #: taking the mixed-item drain loops at all.
+        self.used = False
+
+    def register(self, channel: str, node: NodeId) -> None:
+        """Declare ``node`` a group consumer for ``channel`` (from the
+        next delivery drain on — see the module docstring)."""
+        self._consumers.setdefault(channel, set()).add(node)
+        self.used = True
+
+    def begin_tick(self) -> None:
+        """Reset the per-tick buffer and snapshot the consumer registry."""
+        self._groups = {}
+        n = self._n
+        snapshot = {
+            channel: frozenset(nodes)
+            for channel, nodes in self._consumers.items()
+        }
+        self._snapshot = snapshot
+        self._outsiders = {
+            channel: [node for node in range(n) if node not in members]
+            for channel, members in snapshot.items()
+        }
+
+    def deliver(
+        self,
+        record: BatchRecord,
+        inboxes: list[list[Envelope]],
+        metrics: "Metrics | None",
+        tick: Round,
+    ) -> None:
+        """File one arriving record: group it for consumers, materialise
+        plain envelopes for everyone else, account deliveries in bulk.
+
+        ``metrics`` is ``None`` on the lock-step path (where the object
+        path records no deliveries either); on the general path the bulk
+        charge is exact because batch-capable models deliver at lag 0.
+        """
+        channel = record.channel
+        groups = self._groups.get(channel)
+        if groups is None:
+            groups = self._groups[channel] = {}
+        group = groups.get(record.instance)
+        if group is None:
+            group = groups[record.instance] = ChannelBatch()
+        target = record.target
+        sender = record.sender
+        group.senders.append(sender)
+        group.payloads.append(record.payload)
+        group.targets.append(target)
+        if metrics is not None:
+            metrics.record_deliveries(tick, record.recipient_count(len(inboxes)))
+        outsiders = self._outsiders.get(channel)
+        if outsiders is None:
+            # No consumer snapshot for this channel yet (records from a
+            # mid-tick registration): everyone gets plain envelopes.
+            outsiders = range(len(inboxes))
+        elif not outsiders:
+            return
+        wrapped = record.wrapped
+        round_sent = record.round_sent
+        if type(target) is int:
+            snapshot = self._snapshot.get(channel)
+            if snapshot is None or target not in snapshot:
+                inboxes[target].append(Envelope(sender, target, wrapped, round_sent))
+            return
+        if target is None:
+            for node in outsiders:
+                if node != sender:
+                    inboxes[node].append(Envelope(sender, node, wrapped, round_sent))
+            return
+        for node in outsiders:
+            if node in target:
+                inboxes[node].append(Envelope(sender, node, wrapped, round_sent))
+
+    def groups_for(self, channel: str, node: NodeId) -> "dict[int, ChannelBatch] | None":
+        """This tick's groups for a consumer, or ``None`` when ``node``
+        is not in the current snapshot (its traffic, if any, went to its
+        plain inbox — the caller must read that instead)."""
+        snapshot = self._snapshot.get(channel)
+        if snapshot is None or node not in snapshot:
+            return None
+        groups = self._groups.get(channel)
+        return groups if groups is not None else _EMPTY_GROUPS

@@ -57,7 +57,8 @@ from typing import Any, Sequence
 
 from ..errors import ConfigurationError, SimulationError
 from ..types import NodeId, Round, validate_node_count
-from .message import Envelope
+from .batch import BatchPlane, BatchRecord
+from .message import Envelope, mux_wrap
 from .metrics import Metrics
 from .network import DeliveryModel, SynchronousRounds
 from .node import NodeContext, NodeState, Protocol
@@ -152,12 +153,25 @@ class EventKernel:
         self._lockstep = self._delivery.lockstep
         # Lock-step fast queue: every arrival is "next tick", so a single
         # pending list (drained into per-recipient buckets each tick) is
-        # the whole calendar.
+        # the whole calendar.  May also hold BatchRecords (see below).
         self._pending: list[Envelope] = []
         # General calendar queue: arrival tick -> envelopes in emission
         # (seq) order.  Buckets are appended in ascending seq, so popping
         # a bucket yields (tick, seq)-ordered deliveries without sorting.
         self._calendar: dict[Round, list[Envelope]] = {}
+        # Columnar batch plane (structure-of-arrays mux delivery): only
+        # when the model guarantees uniform next-tick arrival and nothing
+        # is observing per-envelope events.  Recording runs fall back to
+        # the object path wholesale, which doubles as the live oracle.
+        self._batch: BatchPlane | None = (
+            BatchPlane(self)
+            if (
+                not record_views
+                and self._trace is None
+                and getattr(self._delivery, "batch_capable", False)
+            )
+            else None
+        )
         # Persistent inboxes for the general path (same-tick rushing
         # deliveries append here mid-tick); freshly rebuilt per tick on
         # the lock-step path.
@@ -195,6 +209,14 @@ class EventKernel:
     def trace(self) -> Trace | None:
         """The live event log, or ``None`` when trace recording is off."""
         return self._trace
+
+    @property
+    def batch_plane(self) -> BatchPlane | None:
+        """The columnar batch plane, or ``None`` when this run cannot
+        batch (recording on, or the delivery model not batch-capable).
+        Consumers probe this via the context API and fall back to the
+        object path when absent."""
+        return self._batch
 
     def enqueue(self, envelope: Envelope) -> None:
         """Accept an envelope for delivery (called by contexts).
@@ -236,6 +258,75 @@ class EventKernel:
         self._metrics.record_delivery(envelope, arrival)
         self._inboxes[envelope.recipient].append(envelope)
 
+    def enqueue_batch(
+        self,
+        sender: NodeId,
+        channel: str,
+        instance: int,
+        payload: Any,
+        recipients: "Sequence[NodeId] | None" = None,
+    ) -> int:
+        """Accept one logical mux broadcast as batch records.
+
+        The columnar counterpart of per-recipient :meth:`enqueue` calls:
+        metrics charge the whole send at once, and delivery travels as
+        :class:`~repro.sim.batch.BatchRecord`\\ s interleaved with plain
+        envelopes in emission order.  ``recipients=None`` is the
+        broadcast-to-all-others fast path (a single record, no
+        per-recipient structure); an explicit recipient list becomes one
+        single-target record per entry, which preserves per-copy
+        delivery even for duplicate recipients.  Only reachable through
+        consumers that successfully registered with the batch plane, so
+        ``self._batch`` is always present here.
+
+        Returns the number of envelopes the send stands for.
+        """
+        tick = self.tick
+        n = self.n
+        wrapped = mux_wrap(channel, instance, payload)
+        count = n - 1 if recipients is None else len(recipients)
+        self._metrics.record_broadcast(sender, tick, wrapped, count)
+        if self._lockstep:
+            pending = self._pending
+            if recipients is None:
+                pending.append(
+                    BatchRecord(channel, instance, sender, payload, wrapped, None, tick)
+                )
+            else:
+                for recipient in recipients:
+                    pending.append(
+                        BatchRecord(
+                            channel, instance, sender, payload, wrapped, recipient, tick
+                        )
+                    )
+            return count
+        broadcast_all = recipients is None
+        if broadcast_all:
+            recipients = [node for node in range(n) if node != sender]
+        survivors = self._delivery.batch_survivors(sender, recipients, tick)
+        dropped = count - len(survivors)
+        if dropped:
+            self._metrics.record_drops(sender, tick, dropped)
+        if not survivors:
+            return count
+        arrival = tick + 1
+        bucket = self._calendar.get(arrival)
+        if bucket is None:
+            bucket = self._calendar[arrival] = []
+        if broadcast_all:
+            target = None if not dropped else frozenset(survivors)
+            bucket.append(
+                BatchRecord(channel, instance, sender, payload, wrapped, target, tick)
+            )
+        else:
+            for recipient in survivors:
+                bucket.append(
+                    BatchRecord(
+                        channel, instance, sender, payload, wrapped, recipient, tick
+                    )
+                )
+        return count
+
     def run(self) -> RunResult:
         """Execute ticks until every node halts.
 
@@ -264,22 +355,43 @@ class EventKernel:
         while halted < n:
             if self.tick >= self._max_rounds:
                 raise SimulationError(self._horizon_report())
+            plane = self._batch
+            batching = plane is not None and plane.used
+            if batching:
+                # Snapshot the consumer registry and reset the per-tick
+                # buffer *before* any delivery of this tick is filed.
+                plane.begin_tick()
             if lockstep:
                 # Per-recipient buckets filled in emission order.  Senders
                 # act in ascending id order, so each bucket is born
                 # sender-sorted — no per-inbox sort, same as the
                 # pre-kernel fast path.
                 inboxes: list[list[Envelope]] = [[] for _ in range(n)]
-                for envelope in self._pending:
-                    inboxes[envelope.recipient].append(envelope)
+                if batching:
+                    for item in self._pending:
+                        if type(item) is Envelope:
+                            inboxes[item.recipient].append(item)
+                        else:
+                            plane.deliver(item, inboxes, None, self.tick)
+                else:
+                    for envelope in self._pending:
+                        inboxes[envelope.recipient].append(envelope)
                 self._pending = []
             else:
                 inboxes = self._inboxes
                 metrics = self._metrics
                 tick = self.tick
-                for envelope in self._calendar.pop(tick, ()):
-                    metrics.record_delivery(envelope, tick)
-                    inboxes[envelope.recipient].append(envelope)
+                if batching:
+                    for item in self._calendar.pop(tick, ()):
+                        if type(item) is Envelope:
+                            metrics.record_delivery(item, tick)
+                            inboxes[item.recipient].append(item)
+                        else:
+                            plane.deliver(item, inboxes, metrics, tick)
+                else:
+                    for envelope in self._calendar.pop(tick, ()):
+                        metrics.record_delivery(envelope, tick)
+                        inboxes[envelope.recipient].append(envelope)
 
             if not recording:
                 for node in order:

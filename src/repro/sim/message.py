@@ -33,6 +33,15 @@ wrapper that does not parse is delivered to no instance (dropped by the
 demux, exactly like other unintelligible noise).  Per-kind tallies
 attribute a well-formed wrapper to its channel, so run-level metrics
 breakdowns see ``"akd"`` rather than the transport-level tag.
+
+Under the columnar batch plane (:mod:`repro.sim.batch`) one broadcast's
+wrapper is built by :func:`mux_wrap` exactly once and rides a single
+batch record instead of K envelopes: batch consumers read the *inner*
+payload straight from the record (the wrap/unwrap round-trip is elided,
+which is legal because :func:`mux_unwrap` of a :func:`mux_wrap` result
+is the identity on ``(instance, payload)``), while recipients outside
+the batch plane get ordinary envelopes carrying the same wrapper object
+— byte accounting, kind tallies and forgery semantics are unchanged.
 """
 
 from __future__ import annotations

@@ -16,6 +16,13 @@ make this sound:
   settle step deduplicates by object identity and encodes it once (the
   references held in the deferred list keep ids stable).
 
+The columnar batch plane (:mod:`repro.sim.batch`) charges a whole
+broadcast in one call: deferred entries are ``(round, payload, count)``
+triples, and :meth:`Metrics.record_broadcast` /
+:meth:`Metrics.record_deliveries` / :meth:`Metrics.record_drops` bump
+every counter by the batch size at once — bit-for-bit the totals the
+per-envelope methods produce, at O(1) per logical send.
+
 Compressed payloads (the succinct EIG engine's run-length reports) are
 charged at their *dense equivalent* size via
 :func:`repro.sim.message.wire_byte_size`: the byte counters measure the
@@ -81,7 +88,7 @@ class Metrics:
     dropped_per_sender: Counter[NodeId] = field(default_factory=Counter)
     _settled_bytes: int = 0
     _settled_bytes_per_round: Counter[Round] = field(default_factory=Counter)
-    _deferred_payloads: list[tuple[Round, Any]] = field(
+    _deferred_payloads: list[tuple[Round, Any, int]] = field(
         default_factory=list, repr=False
     )
 
@@ -98,7 +105,28 @@ class Metrics:
         self.messages_per_round[round_sent] += 1
         self.messages_per_sender[envelope.sender] += 1
         self.messages_per_kind[payload_kind(envelope.payload)] += 1
-        self._deferred_payloads.append((round_sent, envelope.payload))
+        self._deferred_payloads.append((round_sent, envelope.payload, 1))
+        if round_sent >= self.rounds_used:
+            self.rounds_used = round_sent + 1
+
+    def record_broadcast(
+        self, sender: NodeId, round_sent: Round, payload: Any, count: int
+    ) -> None:
+        """Account ``count`` copies of one payload in a single charge.
+
+        The bulk mirror of :meth:`record` for the columnar batch plane
+        (:mod:`repro.sim.batch`): one logical broadcast of ``payload`` by
+        ``sender`` to ``count`` recipients bumps every counter by
+        ``count`` at once and defers a single ``(round, payload, count)``
+        entry.  Identical totals to ``count`` individual records of the
+        same payload object — the object path's identity dedup charges
+        ``count * size`` bytes too — at O(1) instead of O(count).
+        """
+        self.messages_total += count
+        self.messages_per_round[round_sent] += count
+        self.messages_per_sender[sender] += count
+        self.messages_per_kind[payload_kind(payload)] += count
+        self._deferred_payloads.append((round_sent, payload, count))
         if round_sent >= self.rounds_used:
             self.rounds_used = round_sent + 1
 
@@ -132,6 +160,23 @@ class Metrics:
         self.drops_total += 1
         self.dropped_per_round[envelope.round_sent] += 1
         self.dropped_per_sender[envelope.sender] += 1
+
+    def record_deliveries(self, tick: Round, count: int) -> None:
+        """Account ``count`` deliveries arriving at ``tick`` in bulk.
+
+        The batch plane's mirror of :meth:`record_delivery`: batch
+        records only travel under delivery models that promise arrival
+        exactly one tick after emission, so every envelope's lag is
+        identically zero and the lag accumulator needs no update.
+        """
+        self.delivered_per_tick[tick] += count
+        self.deliveries_total += count
+
+    def record_drops(self, sender: NodeId, round_sent: Round, count: int) -> None:
+        """Account ``count`` dropped envelopes from one batch send."""
+        self.drops_total += count
+        self.dropped_per_round[round_sent] += count
+        self.dropped_per_sender[sender] += count
 
     @property
     def loss_rate(self) -> float:
@@ -197,14 +242,15 @@ class Metrics:
         sizes_by_id: dict[int, int] = {}
         per_round = self._settled_bytes_per_round
         total = 0
-        for round_sent, payload in self._deferred_payloads:
+        for round_sent, payload, count in self._deferred_payloads:
             key = id(payload)
             size = sizes_by_id.get(key)
             if size is None:
                 size = byte_size(payload)
                 sizes_by_id[key] = size
-            total += size
-            per_round[round_sent] += size
+            charge = size * count
+            total += charge
+            per_round[round_sent] += charge
         self._settled_bytes += total
         self._deferred_payloads.clear()
 

@@ -75,6 +75,12 @@ class DeliveryModel:
 
     :ivar name: stable spec name (see :func:`make_delivery`).
     :ivar lockstep: whether the kernel may use the lock-step fast path.
+    :ivar batch_capable: whether the model promises "every *surviving*
+        envelope arrives exactly one tick after emission".  Only then may
+        the kernel run the columnar batch plane (:mod:`repro.sim.batch`),
+        whose records carry no per-recipient arrival ticks; models with
+        latency jitter, rushing windows or parking must leave it off and
+        mux runs silently fall back to the object path.
     :ivar sweep_undelivered: whether envelopes still parked in the
         calendar when the run ends should be swept into the drop
         accounting (metrics ``drops_total`` + trace ``drop`` events).
@@ -86,10 +92,25 @@ class DeliveryModel:
 
     name = "abstract"
     lockstep = False
+    batch_capable = False
     sweep_undelivered = False
 
     def bind(self, kernel: "EventKernel") -> None:
         """One-time hook before the run starts (seed/size derivation)."""
+
+    def batch_survivors(
+        self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
+    ) -> Sequence[NodeId]:
+        """The recipients of a batch send that actually receive it.
+
+        Consulted (on the general event path only) for ``batch_capable``
+        models instead of per-envelope :meth:`arrival_tick` calls.  The
+        default keeps every recipient — reliable delivery.  Lossy models
+        must draw per-link drop decisions *in recipient order* from the
+        same per-link streams ``arrival_tick`` uses, so a batched
+        broadcast reproduces the object path's drop schedule exactly.
+        """
+        return recipients
 
     def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
         """The tick at which ``envelope`` (emitted at ``tick``) arrives.
@@ -120,6 +141,7 @@ class SynchronousRounds(DeliveryModel):
 
     name = "sync"
     lockstep = True
+    batch_capable = True
 
     def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
         return tick + 1
@@ -147,6 +169,8 @@ class BoundedDelay(DeliveryModel):
         if delay < 1:
             raise ConfigurationError(f"delay must be >= 1, got {delay}")
         self.delay = delay
+        # Only the degenerate bound is jitter-free next-tick delivery.
+        self.batch_capable = delay == 1
         self._seed: int | str = 0
         self._links: dict[tuple[NodeId, NodeId], object] = {}
 
@@ -243,6 +267,8 @@ class LossyDelivery(DeliveryModel):
             raise ConfigurationError(f"delay must be >= 1, got {delay}")
         self.p = p
         self.delay = delay
+        # Survivors arrive next tick only at the jitter-free bound.
+        self.batch_capable = delay == 1
         self._seed: int | str = 0
         self._links: dict[tuple[NodeId, NodeId], object] = {}
 
@@ -266,6 +292,30 @@ class LossyDelivery(DeliveryModel):
         if rng.random() < self.p:
             return None
         return tick + latency
+
+    def batch_survivors(
+        self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
+    ) -> list[NodeId]:
+        """One drop draw per recipient, sharing ``arrival_tick``'s
+        per-link streams.  Only consulted at ``delay == 1`` (the
+        ``batch_capable`` gate), where the object path makes exactly one
+        ``random()`` draw per envelope — recipient order here equals
+        per-envelope emission order there, so the k-th draw on every
+        link matches bit-for-bit."""
+        links = self._links
+        seed = self._seed
+        p = self.p
+        survivors = []
+        for recipient in recipients:
+            rng = links.get((sender, recipient))
+            if rng is None:
+                rng = links[(sender, recipient)] = node_rng(
+                    seed, sender, purpose=f"link/{recipient}/loss"
+                )
+            if rng.random() < p:
+                continue
+            survivors.append(recipient)
+        return survivors
 
 
 class PartitionedDelivery(DeliveryModel):

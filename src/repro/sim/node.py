@@ -155,6 +155,68 @@ class NodeContext:
         for recipient in (self.others() if to is None else to):
             self.send(recipient, payload)
 
+    def send_batch(
+        self,
+        channel: str,
+        instance: int,
+        payload: Any,
+        to: "list[NodeId] | None" = None,
+    ) -> int:
+        """One logical mux broadcast as a columnar batch record.
+
+        The batch-plane counterpart of wrapping ``payload`` in the mux
+        extension and :meth:`send`-ing it per recipient: same validation,
+        same metrics totals, same observable deliveries — one kernel call
+        instead of ``len(to)``.  Only call after
+        :meth:`register_batch_consumer` returned ``True`` for some node
+        of the run's channel (the mux's columnar engine guarantees this).
+
+        :returns: the number of envelopes the send stands for.
+        """
+        if self.state.halted:
+            raise ProtocolViolationError(
+                f"node {self.node} sent a message after halting"
+            )
+        if to is not None:
+            n = self.n
+            for recipient in to:
+                if recipient == self.node:
+                    raise ProtocolViolationError(
+                        f"node {self.node} sent to itself"
+                    )
+                if not 0 <= recipient < n:
+                    raise ProtocolViolationError(
+                        f"node {self.node} sent to invalid recipient {recipient}"
+                    )
+        return self._runner.enqueue_batch(
+            self.node, channel, instance, payload, to
+        )
+
+    def register_batch_consumer(self, channel: str) -> bool:
+        """Declare this node a batch-group consumer for ``channel``.
+
+        Returns ``False`` when the run has no batch plane (recording on,
+        or the delivery model not batch-capable) — the caller must then
+        stay on the object path.
+        """
+        plane = self._runner.batch_plane
+        if plane is None:
+            return False
+        plane.register(channel, self.node)
+        return True
+
+    def batch_groups(self, channel: str):
+        """This tick's per-instance batch groups for ``channel``.
+
+        ``None`` when there is no plane, or when this node is not in the
+        current tick's consumer snapshot — in both cases any traffic for
+        it already arrived in the plain inbox.
+        """
+        plane = self._runner.batch_plane
+        if plane is None:
+            return None
+        return plane.groups_for(channel, self.node)
+
     def decide(self, value: Any) -> None:
         """Choose a decision value (FD condition F1's 'chooses a value')."""
         self.state.decision = value
@@ -182,6 +244,13 @@ class Protocol:
     that arrived this round).  A protocol signals completion by calling
     ``ctx.halt()``; the runner ends the run when all nodes have halted.
     """
+
+    #: Whether the protocol can ingest a columnar
+    #: :class:`~repro.sim.batch.ChannelBatch` via :meth:`on_round_batch`
+    #: instead of a materialised envelope list.  Opt-in: a mux hosting a
+    #: protocol without it simply materialises envelopes from the batch,
+    #: so every protocol runs under the columnar engine either way.
+    supports_batch_inbox = False
 
     def setup(self, ctx: NodeContext) -> None:
         """One-time initialisation before round 0.  Must not send."""
@@ -212,3 +281,17 @@ class Protocol:
             lock-step delivery, emission-ordered under skew.
         """
         self.on_round(ctx, inbox)
+
+    def on_round_batch(self, ctx: NodeContext, batch) -> None:
+        """Handle one round's traffic in columnar form.
+
+        Called (instead of :meth:`on_round`) by a mux running its
+        columnar engine, only when :attr:`supports_batch_inbox` is set
+        and batched traffic actually arrived.  ``batch`` is a read-only
+        :class:`~repro.sim.batch.ChannelBatch`; implementations must
+        filter entries by their own recipient mask (``targets[i]`` being
+        ``None`` = everyone but ``senders[i]``, an int = that node, a
+        frozenset = membership) and must behave identically to
+        :meth:`on_round` over the equivalent envelope list.
+        """
+        raise NotImplementedError

@@ -1,0 +1,355 @@
+"""Columnar batch execution vs the per-envelope object oracle.
+
+The mux's ``engine`` knob is an execution strategy, not a semantics
+change: every observable — decisions, per-instance outcomes, message /
+byte / drop counters, round counts — must be bit-for-bit identical
+between ``engine="columnar"`` (the batch plane of
+:mod:`repro.sim.batch`) and ``engine="object"`` (the reference
+per-envelope path).  The property tests here pin that equivalence under
+random Byzantine behaviour, lossy delivery, adaptive (``adaptive:NAME``)
+adversaries, mixed-engine populations and the recording fallback, plus
+the wire-extension round-trip the demux rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.agreement.oral import DENSE, SUCCINCT, OralAgreementProtocol
+from repro.auth.agreement_based import run_agreement_key_distribution
+from repro.errors import ConfigurationError
+from repro.faults import AdversarySpec
+from repro.sim import (
+    COLUMNAR_ENGINE,
+    OBJECT_ENGINE,
+    Envelope,
+    InstanceMux,
+    Protocol,
+    collect_instances,
+    mux_unwrap,
+    mux_wrap,
+    run_protocols,
+)
+
+ENGINES = (OBJECT_ENGINE, COLUMNAR_ENGINE)
+
+
+def om_mux_protocols(n, t, engine, oral_engine=SUCCINCT):
+    """One n-instance OM(t) mux per node — the AKD traffic shape."""
+    return [
+        InstanceMux(
+            {
+                k: OralAgreementProtocol(
+                    n,
+                    t,
+                    value=f"v{k}" if k == node else None,
+                    default=None,
+                    sender=k,
+                    engine=oral_engine,
+                )
+                for k in range(n)
+            },
+            channel="om",
+            engine=engine,
+        )
+        for node in range(n)
+    ]
+
+
+def observables(run):
+    """Every engine-invariant observable of a run, as one value."""
+    metrics = run.metrics
+    return {
+        "rounds": run.rounds_executed,
+        "messages": metrics.messages_total,
+        "bytes": metrics.bytes_total,
+        "per_kind": dict(metrics.messages_per_kind),
+        "per_sender": dict(metrics.messages_per_sender),
+        "per_round": dict(metrics.messages_per_round),
+        "drops": metrics.drops_total,
+        "deliveries": metrics.deliveries_total,
+        "decisions": {s.node: repr(s.decision) for s in run.states},
+        "halted": [s.halted for s in run.states],
+        "instances": collect_instances(run),
+    }
+
+
+class TestEngineKnob:
+    def test_unknown_engine_refused(self):
+        with pytest.raises(ConfigurationError, match="unknown mux engine"):
+            InstanceMux({0: Protocol()}, engine="vectorised")
+
+    def test_engine_property(self):
+        assert InstanceMux({0: Protocol()}).engine == COLUMNAR_ENGINE
+        assert (
+            InstanceMux({0: Protocol()}, engine=OBJECT_ENGINE).engine
+            == OBJECT_ENGINE
+        )
+
+
+class TestWireRoundTripProperty:
+    def test_wrap_unwrap_round_trip(self):
+        """Random (channel, instance, payload) triples survive the wire
+        extension unchanged, and never parse on another channel."""
+        rng = random.Random(0xC0FFEE)
+        channels = ("akd", "om", "x-y", "c0")
+        for _ in range(300):
+            channel = rng.choice(channels)
+            instance = rng.randrange(1 << 16)
+            payload = rng.choice(
+                (
+                    ("om-value", rng.randrange(99)),
+                    ("om-report", (rng.randrange(9), rng.randrange(9))),
+                    rng.randrange(1 << 30),
+                    "s" * rng.randrange(4),
+                    None,
+                    (("nested", rng.randrange(7)), "tail"),
+                )
+            )
+            wrapped = mux_wrap(channel, instance, payload)
+            assert mux_unwrap(wrapped, channel) == (instance, payload)
+            assert mux_unwrap(wrapped, channel + "!") is None
+
+    @pytest.mark.parametrize(
+        "forged",
+        [
+            ("mux", "om", 7),                 # wrong arity
+            ("mux", "om", "7", "payload"),    # non-int instance
+            ("mux", "om", 7, "pay", "load"),  # over-long
+        ],
+    )
+    def test_malformed_wrappers_fall_to_plain_path(self, forged):
+        """A columnar mux treats unparseable wrappers exactly like the
+        object engine: plain traffic belonging to no instance."""
+
+        class Forger(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.broadcast(forged)
+                ctx.halt()
+
+        class Recorder(Protocol):
+            def on_round(self, ctx, inbox):
+                if ctx.round >= 2:
+                    ctx.decide(tuple(env.payload for env in inbox))
+                    ctx.halt()
+
+        runs = {}
+        for engine in ENGINES:
+            protocols = [Forger()] + [
+                InstanceMux({7: Recorder()}, channel="om", engine=engine)
+                for _ in range(2)
+            ]
+            run = run_protocols(protocols, seed=3)
+            # The forged wrapper reached no instance on either engine.
+            assert protocols[1].outcomes[7].decision == ()
+            runs[engine] = observables(run)
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE]
+
+
+class TestColumnarObjectEquivalence:
+    @pytest.mark.parametrize("oral_engine", [SUCCINCT, DENSE])
+    def test_honest_om_grid(self, oral_engine):
+        """n=7, t=2 reaches the RLE report levels (rounds >= 2) that the
+        batched succinct ingest specialises; the dense oracle engine
+        takes the per-envelope materialisation path instead."""
+        runs = {
+            engine: observables(
+                run_protocols(
+                    om_mux_protocols(7, 2, engine, oral_engine), seed=11
+                )
+            )
+            for engine in ENGINES
+        }
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE]
+        decided = runs[COLUMNAR_ENGINE]["instances"]
+        assert sorted(decided) == list(range(7))
+
+    def test_random_byzantine_behaviours(self):
+        """Seed-indexed random corrupt sets drawn from the full
+        declarative vocabulary, including the wrapping kinds (crash /
+        drop / tamper) whose lenses must intercept batch sends."""
+        kinds = ("silent", "noise", "rush", "crash@1", "drop@0.5", "tamper@0.5")
+        n, t = 7, 2
+        for seed in range(5):
+            rng = random.Random(seed)
+            corrupt = tuple(
+                (node, rng.choice(kinds))
+                for node in sorted(rng.sample(range(n), rng.randint(1, t)))
+            )
+            spec = AdversarySpec(corrupt=corrupt, t=t)
+            runs = {}
+            for engine in ENGINES:
+                protocols = spec.protocols_for(om_mux_protocols(n, t, engine))
+                runs[engine] = observables(run_protocols(protocols, seed=seed))
+            assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE], (
+                f"seed={seed} corrupt={corrupt}"
+            )
+
+    def test_akd_random_byzantine(self):
+        """The full key-distribution facade, engine-parametrised."""
+        for seed, byzantine in [(0, ((3, "noise"),)), (1, ((2, "silent"), (5, "noise"))), (2, ())]:
+            results = {
+                engine: run_agreement_key_distribution(
+                    7, 2, seed=seed, byzantine=byzantine, engine=engine
+                )
+                for engine in ENGINES
+            }
+            col, obj = results[COLUMNAR_ENGINE], results[OBJECT_ENGINE]
+            assert col.per_instance == obj.per_instance, f"seed={seed}"
+            assert observables(col.run) == observables(obj.run), f"seed={seed}"
+            assert sorted(col.directories) == sorted(obj.directories)
+
+    def test_lossy_delivery(self):
+        """``loss:p`` at the jitter-free bound is batch-capable: the
+        columnar drop schedule must replay the object path's per-link
+        draws bit-for-bit (drop totals included)."""
+        for seed, p, byzantine in [(1, 0.25, ()), (2, 0.5, ((3, "noise"),)), (3, 0.1, ((1, "silent"),))]:
+            results = {
+                engine: run_agreement_key_distribution(
+                    7,
+                    2,
+                    seed=seed,
+                    byzantine=byzantine,
+                    delivery=f"loss:{p}",
+                    engine=engine,
+                )
+                for engine in ENGINES
+            }
+            col, obj = results[COLUMNAR_ENGINE], results[OBJECT_ENGINE]
+            assert col.per_instance == obj.per_instance, f"seed={seed} p={p}"
+            assert observables(col.run) == observables(obj.run), (
+                f"seed={seed} p={p}"
+            )
+            assert col.run.metrics.drops_total > 0
+
+    @pytest.mark.parametrize("strategy", ["silence-muffled", "gag-sender"])
+    def test_adaptive_adversary(self, strategy):
+        """``adaptive:STRATEGY`` corruption commits online off metrics
+        snapshots — identical commitments and observables either way."""
+        committed = {}
+        runs = {}
+        for engine in ENGINES:
+            spec = AdversarySpec(corrupt=(), t=2, strategy=strategy)
+            protocols, coordinator = spec.adaptive_protocols_for(
+                om_mux_protocols(7, 2, engine)
+            )
+            runs[engine] = observables(run_protocols(protocols, seed=13))
+            committed[engine] = {
+                node: behavior.kind
+                for node, behavior in coordinator.committed.items()
+            }
+        assert committed[COLUMNAR_ENGINE] == committed[OBJECT_ENGINE]
+        assert committed[COLUMNAR_ENGINE]  # the strategy did strike
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE]
+
+    def test_mixed_engine_population(self):
+        """Engines interoperate per node: object muxes are plane
+        outsiders fed materialised envelopes, and any mixture matches
+        the all-object run."""
+        n, t = 7, 2
+        baseline = observables(
+            run_protocols(om_mux_protocols(n, t, OBJECT_ENGINE), seed=21)
+        )
+        for seed in range(3):
+            rng = random.Random(seed)
+            protocols = [
+                InstanceMux(
+                    {
+                        k: OralAgreementProtocol(
+                            n,
+                            t,
+                            value=f"v{k}" if k == node else None,
+                            default=None,
+                            sender=k,
+                        )
+                        for k in range(n)
+                    },
+                    channel="om",
+                    engine=rng.choice(ENGINES),
+                )
+                for node in range(n)
+            ]
+            assert observables(run_protocols(protocols, seed=21)) == baseline
+
+    def test_recording_forces_identical_fallback(self):
+        """With a trace or views on there is no batch plane; a columnar
+        mux silently runs the object path with unchanged observables."""
+        plain = {
+            engine: observables(
+                run_protocols(om_mux_protocols(5, 1, engine), seed=9)
+            )
+            for engine in ENGINES
+        }
+        recorded = observables(
+            run_protocols(
+                om_mux_protocols(5, 1, COLUMNAR_ENGINE),
+                seed=9,
+                record_trace=True,
+            )
+        )
+        assert plain[COLUMNAR_ENGINE] == plain[OBJECT_ENGINE] == recorded
+
+
+class TestTamperLensInterceptsBatchSends:
+    def test_filtered_mux_cannot_leak_through_send_batch(self):
+        """Regression: a drop lens around a *columnar* mux must suppress
+        the same messages it suppresses around an object mux — batch
+        sends re-materialise through the per-message filter instead of
+        slipping past it via attribute delegation."""
+        from repro.faults.behaviors import TamperingProtocol
+
+        n, t = 5, 1
+        runs = {}
+        for engine in ENGINES:
+            protocols = om_mux_protocols(n, t, engine)
+            protocols[2] = TamperingProtocol(
+                protocols[2], should_send=lambda round_, to, payload: to != 4
+            )
+            runs[engine] = observables(run_protocols(protocols, seed=17))
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE]
+        # The lens bit on both engines: node 2 sent fewer envelopes than
+        # an unfiltered node of the same run.
+        per_sender = runs[COLUMNAR_ENGINE]["per_sender"]
+        assert per_sender[2] < per_sender[1]
+
+
+class _EnvelopeShapeProbe(Protocol):
+    """Asserts materialised batch envelopes match object-path envelopes
+    field-for-field (sender, recipient, round_sent, inner payload)."""
+
+    def __init__(self):
+        self.seen = []
+
+    def on_round(self, ctx, inbox):
+        for env in inbox:
+            assert isinstance(env, Envelope)
+            assert env.recipient == ctx.node
+            assert env.round_sent == ctx.round - 1
+            self.seen.append((env.sender, env.payload, env.round_sent))
+        if ctx.round == 0 and ctx.node == 0:
+            ctx.broadcast(("probe", ctx.node))
+        if ctx.round >= 2:
+            ctx.decide(tuple(self.seen))
+            ctx.halt()
+
+
+class TestMaterializedEnvelopes:
+    def test_batch_materialisation_matches_object_envelopes(self):
+        """An instance protocol without ``supports_batch_inbox`` reads
+        batch traffic as envelopes indistinguishable from the object
+        path's."""
+        decisions = {}
+        for engine in ENGINES:
+            protocols = [
+                InstanceMux({0: _EnvelopeShapeProbe()}, channel="om", engine=engine)
+                for _ in range(3)
+            ]
+            run_protocols(protocols, seed=5)
+            decisions[engine] = [
+                mux.outcomes[0].decision for mux in protocols
+            ]
+        assert decisions[COLUMNAR_ENGINE] == decisions[OBJECT_ENGINE]
+        assert decisions[COLUMNAR_ENGINE][1] == ((0, ("probe", 0), 0),)
