@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_6.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_7.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,7 +9,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_6.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_7.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
 worktree) to measure the same workloads on older code: the baseline
@@ -19,7 +19,9 @@ polynomial-cost protocols, the n=128/t=3 oral point only the succinct
 engine makes feasible, the agreement-based key-distribution mux
 points only the instance multiplexer makes expressible, the E13
 unreliable-delivery points only the adversary plane makes expressible,
-and the E14 arms-race points only the adaptive FD makes expressible)
+the E14 arms-race points only the adaptive FD makes expressible, and
+the jittered/lossy mux points only the arrival-columned batch plane
+makes affordable)
 is added when the running source tree supports it — old trees simply
 measure fewer experiments, and the comparison intersects by name.
 ``scripts/bench_check.py`` wraps this runner with wall-clock and memory
@@ -86,6 +88,13 @@ try:  # arms-race grid: adaptive FD (PR 6+ source trees only)
     HAS_ADAPTIVE_FD = True
 except ImportError:  # pragma: no cover - only on old source trees
     HAS_ADAPTIVE_FD = False
+
+# Jittered/lossy mux grid: arrival-columned batch plane (PR 8+ source
+# trees only) — older trees fall back to the object path under these
+# delivery models, which is exactly what the ``*_object`` twins measure.
+HAS_BATCH_ARRIVALS = HAS_EVENT_KERNEL and hasattr(
+    getattr(_network, "DeliveryModel", None), "batch_arrivals"
+)
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -191,17 +200,39 @@ def _ba_signed_n128() -> dict[str, Any]:
     }
 
 
-def _akd(n: int, t: int) -> dict[str, Any]:
-    """One agreement-based key-distribution mux run (flat counts)."""
+def _akd(
+    n: int,
+    t: int,
+    delivery: "str | None" = None,
+    engine: "str | None" = None,
+) -> dict[str, Any]:
+    """One agreement-based key-distribution mux run (flat counts).
+
+    ``delivery``/``engine`` require the arrival-columned source tree
+    (:data:`HAS_BATCH_ARRIVALS`); the default lock-step point runs on
+    any tree with the instance mux.  The reserved ``engine`` key names
+    the mux engine actually used — :func:`run_suite` lifts it out of
+    the gated counts (engines must agree on every count, so the engine
+    label itself must never be compared as one).
+    """
     from repro.harness.workloads import akd_point
 
-    result = akd_point(n, t, seed=n)
-    return {
+    kwargs: dict[str, Any] = {}
+    if delivery is not None:
+        kwargs["delivery"] = delivery
+    if engine is not None:
+        kwargs["engine"] = engine
+    result = akd_point(n, t, seed=n, **kwargs)
+    counts = {
         "messages": result["messages"],
         "bytes": result["bytes"],
         "rounds": result["rounds"],
         "instance_messages": result["instance_messages_max"],
     }
+    engine_used = result.get("engine_used")
+    if engine_used is not None:
+        counts["engine"] = engine_used
+    return counts
 
 
 def _kernel_delivery(workload: str, n: int, t: int, delivery: str, faulty: int) -> dict[str, Any]:
@@ -293,8 +324,15 @@ def _e14_equivocation(n: int, t: int, heal: int) -> dict[str, Any]:
 #: the gate only ever compares these by *count* (full sections are
 #: refreshed, not regression-gated).  ``akd_n128_t3`` graduated out when
 #: the columnar mux engine brought it from ~83s to single digits — it
-#: now affords best-of-repeats like every other point.
-HEAVY_EXPERIMENTS: set[str] = set()
+#: now affords best-of-repeats like every other point.  The n=128
+#: object-engine twins of the jittered/lossy mux pairs are here by
+#: design: they time the *reference* path the columnar engine is gated
+#: against (~20-25s each), so they run once and their counts — which
+#: must match the columnar run bit-for-bit — do the regression work.
+HEAVY_EXPERIMENTS: set[str] = {
+    "akd_bounded3_n128_t1_object",
+    "akd_loss_n128_t1_object",
+}
 
 
 def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
@@ -312,6 +350,17 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
         if HAS_INSTANCE_MUX:
             # The mux hot path at CI size: 7 concurrent OM(2) instances.
             suite.append(("akd_n7_t2", lambda: _akd(7, 2)))
+        if HAS_BATCH_ARRIVALS:
+            # Arrival-columned points at CI size: the same mux under
+            # lossy-jittered and bounded-jitter calendars, so the quick
+            # gate exercises per-arrival bucketing on every PR (and,
+            # with REPRO_MUX_ENGINE=object, the object oracle too).
+            suite.append(
+                ("akd_loss_n7_t2", lambda: _akd(7, 2, delivery="loss:0.2:2"))
+            )
+            suite.append(
+                ("akd_bounded2_n7_t2", lambda: _akd(7, 2, delivery="bounded:2"))
+            )
         if HAS_EVENT_KERNEL:
             # Kernel general-path points at CI size: the same protocols
             # under bounded-delay and rushing delivery models.
@@ -394,6 +443,22 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
                 ("e13_partition_heal6_n32_t3",
                  lambda: _e13_partition(32, 3, 6))
             )
+            # E13 grid promoted past its historical n=32 pin: the FD
+            # heartbeat flood is polynomial, so n=64/128 cells are
+            # cheap — recording them alongside the mux points keeps the
+            # whole unreliable grid on one scale.
+            suite.append(
+                ("e13_timeout_loss_n64_t3",
+                 lambda: _e13_fd("timeout", 64, 3, "loss:0.2", 1))
+            )
+            suite.append(
+                ("e13_timeout_loss_n128_t3",
+                 lambda: _e13_fd("timeout", 128, 3, "loss:0.2", 1))
+            )
+            suite.append(
+                ("e13_partition_heal6_n64_t3",
+                 lambda: _e13_partition(64, 3, 6))
+            )
         if HAS_ADAPTIVE_FD:
             # Full-size arms-race points: the adaptive FD's estimator
             # bookkeeping is per-link (n² estimators at n=32), and the
@@ -401,6 +466,10 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             suite.append(
                 ("e14_adaptive_loss_n32_t3",
                  lambda: _e14_fd("adaptive", 32, 3, "loss:0.2", "silent"))
+            )
+            suite.append(
+                ("e14_adaptive_loss_n64_t3",
+                 lambda: _e14_fd("adaptive", 64, 3, "loss:0.2", "silent"))
             )
             suite.append(
                 ("e14_equivocation_heal6_n32_t3",
@@ -415,6 +484,41 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
             # it cheap enough for best-of-repeats timing.
             suite.append(("akd_n64_t3", lambda: _akd(64, 3)))
             suite.append(("akd_n128_t3", lambda: _akd(128, 3)))
+        if HAS_BATCH_ARRIVALS:
+            # The arrival-columned grid: the same mux under degraded
+            # calendars, which before this plane silently fell back to
+            # per-envelope objects.  t=1 keeps the points
+            # messaging-dominated — at t>=2 degraded delivery breaks
+            # EIG level-unanimity and the (engine-independent) dense
+            # resolve sweep dominates both engines, drowning the engine
+            # comparison the ``*_object`` twins exist for.  The n=128
+            # columnar-vs-object pairs are the gated speedup evidence
+            # (see scripts/bench_check.py --ratios); the n=64 points
+            # extend the grid at best-of-repeats cost.
+            suite.append(
+                ("akd_bounded3_n64_t1",
+                 lambda: _akd(64, 1, delivery="bounded:3"))
+            )
+            suite.append(
+                ("akd_loss_n64_t1",
+                 lambda: _akd(64, 1, delivery="loss:0.05:2"))
+            )
+            suite.append(
+                ("akd_bounded3_n128_t1",
+                 lambda: _akd(128, 1, delivery="bounded:3"))
+            )
+            suite.append(
+                ("akd_bounded3_n128_t1_object",
+                 lambda: _akd(128, 1, delivery="bounded:3", engine="object"))
+            )
+            suite.append(
+                ("akd_loss_n128_t1",
+                 lambda: _akd(128, 1, delivery="loss:0.05:2"))
+            )
+            suite.append(
+                ("akd_loss_n128_t1_object",
+                 lambda: _akd(128, 1, delivery="loss:0.05:2", engine="object"))
+            )
     return suite
 
 
@@ -433,7 +537,15 @@ def run_suite(small: bool = False, repeats: int = 3) -> dict[str, Any]:
             t0 = time.perf_counter()
             counts = fn()
             best = min(best, time.perf_counter() - t0)
-        results[name] = {"seconds": round(best, 5), "counts": counts}
+        # The engine label is provenance, not a gated count: columnar
+        # and object runs of one workload must agree on every *count*,
+        # so the label lives at the entry level where the comparison
+        # (scripts/bench_check.py) never sees it.
+        engine = counts.pop("engine", None)
+        entry: dict[str, Any] = {"seconds": round(best, 5), "counts": counts}
+        if engine is not None:
+            entry["engine"] = engine
+        results[name] = entry
     return {
         "schema": 1,
         "small": small,
@@ -459,7 +571,8 @@ def main(argv: list[str] | None = None) -> int:
 
     width = max(len(name) for name in report["experiments"])
     for name, entry in report["experiments"].items():
-        print(f"{name:<{width}}  {entry['seconds']:>9.5f}s  {entry['counts']}")
+        engine = f"  [{entry['engine']}]" if "engine" in entry else ""
+        print(f"{name:<{width}}  {entry['seconds']:>9.5f}s  {entry['counts']}{engine}")
     total = sum(e["seconds"] for e in report["experiments"].values())
     print(f"{'total':<{width}}  {total:>9.5f}s")
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_6.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_7.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_6.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_7.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -49,12 +49,18 @@ unreliable-delivery points (timeout FD under loss, partition-heal
 convergence — drop counts gated alongside message counts),
 ``BENCH_5.json`` (PR 6) added the E14 arms-race points (adaptive FD on
 the cells where the static horizon is wrong, the adaptive adversary
-driving the static FD, partition equivocation); this PR's gate file is
-``BENCH_6.json``, which records the columnar mux engine's wall-clock on
-an unchanged experiment set — the akd grid points dropped ~10x and
-``akd_n128_t3`` left ``HEAVY_EXPERIMENTS``.  Experiment names are
-stable across files, so shared counts are directly comparable (every
-BENCH_5 count was verified bit-identical when BENCH_6 was established).
+driving the static FD, partition equivocation); ``BENCH_6.json`` (PR 7)
+recorded the columnar mux engine's wall-clock on an unchanged
+experiment set — the akd grid points dropped ~10x and ``akd_n128_t3``
+left ``HEAVY_EXPERIMENTS``; this PR's gate file is ``BENCH_7.json``,
+which adds the arrival-columned grid: mux points under lossy-jittered
+and bounded-jitter calendars (small and n=64/128), with n=128
+columnar-vs-``*_object`` engine pairs whose wall-clock ratio the
+``--full`` gate enforces (``--min-engine-ratio``, default 3x) and
+whose counts must agree bit-for-bit, plus E13/E14 grid cells promoted
+past their historical n=32 pin.  Experiment names are stable across
+files, so shared counts are directly comparable (every BENCH_6 count
+was verified bit-identical when BENCH_7 was established).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -104,6 +110,28 @@ def compare_runs(
             regressions.append(line + "  REGRESSION")
         lines.append(line)
     return lines, regressions
+
+
+def engine_ratios(report: dict) -> dict[str, float]:
+    """Object-twin seconds / columnar seconds, per engine pair.
+
+    An experiment named ``X_object`` forces the object (reference) mux
+    engine on the same workload as its columnar twin ``X``; the ratio
+    is the columnar engine's measured speedup on that point.  Counts of
+    the two are gated for equality separately — this only reads time.
+    """
+    experiments = report.get("experiments", {})
+    suffix = "_object"
+    ratios: dict[str, float] = {}
+    for name, entry in experiments.items():
+        if not name.endswith(suffix):
+            continue
+        twin = experiments.get(name[: -len(suffix)])
+        if twin and twin["seconds"] > 0:
+            ratios[name[: -len(suffix)]] = round(
+                entry["seconds"] / twin["seconds"], 2
+            )
+    return ratios
 
 
 def memory_probes() -> dict[str, Callable[[], Any]]:
@@ -226,7 +254,7 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_6.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_7.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
@@ -251,6 +279,15 @@ def main(argv: list[str] | None = None) -> int:
         "--memory",
         action="store_true",
         help="also gate tracemalloc peaks for the EIG memory probes",
+    )
+    parser.add_argument(
+        "--min-engine-ratio",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="--full gate: minimum object/columnar wall-clock ratio on "
+        "each *_object engine pair (the columnar engine must stay at "
+        "least this much faster than the reference path)",
     )
     parser.add_argument(
         "--memory-threshold",
@@ -284,7 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         print("== bench_check --quick: small-n smoke (counts gate only) ==")
         fresh_small = regress.run_suite(small=True, repeats=1)
         for name, entry in fresh_small["experiments"].items():
-            print(f"  {name}: {entry['seconds']:.5f}s  {entry['counts']}")
+            engine = f"  [{entry['engine']}]" if "engine" in entry else ""
+            print(f"  {name}: {entry['seconds']:.5f}s  {entry['counts']}{engine}")
         quick_out = Path(args.quick_out)
         quick_out.write_text(
             json.dumps({"small": fresh_small}, indent=1, sort_keys=True) + "\n"
@@ -340,7 +378,24 @@ def main(argv: list[str] | None = None) -> int:
         print("== full-size suite ==")
         merged["full"] = regress.run_suite(small=False, repeats=args.repeats)
         for name, entry in merged["full"]["experiments"].items():
-            print(f"  {name}: {entry['seconds']:.5f}s")
+            engine = f"  [{entry['engine']}]" if "engine" in entry else ""
+            print(f"  {name}: {entry['seconds']:.5f}s{engine}")
+        ratios = engine_ratios(merged["full"])
+        if ratios:
+            print("== columnar-vs-object engine pairs ==")
+            failed_pairs = []
+            for name, ratio in sorted(ratios.items()):
+                print(f"  {name}: columnar {ratio:.2f}x faster than object")
+                if ratio < args.min_engine_ratio:
+                    failed_pairs.append(f"  {name}: {ratio:.2f}x")
+            if failed_pairs:
+                print(
+                    f"== FAIL: engine pair(s) below the "
+                    f"{args.min_engine_ratio:.1f}x columnar floor ==",
+                    file=sys.stderr,
+                )
+                print("\n".join(failed_pairs), file=sys.stderr)
+                status = 1
 
     if args.memory:
         print("== memory probes (tracemalloc peaks) ==")

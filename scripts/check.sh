@@ -8,7 +8,7 @@
 #   2. the tier-1 test suite        — semantics (ROADMAP.md's verify line),
 #                                     with --durations=10 so creeping slow
 #                                     tests are visible in every run;
-#   3. bench_check --quick          — count determinism vs BENCH_5.json
+#   3. bench_check --quick          — count determinism vs BENCH_7.json
 #                                     (smoke wall-clock, no --memory);
 #                                     emits bench_quick_fresh.json for CI
 #                                     to attach on failure.

@@ -49,7 +49,6 @@ from ..errors import ConfigurationError
 from ..faults.adversary import AdversarySpec, Behavior
 from ..faults.behaviors import RandomNoiseProtocol, SilentProtocol
 from ..sim import (
-    DEFAULT_MUX_ENGINE,
     InstanceAggregate,
     InstanceMux,
     NodeContext,
@@ -95,7 +94,7 @@ def akd_byzantine_protocol(
     n: int,
     t: int,
     instances: Sequence[int],
-    engine: str = DEFAULT_MUX_ENGINE,
+    engine: "str | None" = None,
 ) -> Protocol:
     """Build one Byzantine node behaviour from its picklable spec name.
 
@@ -148,7 +147,7 @@ class AgreementKeyDistributionProtocol(Protocol):
         t: int,
         scheme: str = DEFAULT_SCHEME,
         instances: Sequence[int] | None = None,
-        engine: str = DEFAULT_MUX_ENGINE,
+        engine: "str | None" = None,
     ) -> None:
         validate_fault_budget(t, n)
         if n <= 3 * t:
@@ -195,6 +194,10 @@ class AgreementKeyDistributionProtocol(Protocol):
                 directory.accept(instance, outcome.decision)
         ctx.state.outputs["directory"] = directory
         ctx.state.outputs["keypair"] = self._keypair
+        # The engine the mux actually ran (it may have fallen back from
+        # a columnar request) — surfaced per node so harness/bench
+        # layers can print it instead of guessing from configuration.
+        ctx.state.outputs["engine_used"] = self._mux.engine_used
         ctx.halt()
 
 
@@ -243,6 +246,21 @@ class AgreementKeyDistributionResult:
         """Rounds used by the slowest instance."""
         return self.run.metrics.rounds_used
 
+    @property
+    def engine_used(self) -> "str | None":
+        """The mux engine the correct nodes actually ran, or ``None``.
+
+        ``None`` only when no honest node finished (every node was an
+        adversary that publishes no ``engine_used`` output).  All honest
+        muxes of one run share a kernel, so the first published value is
+        the run's.
+        """
+        for state in self.run.states:
+            engine = state.outputs.get("engine_used")
+            if engine is not None:
+                return engine
+        return None
+
 
 def _byzantine_spec(
     byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None,
@@ -266,7 +284,7 @@ def _byzantine_spec(
 
 
 def _akd_behavior_builder(
-    n: int, instance_ids: Sequence[int], engine: str = DEFAULT_MUX_ENGINE
+    n: int, instance_ids: Sequence[int], engine: "str | None" = None
 ):
     """Adversary-plane builder reinterpreting ``noise`` for the mux.
 
@@ -293,7 +311,7 @@ def run_agreement_key_distribution(
     byzantine: Mapping[NodeId, str] | Iterable[tuple[NodeId, str]] | None = None,
     instances: Sequence[int] | None = None,
     delivery: "str | None" = None,
-    engine: str = DEFAULT_MUX_ENGINE,
+    engine: "str | None" = None,
 ) -> AgreementKeyDistributionResult:
     """Distribute all n public keys via n concurrent OM(t) instances.
 
@@ -309,10 +327,12 @@ def run_agreement_key_distribution(
         run is the default.
     :param delivery: optional delivery model or spec for the run (see
         :func:`repro.sim.make_delivery`); default lock-step.
-    :param engine: mux execution engine (``"columnar"`` default /
-        ``"object"`` reference path) — an execution-strategy knob with
-        bit-for-bit identical observables, threaded to every mux of the
-        run (honest nodes and noise adversaries alike).
+    :param engine: mux execution engine (``"columnar"`` / ``"object"``
+        reference path; ``None`` = the process default, see
+        :func:`repro.sim.default_mux_engine`) — an execution-strategy
+        knob with bit-for-bit identical observables, threaded to every
+        mux of the run (honest nodes and noise adversaries alike).  The
+        result's ``engine_used`` reports what actually ran.
     :raises ConfigurationError: when ``n <= 3t`` — the feasibility boundary
         the paper contrasts local authentication against — or when the
         byzantine pairs exceed the fault budget.

@@ -452,6 +452,15 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
             )
             return 2
         params["trace"] = True
+    if args.engine is not None:
+        if "engine" not in inspect.signature(fn).parameters:
+            print(
+                f"workload {args.workload} does not support --engine "
+                "(no 'engine' parameter)",
+                file=sys.stderr,
+            )
+            return 2
+        params["engine"] = args.engine
     try:
         result = fn(**params)
     except (ConfigurationError, TypeError, ValueError) as exc:
@@ -580,6 +589,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump the run's structured event log (workloads with a "
         "'trace' parameter, e.g. the E12 delivery sweeps)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["columnar", "object"],
+        help="mux execution engine for workloads with an 'engine' "
+        "parameter (columnar batch plane vs per-envelope object "
+        "reference) — a one-command columnar-vs-object A/B",
     )
     p.set_defaults(func=_cmd_run_workload)
 

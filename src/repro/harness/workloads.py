@@ -33,7 +33,7 @@ from ..auth import (
 from ..errors import ConfigurationError
 from ..faults import AdversarySpec, SilentProtocol, TamperingProtocol, make_adversary
 from ..fd.smallrange import OptimisticBinaryChainProtocol
-from ..sim import DEFAULT_MUX_ENGINE, make_delivery, run_protocols
+from ..sim import default_mux_engine, make_delivery, run_protocols
 from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
 from .scenarios import attack_catalogue
 from .session import AmortizedSession
@@ -1022,7 +1022,11 @@ def e14_equivocation_point(
     ) | {"heal": heal, "defer": defer}
 
 
-@workload("akd-shard", suite="E11/regress")
+@workload(
+    "akd-shard",
+    suite="E11/regress",
+    deliveries=("sync", "bounded", "loss", "partition"),
+)
 def akd_shard_point(
     n: int,
     t: int,
@@ -1030,7 +1034,8 @@ def akd_shard_point(
     scheme: str = COUNT_SCHEME,
     instances: tuple[int, ...] | None = None,
     byzantine: tuple[tuple[int, str], ...] = (),
-    engine: str = DEFAULT_MUX_ENGINE,
+    delivery: "str | None" = None,
+    engine: "str | None" = None,
 ) -> dict[int, Any]:
     """One shard of an agreement-based key-distribution mux run.
 
@@ -1050,12 +1055,17 @@ def akd_shard_point(
         seed=seed,
         byzantine=byzantine,
         instances=instances,
+        delivery=delivery,
         engine=engine,
     )
     return result.per_instance
 
 
-@workload("akd", suite="E11/regress")
+@workload(
+    "akd",
+    suite="E11/regress",
+    deliveries=("sync", "bounded", "loss", "partition"),
+)
 def akd_point(
     n: int,
     t: int,
@@ -1063,7 +1073,8 @@ def akd_point(
     scheme: str = COUNT_SCHEME,
     shard_workers: int = 0,
     byzantine: tuple[tuple[int, str], ...] = (),
-    engine: str = DEFAULT_MUX_ENGINE,
+    delivery: "str | None" = None,
+    engine: "str | None" = None,
 ) -> dict[str, Any]:
     """One agreement-based key-distribution run: per-instance counts.
 
@@ -1071,8 +1082,14 @@ def akd_point(
     executor (:func:`repro.harness.parallel.run_mux_shards`); the counts
     are shard-invariant by the mux equivalence property, so the flat
     result is identical either way — only wall-clock and peak memory
-    change.  ``engine`` picks the mux execution engine (columnar default
-    / object reference); counts are engine-invariant likewise.
+    change.  ``engine`` picks the mux execution engine (``None`` = the
+    process default, columnar unless ``REPRO_MUX_ENGINE`` overrides);
+    counts are engine-invariant likewise, and ``engine_used`` in the
+    result reports the engine that actually ran (so silent fallback to
+    the object oracle is visible in every sweep row).  ``delivery``
+    accepts any deterministic-calendar spec (``bounded:3``,
+    ``loss:0.05:2``, ``partition:...``) — the arrival-columned batch
+    plane keeps the columnar engine engaged on all of them.
     """
     if shard_workers and shard_workers > 1:
         from .parallel import run_mux_shards
@@ -1085,15 +1102,28 @@ def akd_point(
                 "seed": seed,
                 "scheme": scheme,
                 "byzantine": byzantine,
+                "delivery": delivery,
                 "engine": engine,
             },
             range(n),
             workers=shard_workers,
         )
+        # Shard workers run in other processes; all resolve the same
+        # configured engine, and none of these runs records, so the
+        # resolution is the engine used.
+        engine_used = default_mux_engine() if engine is None else engine
     else:
-        per_instance = run_agreement_key_distribution(
-            n, t, scheme=scheme, seed=seed, byzantine=byzantine, engine=engine
-        ).per_instance
+        result = run_agreement_key_distribution(
+            n,
+            t,
+            scheme=scheme,
+            seed=seed,
+            byzantine=byzantine,
+            delivery=delivery,
+            engine=engine,
+        )
+        per_instance = result.per_instance
+        engine_used = result.engine_used
     messages = [agg.messages for agg in per_instance.values()]
     byte_counts = [agg.bytes for agg in per_instance.values()]
     agreed = all(
@@ -1113,4 +1143,5 @@ def akd_point(
         "instance_bytes_min": min(byte_counts),
         "instance_bytes_max": max(byte_counts),
         "agreed": agreed,
+        "engine_used": engine_used,
     }

@@ -17,12 +17,14 @@ from .metrics import Metrics
 from .multiplex import (
     COLUMNAR_ENGINE,
     DEFAULT_MUX_ENGINE,
+    MUX_ENGINE_ENV,
     MUX_OUTCOMES,
     OBJECT_ENGINE,
     InstanceAggregate,
     InstanceMux,
     InstanceOutcome,
     collect_instances,
+    default_mux_engine,
     merge_instance_aggregates,
 )
 from .network import (
@@ -58,6 +60,7 @@ __all__ = [
     "InstanceMux",
     "InstanceOutcome",
     "LossyDelivery",
+    "MUX_ENGINE_ENV",
     "MUX_OUTCOMES",
     "Metrics",
     "OBJECT_ENGINE",
@@ -74,6 +77,7 @@ __all__ = [
     "View",
     "available_deliveries",
     "collect_instances",
+    "default_mux_engine",
     "instance_rng",
     "make_delivery",
     "merge_instance_aggregates",

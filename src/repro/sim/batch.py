@@ -30,20 +30,26 @@ outcomes and every metrics counter (``tests/sim/test_batch.py``
 property-tests this under random Byzantine behaviour, lossy delivery and
 adaptive adversaries).  The ingredients:
 
-* **ordering** — records enter the per-tick buffer in emission order, so
-  group arrays are ascending in sender exactly like the object path's
-  sender-sorted inboxes; cross-sender interleave beyond that is
-  irrelevant by N2 (receivers key their ingest per sender).
-* **timing** — the plane only runs under ``batch_capable`` delivery
-  models, which promise "every surviving envelope arrives exactly one
-  tick after emission"; a materialised envelope's ``round_sent`` is
-  therefore always ``arrival tick - 1``, matching the object path.
-* **loss** — :meth:`~repro.sim.network.DeliveryModel.batch_survivors`
-  draws per-link drop decisions in the same per-link stream order as the
-  object path's per-envelope ``arrival_tick`` calls, so the surviving
-  recipient mask (and every drop counter) reproduces exactly.
+* **ordering** — each arrival tick's calendar bucket holds records (and
+  plain envelopes) in emission order, and groups are filed in bucket
+  order, so group arrays replay the object path's per-inbox arrival
+  order exactly — even under jittered calendars, where one bucket mixes
+  emissions from several earlier ticks.  On the general event path the
+  plane also *captures* plain wrapped envelopes addressed to consumers
+  (:meth:`BatchPlane.capture`) into the same arrays at their bucket
+  position, so mixed plain/batched traffic needs no merge heuristics.
+* **timing** — records carry their emission round and arrive in
+  per-arrival-tick calendar buckets; the per-entry ``rounds[]`` column
+  reproduces every materialised envelope's ``round_sent`` and every
+  delivery-lag charge exactly, whatever the jitter.
+* **loss/jitter** — :meth:`~repro.sim.network.DeliveryModel.batch_arrivals`
+  draws per-recipient latency and drop decisions in the same per-link
+  stream order as the object path's per-envelope ``arrival_tick`` calls,
+  so the arrival schedule (and every drop counter) reproduces exactly.
 * **recording** — the kernel disables the plane whenever views or traces
-  are recorded, so observability always sees real envelopes.
+  are recorded, so observability always sees real envelopes.  Models
+  whose arrivals depend on in-flight context (rushing) are not
+  ``batch_capable`` and stay on the object path too.
 
 Consumer registration is snapshotted at each tick's delivery drain:
 a node that registers mid-tick (the lazy ``PhaseHost`` setup on its
@@ -57,7 +63,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from ..types import NodeId, Round
-from .message import Envelope
+from .message import Envelope, mux_unwrap
 
 if TYPE_CHECKING:
     from .kernel import EventKernel
@@ -139,12 +145,15 @@ class BatchRecord:
 class ChannelBatch:
     """Structure-of-arrays view of one instance's deliveries this tick.
 
-    Parallel arrays in emission order (hence ascending sender under the
-    batch-capable models): ``senders[i]`` emitted ``payloads[i]`` to the
-    recipient set ``targets[i]`` (encoded as in
-    :attr:`BatchRecord.target`).  One ``ChannelBatch`` is shared by
-    every consumer of the channel — consumers filter by their own id and
-    must never mutate the arrays.
+    Parallel arrays in arrival (bucket) order — which is emission order
+    within each arrival tick: ``senders[i]`` emitted ``payloads[i]`` at
+    round ``rounds[i]`` to the recipient set ``targets[i]`` (encoded as
+    in :attr:`BatchRecord.target`).  Under lock-step models every entry
+    has ``rounds[i] == tick - 1``; under jittered calendars the column
+    is what keeps materialised envelopes and delivery-lag accounting
+    exact.  One ``ChannelBatch`` is shared by every consumer of the
+    channel — consumers filter by their own id and must never mutate the
+    arrays.
 
     ``shared`` is a scratch dict for cross-consumer memoisation: any
     receiver-independent work (the succinct EIG ingest's report
@@ -154,12 +163,13 @@ class ChannelBatch:
     or instances.
     """
 
-    __slots__ = ("senders", "payloads", "targets", "shared")
+    __slots__ = ("senders", "payloads", "targets", "rounds", "shared")
 
     def __init__(self) -> None:
         self.senders: list[NodeId] = []
         self.payloads: list[Any] = []
         self.targets: list[Any] = []
+        self.rounds: list[Round] = []
         self.shared: dict[Any, Any] = {}
 
     def __len__(self) -> int:
@@ -224,7 +234,9 @@ class BatchPlane:
 
         ``metrics`` is ``None`` on the lock-step path (where the object
         path records no deliveries either); on the general path the bulk
-        charge is exact because batch-capable models deliver at lag 0.
+        charge passes the record's emission round so the delivery-lag
+        accumulator stays exact under jittered calendars (the charge is
+        zero on next-tick arrivals, matching the pre-jitter counts).
         """
         channel = record.channel
         groups = self._groups.get(channel)
@@ -238,8 +250,11 @@ class BatchPlane:
         group.senders.append(sender)
         group.payloads.append(record.payload)
         group.targets.append(target)
+        group.rounds.append(record.round_sent)
         if metrics is not None:
-            metrics.record_deliveries(tick, record.recipient_count(len(inboxes)))
+            metrics.record_deliveries(
+                tick, record.recipient_count(len(inboxes)), record.round_sent
+            )
         outsiders = self._outsiders.get(channel)
         if outsiders is None:
             # No consumer snapshot for this channel yet (records from a
@@ -262,6 +277,51 @@ class BatchPlane:
         for node in outsiders:
             if node in target:
                 inboxes[node].append(Envelope(sender, node, wrapped, round_sent))
+
+    def capture(
+        self,
+        envelope: Envelope,
+        metrics: "Metrics | None",
+        tick: Round,
+    ) -> bool:
+        """Try to file a plain wrapped envelope into its consumer's group.
+
+        The general event path's answer to mixed plain/batched traffic
+        under jittered calendars: an ordinary envelope (a tampering lens
+        re-materialising its sends, a Byzantine node writing wire tuples
+        by hand) whose recipient is a snapshot consumer and whose payload
+        parses as that channel's mux wrapper is appended to the group
+        arrays *at its calendar position*, so the consumer sees exactly
+        the object path's per-inbox arrival order without any
+        sender-sorted merge heuristics (which are only valid lock-step).
+        Returns ``False`` — deliver it plain — for non-consumers and
+        malformed wrappers; the object-path demux would treat the latter
+        as noise for no instance, and an unparsed envelope in a plain
+        inbox reproduces that exactly.
+        """
+        recipient = envelope.recipient
+        payload = envelope.payload
+        for channel, members in self._snapshot.items():
+            if recipient not in members:
+                continue
+            parsed = mux_unwrap(payload, channel)
+            if parsed is None:
+                continue
+            instance, inner = parsed
+            groups = self._groups.get(channel)
+            if groups is None:
+                groups = self._groups[channel] = {}
+            group = groups.get(instance)
+            if group is None:
+                group = groups[instance] = ChannelBatch()
+            group.senders.append(envelope.sender)
+            group.payloads.append(inner)
+            group.targets.append(recipient)
+            group.rounds.append(envelope.round_sent)
+            if metrics is not None:
+                metrics.record_deliveries(tick, 1, envelope.round_sent)
+            return True
+        return False
 
     def groups_for(self, channel: str, node: NodeId) -> "dict[int, ChannelBatch] | None":
         """This tick's groups for a consumer, or ``None`` when ``node``

@@ -144,6 +144,10 @@ class EventKernel:
         self.n = len(protocols)
         self.seed = seed
         self.tick: Round = 0
+        # sender -> all-other-nodes list, resolved once per run for the
+        # batch broadcast path (recipient order is part of the schedule
+        # contract, so the cache must stay id-ascending).
+        self._others: dict[NodeId, list[NodeId]] = {}
         self._protocols = list(protocols)
         self._max_rounds = max_rounds
         self._record_views = record_views
@@ -160,17 +164,23 @@ class EventKernel:
         # a bucket yields (tick, seq)-ordered deliveries without sorting.
         self._calendar: dict[Round, list[Envelope]] = {}
         # Columnar batch plane (structure-of-arrays mux delivery): only
-        # when the model guarantees uniform next-tick arrival and nothing
-        # is observing per-envelope events.  Recording runs fall back to
-        # the object path wholesale, which doubles as the live oracle.
-        self._batch: BatchPlane | None = (
-            BatchPlane(self)
-            if (
-                not record_views
-                and self._trace is None
-                and getattr(self._delivery, "batch_capable", False)
+        # when the model can price whole batch sends deterministically
+        # (batch_arrivals) and nothing is observing per-envelope events.
+        # Recording runs fall back to the object path wholesale, which
+        # doubles as the live oracle.  When disabled, the reason is kept
+        # for the mux to surface (see InstanceMux.fallback_reason).
+        if record_views or self._trace is not None:
+            self._batch_disabled_reason: str | None = (
+                "recording is on (views/trace observe per-envelope events)"
             )
-            else None
+        elif not getattr(self._delivery, "batch_capable", False):
+            self._batch_disabled_reason = (
+                f"delivery model {self._delivery.name!r} is not batch-capable"
+            )
+        else:
+            self._batch_disabled_reason = None
+        self._batch: BatchPlane | None = (
+            BatchPlane(self) if self._batch_disabled_reason is None else None
         )
         # Persistent inboxes for the general path (same-tick rushing
         # deliveries append here mid-tick); freshly rebuilt per tick on
@@ -217,6 +227,15 @@ class EventKernel:
         Consumers probe this via the context API and fall back to the
         object path when absent."""
         return self._batch
+
+    @property
+    def batch_fallback_reason(self) -> str | None:
+        """Why this run cannot batch, or ``None`` when it can.
+
+        The human-readable half of :attr:`batch_plane` — the mux records
+        it on fallback so "silently slower" becomes a visible,
+        warnable condition (see ``InstanceMux.fallback_reason``)."""
+        return self._batch_disabled_reason
 
     def enqueue(self, envelope: Envelope) -> None:
         """Accept an envelope for delivery (called by contexts).
@@ -302,29 +321,64 @@ class EventKernel:
             return count
         broadcast_all = recipients is None
         if broadcast_all:
-            recipients = [node for node in range(n) if node != sender]
-        survivors = self._delivery.batch_survivors(sender, recipients, tick)
-        dropped = count - len(survivors)
-        if dropped:
-            self._metrics.record_drops(sender, tick, dropped)
-        if not survivors:
-            return count
-        arrival = tick + 1
-        bucket = self._calendar.get(arrival)
-        if bucket is None:
-            bucket = self._calendar[arrival] = []
+            recipients = self._others.get(sender)
+            if recipients is None:
+                recipients = self._others[sender] = [
+                    node for node in range(n) if node != sender
+                ]
+        # One bulk pricing call instead of per-envelope arrival_tick:
+        # the model draws per-recipient latency/drop decisions from the
+        # same per-link streams, in recipient order == the object path's
+        # emission order, so the calendar it produces is bit-identical.
+        arrivals = self._delivery.batch_arrivals(sender, recipients, tick)
+        calendar = self._calendar
+        dropped = 0
         if broadcast_all:
-            target = None if not dropped else frozenset(survivors)
-            bucket.append(
-                BatchRecord(channel, instance, sender, payload, wrapped, target, tick)
-            )
+            # Split the logical broadcast into one record per arrival
+            # tick.  Appending during this call keeps each bucket in
+            # emission order relative to other senders' traffic.
+            buckets: dict[Round, list[NodeId]] = {}
+            for recipient, arrival in zip(recipients, arrivals):
+                if arrival is None:
+                    dropped += 1
+                else:
+                    buckets.setdefault(arrival, []).append(recipient)
+            if dropped:
+                self._metrics.record_drops(sender, tick, dropped)
+            full = count
+            for arrival in sorted(buckets):
+                members = buckets[arrival]
+                target: "NodeId | frozenset[NodeId] | None"
+                if len(members) == full:
+                    target = None
+                elif len(members) == 1:
+                    target = members[0]
+                else:
+                    target = frozenset(members)
+                bucket = calendar.get(arrival)
+                if bucket is None:
+                    bucket = calendar[arrival] = []
+                bucket.append(
+                    BatchRecord(channel, instance, sender, payload, wrapped, target, tick)
+                )
         else:
-            for recipient in survivors:
+            # Explicit recipient lists keep one single-target record per
+            # surviving copy (duplicate recipients get duplicate copies,
+            # as the object path would deliver them).
+            for recipient, arrival in zip(recipients, arrivals):
+                if arrival is None:
+                    dropped += 1
+                    continue
+                bucket = calendar.get(arrival)
+                if bucket is None:
+                    bucket = calendar[arrival] = []
                 bucket.append(
                     BatchRecord(
                         channel, instance, sender, payload, wrapped, recipient, tick
                     )
                 )
+            if dropped:
+                self._metrics.record_drops(sender, tick, dropped)
         return count
 
     def run(self) -> RunResult:
@@ -384,6 +438,12 @@ class EventKernel:
                 if batching:
                     for item in self._calendar.pop(tick, ()):
                         if type(item) is Envelope:
+                            # Plain wrapped traffic to a consumer is
+                            # captured into the group arrays at its
+                            # calendar position, preserving the object
+                            # path's arrival interleave under jitter.
+                            if plane.capture(item, metrics, tick):
+                                continue
                             metrics.record_delivery(item, tick)
                             inboxes[item.recipient].append(item)
                         else:
@@ -435,10 +495,20 @@ class EventKernel:
             # get them swept into the loss accounting, in deterministic
             # (tick, seq) order.
             for arrival in sorted(self._calendar):
-                for envelope in self._calendar.pop(arrival):
-                    self._metrics.record_drop(envelope)
-                    if self._trace is not None:
-                        self._trace.record_drop(envelope)
+                for item in self._calendar.pop(arrival):
+                    if type(item) is Envelope:
+                        self._metrics.record_drop(item)
+                        if self._trace is not None:
+                            self._trace.record_drop(item)
+                    else:
+                        # A parked batch record (defer-mode partition
+                        # whose heal never came): bulk-charge its whole
+                        # recipient set, exactly as the object path's
+                        # per-envelope sweep would.  Tracing never
+                        # coexists with the batch plane.
+                        self._metrics.record_drops(
+                            item.sender, item.round_sent, item.recipient_count(self.n)
+                        )
 
         return RunResult(
             n=self.n,

@@ -44,14 +44,23 @@ plane (:mod:`repro.sim.batch`): every instance broadcast becomes one
 batch record, arriving traffic is read as shared structure-of-arrays
 groups instead of per-node envelope lists, and protocols that declare
 ``supports_batch_inbox`` ingest the arrays directly (others get
-envelopes materialised on demand).  ``engine="object"`` forces the
-original per-envelope path — the reference oracle — and the columnar
-engine *falls back to it automatically* whenever the run cannot batch
-(views/trace recording on, delivery model not batch-capable), so the
-engine knob changes execution strategy only: decisions, per-instance
-outcomes and all metrics counters are bit-for-bit identical either way
+envelopes materialised on demand).  Jittered, lossy and partitioned
+calendars batch too: records carry per-arrival-tick buckets and an
+emission-``rounds[]`` column (see :mod:`repro.sim.batch`), so the plane
+engages for every deterministic delivery model, not just lock-step.
+``engine="object"`` forces the original per-envelope path — the
+reference oracle — and the columnar engine *falls back to it
+automatically* whenever the run cannot batch (views/trace recording on,
+a rushing delivery model); the fallback is recorded on the mux
+(:attr:`InstanceMux.fallback_reason` / :attr:`InstanceMux.engine_used`)
+and warned once per process, so "silently slower" is neither.  The
+process-wide default engine can be forced via the ``REPRO_MUX_ENGINE``
+environment variable (:func:`default_mux_engine`).  The engine knob
+changes execution strategy only: decisions, per-instance outcomes and
+all metrics counters are bit-for-bit identical either way
 (``tests/sim/test_batch.py`` property-tests this under random Byzantine
-behaviour, lossy delivery and adaptive adversaries).
+behaviour, jittered/lossy/partitioned delivery and adaptive
+adversaries).
 
 Composition
 -----------
@@ -67,6 +76,8 @@ whatever arrived that tick (``tests/sim/test_multiplex.py`` pins this).
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -93,6 +104,55 @@ DEFAULT_CHANNEL = "mux"
 OBJECT_ENGINE = "object"
 COLUMNAR_ENGINE = "columnar"
 DEFAULT_MUX_ENGINE = COLUMNAR_ENGINE
+
+#: Environment knob overriding the default engine for muxes constructed
+#: without an explicit ``engine=`` — how CI forces a whole test/bench
+#: pass onto the object reference path (``REPRO_MUX_ENGINE=object``).
+MUX_ENGINE_ENV = "REPRO_MUX_ENGINE"
+
+
+def default_mux_engine() -> str:
+    """The engine muxes use when none is requested explicitly.
+
+    :data:`DEFAULT_MUX_ENGINE` (columnar), overridable per process via
+    the :data:`MUX_ENGINE_ENV` environment variable — the knob CI's
+    second quick-bench pass uses to keep the object oracle exercised and
+    count-identical on every change.
+
+    :raises ConfigurationError: if the variable holds an unknown engine.
+    """
+    engine = os.environ.get(MUX_ENGINE_ENV)
+    if engine is None:
+        return DEFAULT_MUX_ENGINE
+    if engine not in (OBJECT_ENGINE, COLUMNAR_ENGINE):
+        raise ConfigurationError(
+            f"{MUX_ENGINE_ENV}={engine!r} names an unknown mux engine; "
+            f"expected {OBJECT_ENGINE!r} or {COLUMNAR_ENGINE!r}"
+        )
+    return engine
+
+
+#: Fallback reasons already warned about this process (one warning per
+#: distinct reason, not one per mux — an n=128 run builds 128 muxes).
+_FALLBACK_WARNED: set[str] = set()
+
+
+def _warn_engine_fallback(reason: str) -> None:
+    """One-time ``RuntimeWarning`` when a columnar mux degrades.
+
+    The fallback is *correct* (the object path is the reference oracle)
+    but silently slower; surfacing it once per distinct reason turns
+    "why is this run 10x slower" into a printed answer without drowning
+    multi-run sweeps in repeats.
+    """
+    if reason in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(reason)
+    warnings.warn(
+        f"columnar mux fell back to the object engine: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -227,20 +287,19 @@ class _ColumnarInstanceContext(_MuxInstanceContext):
         outcome.metrics.record_broadcast(ctx.node, ctx.round, payload, count)
 
 
-def _batch_envelopes(
-    group: ChannelBatch, me: NodeId, round_sent: int
-) -> list[Envelope]:
+def _batch_envelopes(group: ChannelBatch, me: NodeId) -> list[Envelope]:
     """Materialise one instance's batched deliveries for node ``me``.
 
-    Inner payloads, ascending sender — exactly the per-instance inbox
-    the object path's demux would have built.  ``round_sent`` is the
-    delivery tick minus one (the batch plane only runs under models that
-    deliver exactly one tick after emission).
+    Inner payloads in the group's arrival order, each stamped with its
+    entry's emission round from the ``rounds[]`` column — exactly the
+    per-instance inbox the object path's demux would have built, under
+    lock-step and jittered calendars alike.
     """
     envelopes = []
     senders = group.senders
     payloads = group.payloads
     targets = group.targets
+    rounds = group.rounds
     for i in range(len(senders)):
         target = targets[i]
         sender = senders[i]
@@ -252,7 +311,7 @@ def _batch_envelopes(
                 continue
         elif me not in target:
             continue
-        envelopes.append(Envelope(sender, me, payloads[i], round_sent))
+        envelopes.append(Envelope(sender, me, payloads[i], rounds[i]))
     return envelopes
 
 
@@ -295,9 +354,11 @@ def _merge_plain_into_batch(
     senders = merged.senders
     payloads = merged.payloads
     targets = merged.targets
+    rounds = merged.rounds
     group_senders = group.senders
     group_payloads = group.payloads
     group_targets = group.targets
+    group_rounds = group.rounds
     i = 0
     total = len(group_senders)
     for env in plain:
@@ -306,14 +367,17 @@ def _merge_plain_into_batch(
             senders.append(group_senders[i])
             payloads.append(group_payloads[i])
             targets.append(group_targets[i])
+            rounds.append(group_rounds[i])
             i += 1
         senders.append(env.sender)
         payloads.append(env.payload)
         targets.append(env.recipient)
+        rounds.append(env.round_sent)
     while i < total:
         senders.append(group_senders[i])
         payloads.append(group_payloads[i])
         targets.append(group_targets[i])
+        rounds.append(group_rounds[i])
         i += 1
     return merged
 
@@ -336,10 +400,15 @@ class InstanceMux(Protocol):
         node*.  Ids need not be contiguous; iteration is always in sorted
         id order (determinism).
     :param channel: wire-tag channel shared by all nodes of one mux run.
-    :param engine: :data:`COLUMNAR_ENGINE` (default) to ride the kernel's
-        batch plane when the run supports it, :data:`OBJECT_ENGINE` to
-        force the per-envelope reference path.  Execution strategy only —
-        observable behaviour is identical (see module docstring).
+    :param engine: :data:`COLUMNAR_ENGINE` to ride the kernel's batch
+        plane when the run supports it, :data:`OBJECT_ENGINE` to force
+        the per-envelope reference path, or ``None`` (default) to use
+        :func:`default_mux_engine` — columnar unless the
+        ``REPRO_MUX_ENGINE`` environment knob says otherwise.  Execution
+        strategy only — observable behaviour is identical (see module
+        docstring).  After :meth:`setup`, :attr:`engine_used` reports
+        the engine actually running and :attr:`fallback_reason` why a
+        columnar request degraded (if it did).
 
     Each round, the inbox is demultiplexed by the mux envelope extension
     (non-parsing traffic is dropped — Byzantine noise belongs to no
@@ -356,9 +425,11 @@ class InstanceMux(Protocol):
         self,
         instances: Mapping[int, Protocol],
         channel: str = DEFAULT_CHANNEL,
-        engine: str = DEFAULT_MUX_ENGINE,
+        engine: "str | None" = None,
     ) -> None:
-        if engine not in (OBJECT_ENGINE, COLUMNAR_ENGINE):
+        if engine is None:
+            engine = default_mux_engine()
+        elif engine not in (OBJECT_ENGINE, COLUMNAR_ENGINE):
             raise ConfigurationError(
                 f"unknown mux engine {engine!r}; expected "
                 f"{OBJECT_ENGINE!r} or {COLUMNAR_ENGINE!r}"
@@ -366,6 +437,7 @@ class InstanceMux(Protocol):
         self._channel = channel
         self._engine = engine
         self._columnar = False
+        self._fallback_reason: "str | None" = None
         self._protocols = {int(i): p for i, p in instances.items()}
         self._slots: dict[int, _MuxSlot] = {}
         self._live = 0
@@ -374,6 +446,28 @@ class InstanceMux(Protocol):
     def engine(self) -> str:
         """The configured execution engine (``"object"``/``"columnar"``)."""
         return self._engine
+
+    @property
+    def engine_used(self) -> str:
+        """The engine actually running (meaningful after :meth:`setup`):
+        :data:`COLUMNAR_ENGINE` when the batch-plane registration
+        succeeded, else :data:`OBJECT_ENGINE` — either because it was
+        configured, or because a columnar request fell back (see
+        :attr:`fallback_reason`)."""
+        return COLUMNAR_ENGINE if self._columnar else OBJECT_ENGINE
+
+    @property
+    def fallback_reason(self) -> "str | None":
+        """Why a columnar mux is running the object path, or ``None``.
+
+        Set during :meth:`setup` when ``engine="columnar"`` could not
+        register with the run's batch plane (recording on, delivery
+        model not batch-capable, or a context without the batch API);
+        always ``None`` for object-engine muxes and for columnar muxes
+        that engaged.  The same reason is emitted once per process as a
+        ``RuntimeWarning`` — fallback is correct but silently slower.
+        """
+        return self._fallback_reason
 
     @property
     def channel(self) -> str:
@@ -400,6 +494,13 @@ class InstanceMux(Protocol):
             self._columnar = (
                 bool(register(self._channel)) if register is not None else False
             )
+            if not self._columnar:
+                reason_fn = getattr(ctx, "batch_fallback_reason", None)
+                reason = reason_fn() if callable(reason_fn) else None
+                if reason is None:
+                    reason = "run context exposes no batch plane API"
+                self._fallback_reason = reason
+                _warn_engine_fallback(reason)
         seed = ctx.seed
         for instance in sorted(self._protocols):
             outcome = InstanceOutcome(instance=instance)
@@ -450,8 +551,6 @@ class InstanceMux(Protocol):
                     self._live -= 1
         else:
             me = ctx.node
-            # Batch-capable models deliver exactly one tick after send.
-            round_sent = ctx.tick - 1
             for instance in sorted(slots):
                 slot = slots[instance]
                 outcome = slot.outcome
@@ -474,7 +573,7 @@ class InstanceMux(Protocol):
                     protocol.on_round(
                         proxy,  # type: ignore[arg-type]
                         _merge_by_sender(
-                            _batch_envelopes(group, me, round_sent), plain or []
+                            _batch_envelopes(group, me), plain or []
                         ),
                     )
                 else:

@@ -75,12 +75,15 @@ class DeliveryModel:
 
     :ivar name: stable spec name (see :func:`make_delivery`).
     :ivar lockstep: whether the kernel may use the lock-step fast path.
-    :ivar batch_capable: whether the model promises "every *surviving*
-        envelope arrives exactly one tick after emission".  Only then may
-        the kernel run the columnar batch plane (:mod:`repro.sim.batch`),
-        whose records carry no per-recipient arrival ticks; models with
-        latency jitter, rushing windows or parking must leave it off and
-        mux runs silently fall back to the object path.
+    :ivar batch_capable: whether the model can price a whole batch send
+        in one :meth:`batch_arrivals` call — a *deterministic calendar*
+        whose per-recipient latency/drop decisions depend only on the
+        master seed and the emission sequence.  Only then may the kernel
+        run the columnar batch plane (:mod:`repro.sim.batch`), splitting
+        each logical batch send into per-arrival-tick records.  Models
+        whose arrivals depend on *who else* is in flight (the rushing
+        window of :class:`AdversarialOrder`) must leave it off, and
+        recording runs (views/trace) always use the object path.
     :ivar sweep_undelivered: whether envelopes still parked in the
         calendar when the run ends should be swept into the drop
         accounting (metrics ``drops_total`` + trace ``drop`` events).
@@ -98,19 +101,24 @@ class DeliveryModel:
     def bind(self, kernel: "EventKernel") -> None:
         """One-time hook before the run starts (seed/size derivation)."""
 
-    def batch_survivors(
+    def batch_arrivals(
         self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
-    ) -> Sequence[NodeId]:
-        """The recipients of a batch send that actually receive it.
+    ) -> "list[Round | None]":
+        """Per-recipient arrival ticks for one batch send (``None`` = drop).
 
         Consulted (on the general event path only) for ``batch_capable``
-        models instead of per-envelope :meth:`arrival_tick` calls.  The
-        default keeps every recipient — reliable delivery.  Lossy models
-        must draw per-link drop decisions *in recipient order* from the
-        same per-link streams ``arrival_tick`` uses, so a batched
-        broadcast reproduces the object path's drop schedule exactly.
+        models instead of per-envelope :meth:`arrival_tick` calls: one
+        entry per recipient, aligned with ``recipients``.  The default is
+        reliable next-tick delivery.  Models with jitter or loss must
+        draw their per-recipient latency/drop decisions *in recipient
+        order* from the same per-link streams ``arrival_tick`` uses —
+        recipient order here equals per-envelope emission order there, so
+        a batched broadcast reproduces the object path's arrival and drop
+        schedule bit-for-bit (the old ``batch_survivors`` contract,
+        extended from drop decisions to latencies).  Every non-``None``
+        arrival must be ``> tick`` — batch sends have no rushing window.
         """
-        return recipients
+        return [tick + 1] * len(recipients)
 
     def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
         """The tick at which ``envelope`` (emitted at ``tick``) arrives.
@@ -147,7 +155,62 @@ class SynchronousRounds(DeliveryModel):
         return tick + 1
 
 
-class BoundedDelay(DeliveryModel):
+class _LinkStreamDelivery(DeliveryModel):
+    """Shared per-link rng plumbing for seed-derived jitter/loss models.
+
+    :class:`BoundedDelay` and :class:`LossyDelivery` both derive one
+    deterministic stream per directed link ``(sender, recipient)`` from
+    the kernel's master seed, lazily on first use; this base owns that
+    boilerplate (``bind``/``_links``/``_seed``) so both the per-envelope
+    :meth:`~DeliveryModel.arrival_tick` path and the columnar
+    :meth:`~DeliveryModel.batch_arrivals` path draw from the *same*
+    streams.  ``_link_purpose`` is the stream namespace suffix — it is
+    part of each model's frozen schedule contract (changing it would
+    reshuffle every gated benchmark count), so subclasses pin it.
+    """
+
+    _link_purpose = "delay"
+
+    def __init__(self) -> None:
+        self._seed: int | str = 0
+        self._links: dict[tuple[NodeId, NodeId], object] = {}
+        self._fanouts: dict[tuple[NodeId, tuple[NodeId, ...]], list] = {}
+
+    def bind(self, kernel: "EventKernel") -> None:
+        self._seed = kernel.seed
+        self._links = {}
+        self._fanouts = {}
+
+    def _link_rng(self, sender: NodeId, recipient: NodeId):
+        link = (sender, recipient)
+        rng = self._links.get(link)
+        if rng is None:
+            rng = self._links[link] = node_rng(
+                self._seed,
+                sender,
+                purpose=f"link/{recipient}/{self._link_purpose}",
+            )
+        return rng
+
+    def _fanout_rngs(self, sender: NodeId, recipients: Sequence[NodeId]) -> list:
+        """The per-link rngs for one recipient fan-out, in recipient order.
+
+        Broadcasts repeat the same fan-out every round, so the batch path
+        caches the resolved rng list per ``(sender, recipients)`` instead
+        of paying a dict probe per recipient per send.  The rngs are the
+        very objects :meth:`_link_rng` hands the per-envelope path —
+        draw sequences stay bit-identical."""
+        key = (sender, tuple(recipients))
+        rngs = self._fanouts.get(key)
+        if rngs is None:
+            link_rng = self._link_rng
+            rngs = self._fanouts[key] = [
+                link_rng(sender, recipient) for recipient in recipients
+            ]
+        return rngs
+
+
+class BoundedDelay(_LinkStreamDelivery):
     """Reliable delivery within ``delay`` ticks, seed-derived jitter.
 
     Keeps N1's *reliability* (never lost, never duplicated) but relaxes
@@ -164,32 +227,33 @@ class BoundedDelay(DeliveryModel):
     """
 
     name = "bounded"
+    batch_capable = True
 
     def __init__(self, delay: int = 2) -> None:
+        super().__init__()
         if delay < 1:
             raise ConfigurationError(f"delay must be >= 1, got {delay}")
         self.delay = delay
-        # Only the degenerate bound is jitter-free next-tick delivery.
-        self.batch_capable = delay == 1
-        self._seed: int | str = 0
-        self._links: dict[tuple[NodeId, NodeId], object] = {}
-
-    def bind(self, kernel: "EventKernel") -> None:
-        self._seed = kernel.seed
-        self._links = {}
 
     def arrival_tick(self, envelope: Envelope, tick: Round) -> Round:
         if self.delay == 1:
             return tick + 1
-        link = (envelope.sender, envelope.recipient)
-        rng = self._links.get(link)
-        if rng is None:
-            rng = self._links[link] = node_rng(
-                self._seed,
-                envelope.sender,
-                purpose=f"link/{envelope.recipient}/delay",
-            )
+        rng = self._link_rng(envelope.sender, envelope.recipient)
         return tick + 1 + rng.randrange(self.delay)
+
+    def batch_arrivals(
+        self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
+    ) -> "list[Round | None]":
+        """One latency draw per recipient, bit-identical to the object
+        path's per-envelope draws (same streams, same order)."""
+        if self.delay == 1:
+            return [tick + 1] * len(recipients)
+        delay = self.delay
+        base = tick + 1
+        return [
+            base + rng.randrange(delay)
+            for rng in self._fanout_rngs(sender, recipients)
+        ]
 
 
 class AdversarialOrder(DeliveryModel):
@@ -233,7 +297,7 @@ class AdversarialOrder(DeliveryModel):
         return honest + sorted(node for node in self.rushing if node < n)
 
 
-class LossyDelivery(DeliveryModel):
+class LossyDelivery(_LinkStreamDelivery):
     """Unreliable delivery: each envelope dropped iid with probability ``p``.
 
     The first model that relaxes N1's *reliability* rather than its
@@ -257,8 +321,11 @@ class LossyDelivery(DeliveryModel):
     """
 
     name = "loss"
+    batch_capable = True
+    _link_purpose = "loss"
 
     def __init__(self, p: float, delay: int = 1) -> None:
+        super().__init__()
         if not 0.0 <= p < 1.0:
             raise ConfigurationError(
                 f"loss probability must lie in [0, 1), got {p}"
@@ -267,24 +334,9 @@ class LossyDelivery(DeliveryModel):
             raise ConfigurationError(f"delay must be >= 1, got {delay}")
         self.p = p
         self.delay = delay
-        # Survivors arrive next tick only at the jitter-free bound.
-        self.batch_capable = delay == 1
-        self._seed: int | str = 0
-        self._links: dict[tuple[NodeId, NodeId], object] = {}
-
-    def bind(self, kernel: "EventKernel") -> None:
-        self._seed = kernel.seed
-        self._links = {}
 
     def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
-        link = (envelope.sender, envelope.recipient)
-        rng = self._links.get(link)
-        if rng is None:
-            rng = self._links[link] = node_rng(
-                self._seed,
-                envelope.sender,
-                purpose=f"link/{envelope.recipient}/loss",
-            )
+        rng = self._link_rng(envelope.sender, envelope.recipient)
         # At delay == 1 no latency draw is made, so the per-link stream
         # layout (and hence the gated drop schedule) depends on the
         # bound: changing `delay` legitimately reshuffles drops.
@@ -293,29 +345,24 @@ class LossyDelivery(DeliveryModel):
             return None
         return tick + latency
 
-    def batch_survivors(
+    def batch_arrivals(
         self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
-    ) -> list[NodeId]:
-        """One drop draw per recipient, sharing ``arrival_tick``'s
-        per-link streams.  Only consulted at ``delay == 1`` (the
-        ``batch_capable`` gate), where the object path makes exactly one
-        ``random()`` draw per envelope — recipient order here equals
-        per-envelope emission order there, so the k-th draw on every
-        link matches bit-for-bit."""
-        links = self._links
-        seed = self._seed
+    ) -> "list[Round | None]":
+        """Latency-then-drop draws per recipient, sharing
+        ``arrival_tick``'s per-link streams in the same draw order
+        (latency first, then the drop coin — even for envelopes that end
+        up dropped), so the k-th send on every link consumes exactly the
+        stream prefix the object path would and the arrival *and* drop
+        schedules match bit-for-bit."""
         p = self.p
-        survivors = []
-        for recipient in recipients:
-            rng = links.get((sender, recipient))
-            if rng is None:
-                rng = links[(sender, recipient)] = node_rng(
-                    seed, sender, purpose=f"link/{recipient}/loss"
-                )
-            if rng.random() < p:
-                continue
-            survivors.append(recipient)
-        return survivors
+        delay = self.delay
+        jitter = delay > 1
+        arrivals: "list[Round | None]" = []
+        append = arrivals.append
+        for rng in self._fanout_rngs(sender, recipients):
+            latency = 1 + (rng.randrange(delay) if jitter else 0)
+            append(None if rng.random() < p else tick + latency)
+        return arrivals
 
 
 class PartitionedDelivery(DeliveryModel):
@@ -348,6 +395,7 @@ class PartitionedDelivery(DeliveryModel):
     """
 
     name = "partition"
+    batch_capable = True
 
     def __init__(
         self,
@@ -401,8 +449,15 @@ class PartitionedDelivery(DeliveryModel):
             return True
         return any(sender in block and recipient in block for block in blocks)
 
-    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
-        if self._connected(envelope.sender, envelope.recipient, tick):
+    def _arrival_for(
+        self, sender: NodeId, recipient: NodeId, tick: Round
+    ) -> Round | None:
+        """Arrival tick for one ``sender -> recipient`` emission at ``tick``.
+
+        Shared by the per-envelope and batch paths — the model consults
+        no randomness, so the two trivially agree.
+        """
+        if self._connected(sender, recipient, tick):
             return tick + 1
         if not self.defer:
             return None
@@ -415,9 +470,23 @@ class PartitionedDelivery(DeliveryModel):
                 continue
             if start > tick + self.horizon:
                 break
-            if self._connected(envelope.sender, envelope.recipient, start):
+            if self._connected(sender, recipient, start):
                 return start + 1
         return None
+
+    def arrival_tick(self, envelope: Envelope, tick: Round) -> Round | None:
+        return self._arrival_for(envelope.sender, envelope.recipient, tick)
+
+    def batch_arrivals(
+        self, sender: NodeId, recipients: Sequence[NodeId], tick: Round
+    ) -> "list[Round | None]":
+        """Defer-until-heal as an arrival *rewrite*: reachable recipients
+        get ``tick + 1``, cross-block ones the post-reunion tick (or
+        ``None`` — a drop — without defer / past the horizon)."""
+        return [
+            self._arrival_for(sender, recipient, tick)
+            for recipient in recipients
+        ]
 
 
 #: Spec-name -> model class, for :func:`make_delivery` / the CLI.

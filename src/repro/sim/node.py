@@ -205,6 +205,17 @@ class NodeContext:
         plane.register(channel, self.node)
         return True
 
+    def batch_fallback_reason(self) -> "str | None":
+        """Why this run cannot batch, or ``None`` when it can.
+
+        Pairs with :meth:`register_batch_consumer`: when registration
+        returns ``False``, this names the cause (recording on, or the
+        delivery model not batch-capable) so the mux can record and
+        surface the silent-fallback condition instead of just running
+        slower.
+        """
+        return self._runner.batch_fallback_reason
+
     def batch_groups(self, channel: str):
         """This tick's per-instance batch groups for ``channel``.
 

@@ -79,13 +79,16 @@ class TestRegistry:
             workload_suite("nope")
 
     def test_delivery_metadata(self):
-        """E12/E13 sweeps advertise their delivery axes; everything else
-        is lock-step only."""
+        """E12/E13 sweeps and the arrival-columned akd points advertise
+        their delivery axes; everything else is lock-step only."""
+        degraded = ("sync", "bounded", "loss", "partition")
         expected = {
+            "akd": degraded,
+            "akd-shard": degraded,
             "e13-loss": ("loss",),
-            "e13-timeout-fd": ("sync", "bounded", "loss", "partition"),
+            "e13-timeout-fd": degraded,
             "e13-partition": ("partition",),
-            "e14-adaptive": ("sync", "bounded", "loss", "partition"),
+            "e14-adaptive": degraded,
             "e14-equivocation": ("partition",),
         }
         for name in available_workloads():

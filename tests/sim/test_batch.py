@@ -23,11 +23,14 @@ from repro.errors import ConfigurationError
 from repro.faults import AdversarySpec
 from repro.sim import (
     COLUMNAR_ENGINE,
+    MUX_ENGINE_ENV,
     OBJECT_ENGINE,
     Envelope,
     InstanceMux,
     Protocol,
     collect_instances,
+    default_mux_engine,
+    make_delivery,
     mux_unwrap,
     mux_wrap,
     run_protocols,
@@ -291,6 +294,161 @@ class TestColumnarObjectEquivalence:
             )
         )
         assert plain[COLUMNAR_ENGINE] == plain[OBJECT_ENGINE] == recorded
+
+
+class TestDegradedCalendarEquivalence:
+    """Arrival-columned plane: the columnar engine must replay the object
+    path bit-for-bit under jittered, lossy and partitioned calendars —
+    counts, decisions, drop totals and per-instance outcomes alike —
+    while actually running columnar (no silent fallback)."""
+
+    def _equal_runs(self, n, t, seed, delivery, spec=None):
+        runs = {}
+        honest_mux = {}
+        for engine in ENGINES:
+            protocols = om_mux_protocols(n, t, engine)
+            honest_mux[engine] = protocols[0]
+            if spec is not None:
+                protocols = spec.protocols_for(protocols)
+            run = run_protocols(
+                protocols, seed=seed, delivery=make_delivery(delivery)
+            )
+            runs[engine] = observables(run)
+        assert honest_mux[COLUMNAR_ENGINE].engine_used == COLUMNAR_ENGINE
+        assert honest_mux[COLUMNAR_ENGINE].fallback_reason is None
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE], (
+            f"seed={seed} delivery={delivery}"
+        )
+        return runs[COLUMNAR_ENGINE]
+
+    @pytest.mark.parametrize("delivery", ["bounded:2", "bounded:4"])
+    def test_bounded_jitter(self, delivery):
+        """``bounded:d`` with d > 1: one logical batch send splits into
+        per-arrival calendar buckets whose schedule must be bit-identical
+        to the object path's per-envelope latency draws."""
+        for seed in (1, 5):
+            self._equal_runs(7, 2, seed, delivery)
+
+    def test_lossy_with_jitter(self):
+        """``loss:p`` with delay > 1 draws latency *and* drop decisions
+        per recipient from the object path's per-link streams."""
+        for seed, delivery in [(1, "loss:0.2:2"), (2, "loss:0.3:3")]:
+            result = self._equal_runs(7, 2, seed, delivery)
+            assert result["drops"] > 0
+
+    def test_partition_heal_defer(self):
+        """Defer-until-heal as an arrival rewrite: cross-block batch
+        traffic parks until the heal tick and arrives there."""
+        self._equal_runs(7, 2, 3, "partition:0-3|4-6@2/defer")
+
+    def test_partition_defer_past_run_end(self):
+        """A heal the run never reaches: parked batch records must be
+        swept into the drop accounting at end of run exactly like the
+        object path's parked envelopes."""
+        result = self._equal_runs(7, 2, 4, "partition:0-3|4-6@30/defer")
+        assert result["drops"] > 0
+
+    def test_random_byzantine_under_degraded_delivery(self):
+        """Random corrupt sets on top of jittered/lossy calendars: the
+        behaviour lenses and the arrival columns compose."""
+        kinds = ("silent", "noise", "crash@1", "drop@0.5", "tamper@0.5")
+        cases = [(0, "bounded:2"), (1, "loss:0.2:2"), (2, "bounded:3")]
+        for seed, delivery in cases:
+            rng = random.Random(seed)
+            corrupt = tuple(
+                (node, rng.choice(kinds))
+                # node 0 stays honest: its mux is the engine-used probe.
+                for node in sorted(rng.sample(range(1, 7), rng.randint(1, 2)))
+            )
+            self._equal_runs(
+                7, 2, seed, delivery, spec=AdversarySpec(corrupt=corrupt, t=2)
+            )
+
+    @pytest.mark.parametrize("strategy", ["silence-muffled", "gag-sender"])
+    def test_adaptive_adversary_under_lossy_jitter(self, strategy):
+        """Adaptive corruption reads live metrics; those snapshots (and
+        hence the commitments) must not depend on the engine even when
+        the calendar is lossy and jittered."""
+        committed = {}
+        runs = {}
+        for engine in ENGINES:
+            spec = AdversarySpec(corrupt=(), t=2, strategy=strategy)
+            protocols, coordinator = spec.adaptive_protocols_for(
+                om_mux_protocols(7, 2, engine)
+            )
+            runs[engine] = observables(
+                run_protocols(
+                    protocols, seed=13, delivery=make_delivery("loss:0.2:2")
+                )
+            )
+            committed[engine] = {
+                node: behavior.kind
+                for node, behavior in coordinator.committed.items()
+            }
+        assert committed[COLUMNAR_ENGINE] == committed[OBJECT_ENGINE]
+        assert runs[COLUMNAR_ENGINE] == runs[OBJECT_ENGINE]
+
+
+class TestEngineSurfacing:
+    """Silent fallback is no longer silent: the mux records why it left
+    the columnar path, warns once per reason, and exposes the engine
+    actually used."""
+
+    def test_columnar_run_reports_engine_used(self):
+        protocols = om_mux_protocols(5, 1, COLUMNAR_ENGINE)
+        run_protocols(protocols, seed=2)
+        assert all(m.engine_used == COLUMNAR_ENGINE for m in protocols)
+        assert all(m.fallback_reason is None for m in protocols)
+
+    def test_recording_fallback_reason_and_warning(self, monkeypatch):
+        from repro.sim import multiplex as mux_mod
+
+        monkeypatch.setattr(mux_mod, "_FALLBACK_WARNED", set())
+        protocols = om_mux_protocols(5, 1, COLUMNAR_ENGINE)
+        with pytest.warns(RuntimeWarning, match="recording"):
+            run_protocols(protocols, seed=2, record_trace=True)
+        assert protocols[0].engine_used == OBJECT_ENGINE
+        assert "recording" in protocols[0].fallback_reason
+        # One-time per reason: an identical second run stays quiet.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_protocols(
+                om_mux_protocols(5, 1, COLUMNAR_ENGINE), seed=2, record_trace=True
+            )
+
+    def test_delivery_fallback_reason(self, monkeypatch):
+        from repro.sim import multiplex as mux_mod
+
+        monkeypatch.setattr(mux_mod, "_FALLBACK_WARNED", set())
+        protocols = om_mux_protocols(5, 1, COLUMNAR_ENGINE)
+        with pytest.warns(RuntimeWarning, match="batch-capable"):
+            run_protocols(protocols, seed=2, delivery=make_delivery("rush:4"))
+        assert protocols[0].engine_used == OBJECT_ENGINE
+        assert "batch-capable" in protocols[0].fallback_reason
+
+    def test_object_engine_never_reports_fallback(self):
+        protocols = om_mux_protocols(5, 1, OBJECT_ENGINE)
+        run_protocols(protocols, seed=2, record_trace=True)
+        assert protocols[0].engine_used == OBJECT_ENGINE
+        assert protocols[0].fallback_reason is None
+
+    def test_env_knob_selects_default_engine(self, monkeypatch):
+        monkeypatch.setenv(MUX_ENGINE_ENV, OBJECT_ENGINE)
+        assert default_mux_engine() == OBJECT_ENGINE
+        assert InstanceMux({0: Protocol()}).engine == OBJECT_ENGINE
+        monkeypatch.setenv(MUX_ENGINE_ENV, "vectorised")
+        with pytest.raises(ConfigurationError, match="unknown mux engine"):
+            default_mux_engine()
+        monkeypatch.delenv(MUX_ENGINE_ENV)
+        assert default_mux_engine() == COLUMNAR_ENGINE
+        # An explicit engine always beats the environment.
+        monkeypatch.setenv(MUX_ENGINE_ENV, OBJECT_ENGINE)
+        assert (
+            InstanceMux({0: Protocol()}, engine=COLUMNAR_ENGINE).engine
+            == COLUMNAR_ENGINE
+        )
 
 
 class TestTamperLensInterceptsBatchSends:
