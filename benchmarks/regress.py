@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_7.json``.
+"""Wall-clock regression runner: measure the hot paths, emit ``BENCH_8.json``.
 
 Runs a fixed set of experiment workloads (the E1–E11 sweeps' building
 blocks plus the known hot spots), times each one, and writes a JSON report
@@ -9,7 +9,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/regress.py                 # full sizes
     PYTHONPATH=src python benchmarks/regress.py --small         # CI-sized
-    PYTHONPATH=src python benchmarks/regress.py --out BENCH_7.json
+    PYTHONPATH=src python benchmarks/regress.py --out BENCH_8.json
 
 Point ``PYTHONPATH`` at any other source tree (for example a seed-commit
 worktree) to measure the same workloads on older code: the baseline
@@ -19,9 +19,10 @@ polynomial-cost protocols, the n=128/t=3 oral point only the succinct
 engine makes feasible, the agreement-based key-distribution mux
 points only the instance multiplexer makes expressible, the E13
 unreliable-delivery points only the adversary plane makes expressible,
-the E14 arms-race points only the adaptive FD makes expressible, and
-the jittered/lossy mux points only the arrival-columned batch plane
-makes affordable)
+the E14 arms-race points only the adaptive FD makes expressible, the
+jittered/lossy mux points only the arrival-columned batch plane
+makes affordable, and the warm-started sweep twins only the kernel
+checkpoint/resume machinery makes expressible)
 is added when the running source tree supports it — old trees simply
 measure fewer experiments, and the comparison intersects by name.
 ``scripts/bench_check.py`` wraps this runner with wall-clock and memory
@@ -95,6 +96,13 @@ except ImportError:  # pragma: no cover - only on old source trees
 HAS_BATCH_ARRIVALS = HAS_EVENT_KERNEL and hasattr(
     getattr(_network, "DeliveryModel", None), "batch_arrivals"
 )
+
+try:  # warm-started sweeps: kernel checkpoint/resume (PR 10+ source trees)
+    from repro.sim import snapshot as _snapshot  # noqa: F401
+
+    HAS_SNAPSHOT = True
+except ImportError:  # pragma: no cover - only on old source trees
+    HAS_SNAPSHOT = False
 
 #: Count-measuring workloads use the fast HMAC simulation scheme (counts
 #: are scheme-independent; benchmark E10 verifies that).
@@ -319,6 +327,82 @@ def _e14_equivocation(n: int, t: int, heal: int) -> dict[str, Any]:
     }
 
 
+def _warm_timeout_sweep(
+    n: int, t: int, timeouts: tuple[int, ...], prefix_ticks: int, warm: bool
+) -> dict[str, Any]:
+    """One E13 timeout-axis sweep, warm-started or straight.
+
+    The warm leg runs the deadline-independent prefix once (under a
+    timeout wide enough that no deadline fires before the checkpoint)
+    and forks the snapshot per timeout value; the straight leg re-runs
+    every point from tick zero.  Counts must be bit-identical across
+    the ``X`` / ``X_straight`` pair — the resume-equals-straight-run
+    contract, measured as a benchmark instead of asserted as a test.
+    """
+    from repro.harness import sweep, sweep_prefix_shared
+
+    base = dict(
+        n=n, t=t, delivery="loss:0.2:2", protocol="timeout", faulty=1, seed=n
+    )
+    points = [dict(base, timeout=v) for v in timeouts]
+    counts: dict[str, Any] = {}
+    if warm:
+        sizes: list[int] = []
+        swept = sweep_prefix_shared(
+            points,
+            "e13-timeout-fd",
+            prefix=dict(base, timeout=4 * max(timeouts)),
+            prefix_ticks=prefix_ticks,
+            on_snapshot=lambda snap: sizes.append(snap.size_bytes),
+        )
+        counts["snapshot_bytes"] = sizes[0]
+    else:
+        swept = sweep(points, "e13-timeout-fd")
+    counts["messages"] = sum(p.result["messages"] for p in swept)
+    counts["drops"] = sum(p.result["drops"] for p in swept)
+    counts["rounds"] = sum(p.result["rounds"] for p in swept)
+    counts["discovered"] = sum(p.result["discovered"] for p in swept)
+    return counts
+
+
+def _warm_adaptive_sweep(
+    n: int, t: int, timeouts: tuple[int, ...], prefix_ticks: int, warm: bool
+) -> dict[str, Any]:
+    """One E14 timeout-axis sweep vs an *adaptive* adversary.
+
+    Same twin contract as :func:`_warm_timeout_sweep`, but the snapshot
+    additionally carries the adaptive silence-muffler's coordinator
+    state (its observation history and committed-budget ledger) across
+    the fork boundary — the E14 half of the resume contract.
+    """
+    from repro.harness import sweep, sweep_prefix_shared
+
+    base = dict(
+        n=n, t=t, delivery="loss:0.3", protocol="timeout",
+        attack="adaptive:silence-muffled", seed=n,
+    )
+    points = [dict(base, timeout=v) for v in timeouts]
+    counts: dict[str, Any] = {}
+    if warm:
+        sizes: list[int] = []
+        swept = sweep_prefix_shared(
+            points,
+            "e14-adaptive",
+            prefix=dict(base, timeout=4 * max(timeouts)),
+            prefix_ticks=prefix_ticks,
+            on_snapshot=lambda snap: sizes.append(snap.size_bytes),
+        )
+        counts["snapshot_bytes"] = sizes[0]
+    else:
+        swept = sweep(points, "e14-adaptive")
+    counts["messages"] = sum(p.result["messages"] for p in swept)
+    counts["drops"] = sum(p.result["drops"] for p in swept)
+    counts["rounds"] = sum(p.result["rounds"] for p in swept)
+    counts["discovered"] = sum(p.result["discovered"] for p in swept)
+    counts["committed"] = sum(p.result["committed"] for p in swept)
+    return counts
+
+
 #: Experiments too heavy for best-of-``--repeats`` timing: measured once.
 #: Bounds the full-suite wall-clock; single-shot numbers are noisier, so
 #: the gate only ever compares these by *count* (full sections are
@@ -329,9 +413,15 @@ def _e14_equivocation(n: int, t: int, heal: int) -> dict[str, Any]:
 #: design: they time the *reference* path the columnar engine is gated
 #: against (~20-25s each), so they run once and their counts — which
 #: must match the columnar run bit-for-bit — do the regression work.
+#: The ``*_straight`` twins of the warm-started sweeps join them for the
+#: same reason: they time the cold re-run reference path the warm path
+#: is gated against, so they run once and their counts — which must
+#: match the warm run bit-for-bit — do the regression work.
 HEAVY_EXPERIMENTS: set[str] = {
     "akd_bounded3_n128_t1_object",
     "akd_loss_n128_t1_object",
+    "e13_warm_timeouts_n32_t3_straight",
+    "e14_warm_muffler_n32_t3_straight",
 }
 
 
@@ -400,6 +490,19 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
                  lambda: _e14_fd(
                      "timeout", 7, 2, "loss:0.3", "adaptive:silence-muffled"
                  ))
+            )
+        if HAS_SNAPSHOT:
+            # Warm-started sweep twin at CI size: the quick gate pins
+            # the warm/straight counts bit-identical on every PR (the
+            # wall-clock ratio is only gated at full size, where the
+            # prefix is long enough to dominate).
+            suite.append(
+                ("e13_warm_timeouts_n7_t2",
+                 lambda: _warm_timeout_sweep(7, 2, (10, 12, 14), 8, True))
+            )
+            suite.append(
+                ("e13_warm_timeouts_n7_t2_straight",
+                 lambda: _warm_timeout_sweep(7, 2, (10, 12, 14), 8, False))
             )
     else:
         # n=32, t=3 is the dense-era EIG hot spot at a feasible fault
@@ -475,6 +578,37 @@ def experiments(small: bool) -> list[tuple[str, Callable[[], dict[str, Any]]]]:
                 ("e14_equivocation_heal6_n32_t3",
                  lambda: _e14_equivocation(32, 3, 6))
             )
+        if HAS_SNAPSHOT:
+            # Warm-started sweep twins: each ``X`` / ``X_straight`` pair
+            # runs the same parameter sweep prefix-shared and from tick
+            # zero.  Counts must match bit-for-bit (gated like every
+            # other count); the seconds ratio straight/warm is the
+            # speedup evidence scripts/bench_check.py gates with
+            # ``--min-warm-ratio``.  The prefix must be long relative
+            # to a snapshot restore for warm to win — unpickling the
+            # kernel costs roughly twenty ticks of simulation at any n
+            # (state size and per-tick cost both scale as n²) — so the
+            # fork axis sits just past a 120-tick shared prefix.
+            suite.append(
+                ("e13_warm_timeouts_n32_t3",
+                 lambda: _warm_timeout_sweep(
+                     32, 3, (121, 123, 125, 127, 129, 131), 120, True))
+            )
+            suite.append(
+                ("e13_warm_timeouts_n32_t3_straight",
+                 lambda: _warm_timeout_sweep(
+                     32, 3, (121, 123, 125, 127, 129, 131), 120, False))
+            )
+            suite.append(
+                ("e14_warm_muffler_n32_t3",
+                 lambda: _warm_adaptive_sweep(
+                     32, 3, (121, 123, 125, 127, 129, 131), 120, True))
+            )
+            suite.append(
+                ("e14_warm_muffler_n32_t3_straight",
+                 lambda: _warm_adaptive_sweep(
+                     32, 3, (121, 123, 125, 127, 129, 131), 120, False))
+            )
         if HAS_INSTANCE_MUX and HAS_SUCCINCT_ENGINE:
             # Agreement-based key distribution at scale: n concurrent
             # OM(t) instances through the instance multiplexer.  The
@@ -542,9 +676,15 @@ def run_suite(small: bool = False, repeats: int = 3) -> dict[str, Any]:
         # so the label lives at the entry level where the comparison
         # (scripts/bench_check.py) never sees it.
         engine = counts.pop("engine", None)
+        # Snapshot size is provenance too: pickle byte counts can shift
+        # across Python versions without any behaviour change, so the
+        # size is recorded at the entry level, outside the count gate.
+        snapshot_bytes = counts.pop("snapshot_bytes", None)
         entry: dict[str, Any] = {"seconds": round(best, 5), "counts": counts}
         if engine is not None:
             entry["engine"] = engine
+        if snapshot_bytes is not None:
+            entry["snapshot_bytes"] = snapshot_bytes
         results[name] = entry
     return {
         "schema": 1,

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark gate: refresh ``BENCH_7.json`` and fail loudly on regressions.
+"""Benchmark gate: refresh ``BENCH_8.json`` and fail loudly on regressions.
 
 Runs the trimmed (``standard_sizes(small=True)``) regression suite from
 ``benchmarks/regress.py``, compares it against the committed
-``BENCH_7.json`` when one exists, and rewrites the file.  A fresh small
+``BENCH_8.json`` when one exists, and rewrites the file.  A fresh small
 run more than ``--threshold`` (default 20%) slower than the committed
 small numbers on any experiment exits non-zero — the loud failure CI
 wants.
@@ -58,9 +58,16 @@ and bounded-jitter calendars (small and n=64/128), with n=128
 columnar-vs-``*_object`` engine pairs whose wall-clock ratio the
 ``--full`` gate enforces (``--min-engine-ratio``, default 3x) and
 whose counts must agree bit-for-bit, plus E13/E14 grid cells promoted
-past their historical n=32 pin.  Experiment names are stable across
-files, so shared counts are directly comparable (every BENCH_6 count
-was verified bit-identical when BENCH_7 was established).
+past their historical n=32 pin; this PR's gate file is
+``BENCH_8.json``, which adds the warm-started sweep twins: timeout-axis
+sweeps run prefix-shared via kernel checkpoint/resume
+(``repro.harness.sweep_prefix_shared``) next to ``*_straight``
+cold-re-run twins, with the straight/warm wall-clock ratio enforced by
+the ``--full`` gate (``--min-warm-ratio``, default 2x) and the twins'
+counts required to agree bit-for-bit.  Experiment names are stable
+across files, so shared counts are directly comparable (every BENCH_6
+count was verified bit-identical when BENCH_7 was established, and
+every BENCH_7 count when BENCH_8 was).
 
 Wall-clock baselines are machine-relative: after moving to new hardware,
 regenerate the baseline before trusting the gate.
@@ -122,6 +129,29 @@ def engine_ratios(report: dict) -> dict[str, float]:
     """
     experiments = report.get("experiments", {})
     suffix = "_object"
+    ratios: dict[str, float] = {}
+    for name, entry in experiments.items():
+        if not name.endswith(suffix):
+            continue
+        twin = experiments.get(name[: -len(suffix)])
+        if twin and twin["seconds"] > 0:
+            ratios[name[: -len(suffix)]] = round(
+                entry["seconds"] / twin["seconds"], 2
+            )
+    return ratios
+
+
+def warm_ratios(report: dict) -> dict[str, float]:
+    """Straight-twin seconds / warm seconds, per warm-sweep pair.
+
+    An experiment named ``X_straight`` re-runs the same parameter sweep
+    as its warm-started twin ``X`` from tick zero; the ratio is the
+    prefix-shared executor's measured speedup on that sweep.  As with
+    the engine pairs, the twins' counts are gated for equality
+    separately — this only reads time.
+    """
+    experiments = report.get("experiments", {})
+    suffix = "_straight"
     ratios: dict[str, float] = {}
     for name, entry in experiments.items():
         if not name.endswith(suffix):
@@ -254,7 +284,7 @@ def speedups(baseline: dict, current: dict) -> dict[str, float]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_7.json"), help="report path"
+        "--out", default=str(REPO_ROOT / "BENCH_8.json"), help="report path"
     )
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
@@ -290,6 +320,15 @@ def main(argv: list[str] | None = None) -> int:
         "least this much faster than the reference path)",
     )
     parser.add_argument(
+        "--min-warm-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="--full gate: minimum straight/warm wall-clock ratio on "
+        "each *_straight warm-sweep pair (the prefix-shared executor "
+        "must stay at least this much faster than cold re-runs)",
+    )
+    parser.add_argument(
         "--memory-threshold",
         type=float,
         default=0.25,
@@ -322,7 +361,15 @@ def main(argv: list[str] | None = None) -> int:
         fresh_small = regress.run_suite(small=True, repeats=1)
         for name, entry in fresh_small["experiments"].items():
             engine = f"  [{entry['engine']}]" if "engine" in entry else ""
-            print(f"  {name}: {entry['seconds']:.5f}s  {entry['counts']}{engine}")
+            snap = (
+                f"  [snapshot {entry['snapshot_bytes']}B]"
+                if "snapshot_bytes" in entry
+                else ""
+            )
+            print(
+                f"  {name}: {entry['seconds']:.5f}s  "
+                f"{entry['counts']}{engine}{snap}"
+            )
         quick_out = Path(args.quick_out)
         quick_out.write_text(
             json.dumps({"small": fresh_small}, indent=1, sort_keys=True) + "\n"
@@ -379,7 +426,12 @@ def main(argv: list[str] | None = None) -> int:
         merged["full"] = regress.run_suite(small=False, repeats=args.repeats)
         for name, entry in merged["full"]["experiments"].items():
             engine = f"  [{entry['engine']}]" if "engine" in entry else ""
-            print(f"  {name}: {entry['seconds']:.5f}s{engine}")
+            snap = (
+                f"  [snapshot {entry['snapshot_bytes']}B]"
+                if "snapshot_bytes" in entry
+                else ""
+            )
+            print(f"  {name}: {entry['seconds']:.5f}s{engine}{snap}")
         ratios = engine_ratios(merged["full"])
         if ratios:
             print("== columnar-vs-object engine pairs ==")
@@ -395,6 +447,22 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 print("\n".join(failed_pairs), file=sys.stderr)
+                status = 1
+        warm = warm_ratios(merged["full"])
+        if warm:
+            print("== warm-vs-straight sweep pairs ==")
+            failed_warm = []
+            for name, ratio in sorted(warm.items()):
+                print(f"  {name}: warm-started {ratio:.2f}x faster than straight")
+                if ratio < args.min_warm_ratio:
+                    failed_warm.append(f"  {name}: {ratio:.2f}x")
+            if failed_warm:
+                print(
+                    f"== FAIL: warm-sweep pair(s) below the "
+                    f"{args.min_warm_ratio:.1f}x prefix-sharing floor ==",
+                    file=sys.stderr,
+                )
+                print("\n".join(failed_warm), file=sys.stderr)
                 status = 1
 
     if args.memory:

@@ -8,10 +8,15 @@
 #   2. the tier-1 test suite        — semantics (ROADMAP.md's verify line),
 #                                     with --durations=10 so creeping slow
 #                                     tests are visible in every run;
-#   3. bench_check --quick          — count determinism vs BENCH_7.json
+#   3. bench_check --quick          — count determinism vs BENCH_8.json
 #                                     (smoke wall-clock, no --memory);
 #                                     emits bench_quick_fresh.json for CI
-#                                     to attach on failure.
+#                                     to attach on failure;
+#   4. resume_gate                  — checkpoint in one process, resume in
+#                                     another, counts must match a straight
+#                                     run (process-local state, e.g. the
+#                                     simulated-hmac secret registry, is
+#                                     invisible to in-process tests).
 #
 # The full wall-clock/memory gate (scripts/bench_check.py --memory, and
 # --full for the n=128 grid) stays a pre-merge step; this script is the
@@ -28,5 +33,8 @@ python -m pytest -x -q --durations=10
 
 echo "== check: bench smoke =="
 python scripts/bench_check.py --quick
+
+echo "== check: cross-process resume equivalence =="
+python scripts/resume_gate.py
 
 echo "== check: all green =="

@@ -461,6 +461,27 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
             )
             return 2
         params["engine"] = args.engine
+    policy = None
+    if args.checkpoint_every is not None or args.checkpoint_dir is not None:
+        # Fail fast on half-configured checkpointing: a run that looked
+        # checkpointed but wrote nothing is worse than an error.
+        if args.checkpoint_every is None or args.checkpoint_dir is None:
+            print(
+                "--checkpoint-every and --checkpoint-dir must be given "
+                "together (e.g. --checkpoint-every 8 --checkpoint-dir ckpt/)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.checkpoint_every < 1:
+            print(
+                "--checkpoint-every expects a positive tick count, got "
+                f"{args.checkpoint_every}",
+                file=sys.stderr,
+            )
+            return 2
+        from .sim import set_checkpoint_policy
+
+        policy = set_checkpoint_policy(args.checkpoint_every, args.checkpoint_dir)
     try:
         result = fn(**params)
     except (ConfigurationError, TypeError, ValueError) as exc:
@@ -469,6 +490,11 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
         # traceback (the CLI doubles as an automation smoke-check).
         print(f"workload {args.workload}: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if policy is not None:
+            from .sim import clear_checkpoint_policy
+
+            clear_checkpoint_policy()
     trace_dump = None
     if isinstance(result, dict):
         trace_dump = result.pop("trace", None)
@@ -485,6 +511,45 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
     if trace_dump is not None:
         print("\nstructured event log:")
         print(trace_dump)
+    if policy is not None:
+        for path in policy.written:
+            print(f"checkpoint written: {path}")
+        if not policy.written:
+            print(
+                "no checkpoints written (run finished before the first "
+                f"multiple of {policy.every} ticks)"
+            )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .sim import EventKernel, load_snapshot
+
+    try:
+        snapshot = load_snapshot(args.path)
+        kernel = EventKernel.resume(snapshot)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    run = kernel.run()
+    rows = [
+        ["resumed at tick", snapshot.tick],
+        ["snapshot size (bytes)", snapshot.size_bytes],
+        ["n", run.n],
+        ["seed", run.seed],
+        ["rounds executed", run.rounds_executed],
+        ["messages", run.metrics.messages_total],
+        ["drops", run.metrics.drops_total],
+        ["decided", len(run.decisions())],
+        ["discoverers", len(run.discoverers())],
+    ]
+    scenario = snapshot.extras.get("scenario")
+    if isinstance(scenario, dict):
+        for key in ("kind", "protocol", "delivery", "adversary"):
+            if scenario.get(key) is not None:
+                rows.insert(2, [f"scenario {key}", scenario[key]])
+    print(render_table(["key", "value"], rows, title=f"resume {args.path}"))
     return 0
 
 
@@ -597,7 +662,26 @@ def build_parser() -> argparse.ArgumentParser:
         "parameter (columnar batch plane vs per-envelope object "
         "reference) — a one-command columnar-vs-object A/B",
     )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="write a kernel checkpoint every N ticks (requires "
+        "--checkpoint-dir); resume later with 'repro-fd resume PATH'",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="directory for checkpoint files (run0-tickNNNNNN.ckpt)",
+    )
     p.set_defaults(func=_cmd_run_workload)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume a run from a checkpoint file and finish it",
+    )
+    p.add_argument("path", help="checkpoint file written by --checkpoint-every")
+    p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser(
         "report", help="regenerate all count experiments (E1-E8, E11)"

@@ -47,6 +47,23 @@ class SecretKey:
         """Sign ``message``, returning the raw signature bytes."""
         return get_scheme(self.scheme).sign(self, message)
 
+    def __getstate__(self) -> dict[str, Any]:
+        return {"scheme": self.scheme, "material": self.material}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "scheme", state["scheme"])
+        object.__setattr__(self, "material", state["material"])
+        # A secret crossing a process boundary — a kernel snapshot being
+        # resumed, a sweep point fanned out to a worker — must bring its
+        # scheme's process-local state along, or verification silently
+        # flips to "reject" in the new process and a resumed run diverges
+        # from the straight one.  Schemes with such state (the simulated
+        # HMAC scheme's secret registry) re-register here.
+        try:
+            get_scheme(self.scheme).observe_unpickled_secret(self)
+        except UnknownSchemeError:
+            pass
+
 
 @dataclass(frozen=True)
 class TestPredicate:
@@ -136,6 +153,16 @@ class SignatureScheme:
     def verify(self, predicate: TestPredicate, message: bytes, signature: bytes) -> bool:
         """Evaluate the test predicate.  Must never raise on garbage input."""
         raise NotImplementedError
+
+    def observe_unpickled_secret(self, secret: SecretKey) -> None:
+        """Called when one of this scheme's secret keys is unpickled.
+
+        Default: nothing — real schemes are stateless beyond the key
+        material itself.  Schemes with process-local state that
+        verification depends on (the simulated HMAC scheme's secret
+        registry) override this to rebuild it, so kernel snapshots and
+        process-pool sweep points stay verifiable across processes.
+        """
 
 
 _SCHEMES: dict[str, SignatureScheme] = {}

@@ -74,6 +74,15 @@ class SimulatedScheme(SignatureScheme):
         expected = hmac.digest(k, message, "sha256")
         return hmac.compare_digest(expected, signature)
 
+    def observe_unpickled_secret(self, secret: SecretKey) -> None:
+        # The trust base is process-local; a secret arriving by pickle
+        # (kernel snapshot resume, sweep worker fan-out) re-registers its
+        # commitment so the in-flight signatures it produced still verify.
+        material = secret.material
+        if isinstance(material, (bytes, bytearray)):
+            k = bytes(material)
+            _SECRET_REGISTRY.setdefault(hashlib.sha256(k).digest(), k)
+
 
 def forge_signature(predicate: TestPredicate, message: bytes) -> bytes | None:
     """Deliberately forge a signature valid under ``predicate``.

@@ -140,6 +140,19 @@ class AdaptiveTimeoutFDProtocol(Protocol):
         self._ready_at: int | None = None
         self._ack_due = False
 
+    #: Pre-cap behaviour never reads ``_max_timeout`` (estimator
+    #: deadlines are driven by per-link evidence alone; the cap is only
+    #: consulted as ``tick >= _max_timeout`` and in the conclusion's
+    #: horizon clamp), so the cap is a valid warm-start fork axis.
+    tunable = frozenset({"max_timeout"})
+
+    def retune(self, *, max_timeout: int) -> None:
+        if max_timeout < 4:
+            raise ConfigurationError(
+                f"max_timeout must be >= 4, got {max_timeout}"
+            )
+        self._max_timeout = max_timeout
+
     # -- adaptive deadlines ------------------------------------------------
 
     def _profile(self) -> float:

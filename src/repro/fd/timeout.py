@@ -116,6 +116,20 @@ class TimeoutFDProtocol(Protocol):
         self._signed: SignedMessage | None = None
         self._heard: set[NodeId] = set()
 
+    #: Pre-deadline behaviour never reads ``_timeout`` (heartbeats and
+    #: retransmissions key on the tick alone), so the deadline is a
+    #: valid warm-start fork axis: retuning it on a resumed run whose
+    #: snapshot tick precedes both old and new deadline reproduces the
+    #: straight run with the new deadline bit-for-bit.
+    tunable = frozenset({"timeout"})
+
+    def retune(self, *, timeout: int) -> None:
+        if timeout < 1:
+            raise ConfigurationError(
+                f"timeout must be a positive tick count, got {timeout}"
+            )
+        self._timeout = timeout
+
     # -- protocol ---------------------------------------------------------
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:

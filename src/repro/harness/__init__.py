@@ -6,6 +6,7 @@ from .parallel import (
     set_default_workers,
     shard_instances,
     sweep_parallel,
+    sweep_prefix_shared,
 )
 from .runner import (
     GLOBAL,
@@ -50,6 +51,7 @@ __all__ = [
     "standard_sizes",
     "sweep",
     "sweep_parallel",
+    "sweep_prefix_shared",
     "workload_deliveries",
     "workload_suite",
 ]

@@ -46,6 +46,7 @@ involvement: sharding and columnar execution compose freely.
 
 from __future__ import annotations
 
+import inspect
 import os
 import pickle
 import warnings
@@ -53,6 +54,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..errors import ConfigurationError
+from ..sim import KernelSnapshot
 from .sweep import SweepPoint, sweep
 
 #: Process-wide default worker count; ``None`` means "one per CPU".
@@ -172,6 +175,93 @@ def sweep_parallel(
         return sweep(pts, fn)
     return [
         SweepPoint(params=p, result=r) for p, r in zip(pts, results)
+    ]
+
+
+def sweep_prefix_shared(
+    points: Iterable[dict[str, Any]],
+    fn: str | Callable[..., Any],
+    *,
+    prefix: dict[str, Any],
+    prefix_ticks: int,
+    workers: int | None = None,
+    on_snapshot: Callable[[KernelSnapshot], None] | None = None,
+) -> list[SweepPoint]:
+    """Warm-started sweep: run the shared prefix once, fork it per point.
+
+    Sweeps whose points differ only in parameters the protocols declare
+    *tunable* (:attr:`repro.sim.node.Protocol.tunable` — e.g. the
+    timeout-FD deadline, never read before it fires) share an identical
+    execution prefix: every fork's straight run passes through the exact
+    same kernel state at the checkpoint tick.  This executor exploits
+    that — it runs ``fn(**prefix, checkpoint_at=prefix_ticks)`` once in
+    the parent process, takes the returned
+    :class:`~repro.sim.snapshot.KernelSnapshot`, and fans the points out
+    with ``resume_from=snapshot`` via :func:`sweep_parallel` (snapshots
+    are plain bytes, so forks cross the process pool unchanged).  Each
+    fork resumes the shared state, retunes its swept parameters
+    (:func:`~repro.sim.snapshot.retune_protocols`), and runs only the
+    suffix.  Results are bit-for-bit identical to the straight sweep —
+    the resume property tests and the benchmark count gates enforce it.
+
+    The *caller* owns the validity contract: the prefix params must pin
+    every tuned axis wide enough that no protocol acts on it before
+    ``prefix_ticks`` (e.g. a prefix ``timeout`` beyond the checkpoint
+    tick), and each point must repeat the scenario-identity params
+    (``n``, ``t``, ``seed``, delivery, adversary) verbatim — the resume
+    path fail-fasts on any mismatch with the snapshot's fingerprint.
+
+    :param points: parameter dicts for the forks, straight-sweep form
+        (the executor injects ``resume_from`` itself and strips it from
+        the returned :class:`SweepPoint` params).
+    :param fn: registered workload name or callable; must accept both
+        ``checkpoint_at`` and ``resume_from`` keyword parameters.
+    :param prefix: params for the shared-prefix run.
+    :param prefix_ticks: tick to checkpoint the prefix at; the prefix
+        run must still be live there (the scenario runner raises
+        otherwise).
+    :param workers: fan-out process count, as in :func:`sweep_parallel`.
+    :param on_snapshot: observer called once with the shared prefix
+        snapshot before the fan-out — how the benchmark suite records
+        the snapshot size without a second prefix run.
+    :raises ConfigurationError: non-positive ``prefix_ticks``, a
+        workload without the checkpoint/resume parameters, or a prefix
+        run that returned a result instead of a snapshot.
+    """
+    if prefix_ticks < 1:
+        raise ConfigurationError(
+            f"prefix_ticks must be a positive tick count, got {prefix_ticks}"
+        )
+    resolved = fn
+    if isinstance(resolved, str):
+        from .workloads import resolve_workload
+
+        resolved = resolve_workload(resolved)
+    accepted = inspect.signature(resolved).parameters
+    missing = [k for k in ("checkpoint_at", "resume_from") if k not in accepted]
+    if missing:
+        name = getattr(resolved, "__qualname__", None) or repr(resolved)
+        raise ConfigurationError(
+            f"workload {name!r} does not accept {missing} — only workloads "
+            "with checkpoint/resume support can run prefix-shared sweeps"
+        )
+    snapshot = resolved(**prefix, checkpoint_at=prefix_ticks)
+    if not isinstance(snapshot, KernelSnapshot):
+        raise ConfigurationError(
+            f"prefix run returned {type(snapshot).__name__}, not a "
+            "KernelSnapshot — the workload must return the checkpoint "
+            "when called with checkpoint_at"
+        )
+    if on_snapshot is not None:
+        on_snapshot(snapshot)
+    jobs = [{**dict(p), "resume_from": snapshot} for p in points]
+    swept = sweep_parallel(jobs, fn, workers=workers)
+    return [
+        SweepPoint(
+            params={k: v for k, v in sp.params.items() if k != "resume_from"},
+            result=sp.result,
+        )
+        for sp in swept
     ]
 
 

@@ -27,7 +27,7 @@ from ..auth import (
 from ..crypto import DEFAULT_SCHEME
 from ..crypto.keys import KeyPair
 from ..errors import ConfigurationError
-from ..faults.adversary import AdversarySpec, make_adversary
+from ..faults.adversary import AdaptiveCoordinator, AdversarySpec, make_adversary
 from ..fd import (
     FDEvaluation,
     evaluate_fd,
@@ -37,7 +37,18 @@ from ..fd import (
     make_small_range_protocols,
     make_timeout_fd_protocols,
 )
-from ..sim import DeliveryModel, Protocol, RunResult, make_delivery, run_protocols
+from ..sim import (
+    DeliveryModel,
+    EventKernel,
+    KernelSnapshot,
+    Protocol,
+    Runner,
+    RunResult,
+    capture_kernel,
+    make_delivery,
+    retune_protocols,
+    run_protocols,
+)
 from ..types import NodeId
 
 #: Authentication modes: the paper's new mechanism vs the classic baseline.
@@ -142,6 +153,89 @@ def _resolve_adversary(
     return spec, delivery
 
 
+def _find_coordinator(protocols: list[Protocol]) -> AdaptiveCoordinator | None:
+    """The adaptive coordinator shared by a run's wrapper protocols, if
+    any — recovered from a resumed kernel's protocol list (the
+    single-pickle snapshot preserves the sharing, so the first wrapper's
+    coordinator *is* every wrapper's coordinator)."""
+    for protocol in protocols:
+        coordinator = getattr(protocol, "_coordinator", None)
+        if isinstance(coordinator, AdaptiveCoordinator):
+            return coordinator
+    return None
+
+
+def _resume_fd_scenario(
+    snapshot: KernelSnapshot,
+    *,
+    n: int,
+    t: int,
+    value: Any,
+    protocol: str,
+    seed: int | str,
+    delivery: "str | DeliveryModel | None",
+    protocol_params: dict[str, Any] | None,
+) -> ScenarioOutcome:
+    """Finish an FD scenario from a prefix snapshot and evaluate it.
+
+    The suffix half of :func:`run_fd_scenario`'s ``resume_from`` mode:
+    validates the snapshot against the caller's scenario parameters
+    (mismatched forks fail fast instead of silently evaluating the
+    wrong run), retunes any ``protocol_params`` onto the resumed
+    protocols (the warm-started sweep axis), runs to completion, and
+    evaluates exactly as the straight path would.
+    """
+    scenario = snapshot.extras.get("scenario")
+    if not isinstance(scenario, dict) or scenario.get("kind") != "fd":
+        raise ConfigurationError(
+            "snapshot does not carry an FD scenario fingerprint — "
+            "resume_from expects a snapshot made by run_fd_scenario(..., "
+            "checkpoint_at=T)"
+        )
+    for name, given in (
+        ("n", n), ("t", t), ("protocol", protocol), ("seed", seed)
+    ):
+        if scenario.get(name) != given:
+            raise ConfigurationError(
+                f"resume mismatch: snapshot was taken with "
+                f"{name}={scenario.get(name)!r}, this call passes {given!r}"
+            )
+    recorded = scenario.get("delivery")
+    if (
+        isinstance(delivery, str)
+        and isinstance(recorded, str)
+        and delivery != recorded
+    ):
+        raise ConfigurationError(
+            f"resume mismatch: snapshot was taken under delivery "
+            f"{recorded!r}, this call passes {delivery!r} — the delivery "
+            "model is part of the shared prefix, not a fork axis"
+        )
+    kernel = EventKernel.resume(snapshot)
+    if protocol_params:
+        retune_protocols(kernel.protocols, **protocol_params)
+    run = kernel.run()
+    faulty = set(scenario["faulty"])
+    committed: tuple[tuple[NodeId, str], ...] = ()
+    coordinator = _find_coordinator(kernel.protocols)
+    if coordinator is not None and coordinator.committed:
+        committed = tuple(
+            (node, behavior.spec())
+            for node, behavior in sorted(coordinator.committed.items())
+        )
+        faulty |= coordinator.committed_nodes
+    correct = set(range(n)) - faulty
+    fd_eval = evaluate_fd(run, correct, sender=0, sender_value=value)
+    return ScenarioOutcome(
+        kd=snapshot.extras.get("kd"),
+        run=run,
+        fd=fd_eval,
+        ba=None,
+        correct=correct,
+        committed=committed,
+    )
+
+
 def run_fd_scenario(
     n: int,
     t: int,
@@ -157,7 +251,9 @@ def run_fd_scenario(
     adversary: AdversaryInput = None,
     record_trace: bool = False,
     protocol_params: dict[str, Any] | None = None,
-) -> ScenarioOutcome:
+    checkpoint_at: int | None = None,
+    resume_from: KernelSnapshot | None = None,
+) -> "ScenarioOutcome | KernelSnapshot":
     """Run one Failure Discovery scenario end to end.
 
     :param protocol: ``"chain"`` (paper Fig. 2), ``"echo"`` (non-auth
@@ -187,8 +283,36 @@ def run_fd_scenario(
     :param record_trace: capture the FD run's structured event log.
     :param protocol_params: extra keyword arguments for the protocol
         factory (e.g. ``timeout`` / ``retransmit_every`` for
-        ``"timeout"``).
+        ``"timeout"``).  In ``resume_from`` mode they are *retunes*
+        applied to the resumed protocols instead
+        (:func:`repro.sim.retune_protocols`) — only warm-fork-safe
+        parameters (the protocol's ``tunable`` set) are accepted.
+    :param checkpoint_at: run only to this tick and return a
+        :class:`~repro.sim.KernelSnapshot` (carrying the scenario
+        fingerprint and evaluation inputs) instead of an outcome — the
+        shared-prefix half of a warm-started sweep.  Fails fast if the
+        run completes before the checkpoint tick.
+    :param resume_from: finish a previously captured prefix snapshot
+        instead of starting from tick 0; every other scenario parameter
+        must match the snapshot's fingerprint, and ``protocol_params``
+        become the fork's retunes.
     """
+    if resume_from is not None:
+        if checkpoint_at is not None:
+            raise ConfigurationError(
+                "checkpoint_at and resume_from are mutually exclusive: a "
+                "call either captures a prefix or finishes one"
+            )
+        return _resume_fd_scenario(
+            resume_from,
+            n=n,
+            t=t,
+            value=value,
+            protocol=protocol,
+            seed=seed,
+            delivery=delivery,
+            protocol_params=protocol_params,
+        )
     if (
         protocol == "echo"
         and auth == GLOBAL
@@ -259,6 +383,37 @@ def run_fd_scenario(
     coordinator = None
     if spec is not None and (spec.corrupt or spec.strategy is not None):
         protocols, coordinator = spec.adaptive_protocols_for(protocols)
+
+    if checkpoint_at is not None:
+        runner = Runner(
+            protocols,
+            seed=seed,
+            delivery=make_delivery(delivery, rushing=faulty),
+            record_trace=record_trace,
+        )
+        partial = runner.run(until_tick=checkpoint_at)
+        if partial is not None:
+            raise ConfigurationError(
+                f"run completed after {partial.rounds_executed} ticks, "
+                f"before the checkpoint tick {checkpoint_at} — a prefix "
+                "snapshot must precede completion"
+            )
+        return capture_kernel(
+            runner,
+            extras={
+                "scenario": {
+                    "kind": "fd",
+                    "n": n,
+                    "t": t,
+                    "protocol": protocol,
+                    "seed": seed,
+                    "delivery": delivery if isinstance(delivery, str) else None,
+                    "adversary": spec.spec() if spec is not None else None,
+                    "faulty": sorted(faulty),
+                },
+                "kd": kd,
+            },
+        )
 
     run = run_protocols(
         protocols,

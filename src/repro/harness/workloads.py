@@ -33,7 +33,7 @@ from ..auth import (
 from ..errors import ConfigurationError
 from ..faults import AdversarySpec, SilentProtocol, TamperingProtocol, make_adversary
 from ..fd.smallrange import OptimisticBinaryChainProtocol
-from ..sim import default_mux_engine, make_delivery, run_protocols
+from ..sim import KernelSnapshot, default_mux_engine, make_delivery, run_protocols
 from .runner import GLOBAL, LOCAL, run_ba_scenario, run_fd_scenario
 from .scenarios import attack_catalogue
 from .session import AmortizedSession
@@ -798,7 +798,9 @@ def e13_timeout_fd_point(
     seed: int | str = 0,
     timeout: int | None = None,
     trace: bool = False,
-) -> dict[str, Any]:
+    checkpoint_at: int | None = None,
+    resume_from: KernelSnapshot | None = None,
+) -> dict[str, Any] | KernelSnapshot:
     """Round-indexed vs timeout FD under a chosen delivery model.
 
     The E13 discovery axis: the *same* fault load (``faulty`` silent
@@ -808,6 +810,11 @@ def e13_timeout_fd_point(
     discovery comparison isolates the protocol design.  ``spurious`` is
     a discovery in a failure-free run (network skew mistaken for a
     fault); ``missed`` is a faulty run no correct node discovered.
+
+    ``checkpoint_at`` / ``resume_from`` are the warm-started sweep hooks
+    (:func:`repro.harness.parallel.sweep_prefix_shared`): the former
+    runs only the shared prefix and returns its snapshot, the latter
+    finishes a prefix with ``timeout`` retuned as the fork axis.
     """
     if protocol not in ("chain", "timeout"):
         raise ConfigurationError(
@@ -829,7 +836,11 @@ def e13_timeout_fd_point(
         delivery=delivery,
         record_trace=trace,
         protocol_params=params,
+        checkpoint_at=checkpoint_at,
+        resume_from=resume_from,
     )
+    if checkpoint_at is not None:
+        return outcome
     run = outcome.run
     discovered = outcome.fd.any_discovery
     result = {
@@ -862,7 +873,9 @@ def e13_partition_point(
     seed: int | str = 0,
     timeout: int | None = None,
     trace: bool = False,
-) -> dict[str, Any]:
+    checkpoint_at: int | None = None,
+    resume_from: KernelSnapshot | None = None,
+) -> dict[str, Any] | KernelSnapshot:
     """Partition-heal convergence: one (heal tick, mode) cell.
 
     The network splits ``{0 .. n//2-1}`` from ``{n//2 .. n-1}`` at tick
@@ -876,7 +889,7 @@ def e13_partition_point(
     split = n // 2
     mode = "/defer" if defer else ""
     delivery = f"partition:0-{split - 1}|{split}-{n - 1}@{heal}{mode}"
-    return e13_timeout_fd_point(
+    result = e13_timeout_fd_point(
         n,
         t,
         delivery=delivery,
@@ -885,7 +898,12 @@ def e13_partition_point(
         seed=seed,
         timeout=timeout,
         trace=trace,
-    ) | {"heal": heal, "defer": defer}
+        checkpoint_at=checkpoint_at,
+        resume_from=resume_from,
+    )
+    if checkpoint_at is not None:
+        return result
+    return result | {"heal": heal, "defer": defer}
 
 
 @workload(
@@ -903,7 +921,9 @@ def e14_adaptive_point(
     timeout: int | None = None,
     max_timeout: int | None = None,
     trace: bool = False,
-) -> dict[str, Any]:
+    checkpoint_at: int | None = None,
+    resume_from: KernelSnapshot | None = None,
+) -> dict[str, Any] | KernelSnapshot:
     """Static vs adaptive timeout FD against a chosen attack: one cell.
 
     The E14 arms-race axis.  ``protocol`` selects the defence (the
@@ -961,7 +981,11 @@ def e14_adaptive_point(
         delivery=delivery,
         record_trace=trace,
         protocol_params=params,
+        checkpoint_at=checkpoint_at,
+        resume_from=resume_from,
     )
+    if checkpoint_at is not None:
+        return outcome
     run = outcome.run
     discovered = outcome.fd.any_discovery
     faulty = 0 if adversary is None else len(adversary.faulty)

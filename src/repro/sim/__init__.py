@@ -41,6 +41,17 @@ from .network import (
 from .node import NodeContext, NodeState, Protocol
 from .rng import instance_rng, node_rng
 from .scheduler import Runner, RunResult, run_protocols
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    KernelSnapshot,
+    capture_kernel,
+    clear_checkpoint_policy,
+    load_snapshot,
+    restore_kernel,
+    retune_protocols,
+    save_snapshot,
+    set_checkpoint_policy,
+)
 from .trace import Trace, TraceEvent
 from .views import ReceivedMessage, View
 
@@ -59,6 +70,7 @@ __all__ = [
     "InstanceAggregate",
     "InstanceMux",
     "InstanceOutcome",
+    "KernelSnapshot",
     "LossyDelivery",
     "MUX_ENGINE_ENV",
     "MUX_OUTCOMES",
@@ -71,19 +83,27 @@ __all__ = [
     "ReceivedMessage",
     "RunResult",
     "Runner",
+    "SNAPSHOT_VERSION",
     "SynchronousRounds",
     "Trace",
     "TraceEvent",
     "View",
     "available_deliveries",
+    "capture_kernel",
+    "clear_checkpoint_policy",
     "collect_instances",
     "default_mux_engine",
     "instance_rng",
+    "load_snapshot",
     "make_delivery",
     "merge_instance_aggregates",
     "mux_unwrap",
     "mux_wrap",
     "node_rng",
     "payload_kind",
+    "restore_kernel",
+    "retune_protocols",
     "run_protocols",
+    "save_snapshot",
+    "set_checkpoint_policy",
 ]

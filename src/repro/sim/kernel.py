@@ -193,6 +193,9 @@ class EventKernel:
             NodeContext(self, node, node_rng(seed, node)) for node in range(self.n)
         ]
         self._views = [View(node=node) for node in range(self.n)]
+        # One-time protocol setup() has run (guards resumed runs against
+        # a second setup — the flag travels inside snapshots).
+        self._started = False
         self._delivery.bind(self)
 
     @property
@@ -205,6 +208,13 @@ class EventKernel:
     def delivery(self) -> DeliveryModel:
         """The delivery model driving this run."""
         return self._delivery
+
+    @property
+    def protocols(self) -> list[Protocol]:
+        """The per-node protocol objects (index = node id) — what a
+        resumed run retunes (:func:`repro.sim.snapshot.retune_protocols`)
+        or inspects (finding the adaptive coordinator's commitments)."""
+        return self._protocols
 
     @property
     def metrics(self) -> Metrics:
@@ -381,18 +391,53 @@ class EventKernel:
                 self._metrics.record_drops(sender, tick, dropped)
         return count
 
-    def run(self) -> RunResult:
+    def snapshot(self) -> "Any":
+        """Capture the run's full state at the current tick boundary.
+
+        Legal between construction and completion, and between ``run``
+        calls (``run(until_tick=T)`` stops at exactly such a boundary).
+        Returns a picklable :class:`~repro.sim.snapshot.KernelSnapshot`;
+        see :mod:`repro.sim.snapshot` for what it carries and the
+        bit-for-bit resume contract.
+        """
+        from .snapshot import capture_kernel
+
+        return capture_kernel(self)
+
+    @classmethod
+    def resume(cls, snapshot: "Any") -> "EventKernel":
+        """Rebuild a kernel from a snapshot; ``run()`` continues the run
+        bit-for-bit from the snapshot's tick.
+
+        A fresh object graph per call — resuming one snapshot K times
+        yields K independent runs, which is what the warm-started sweep
+        forks (:func:`repro.harness.parallel.sweep_prefix_shared`) do.
+        """
+        from .snapshot import restore_kernel
+
+        return restore_kernel(snapshot)
+
+    def run(self, until_tick: Round | None = None) -> RunResult | None:
         """Execute ticks until every node halts.
 
+        :param until_tick: stop *before* processing this tick (a clean
+            snapshot boundary) and return ``None`` instead of a result;
+            a later ``run()`` — on this kernel or on one resumed from a
+            snapshot taken here — continues where it stopped.
         :raises SimulationError: if the horizon is exceeded — the error
             names the nodes (id + protocol class) that had not halted,
             so the stuck protocol is identifiable without a trace re-run.
         """
         contexts = self._contexts
         protocols = self._protocols
-        for ctx, protocol in zip(contexts, protocols):
-            protocol.setup(ctx)
+        if not self._started:
+            for ctx, protocol in zip(contexts, protocols):
+                protocol.setup(ctx)
+            self._started = True
 
+        from .snapshot import active_checkpoint_policy
+
+        policy = active_checkpoint_policy()
         n = self.n
         recording = self._record_views or self._trace is not None
         # Early-exit bookkeeping: count halted nodes incrementally instead
@@ -407,6 +452,8 @@ class EventKernel:
             )
 
         while halted < n:
+            if until_tick is not None and self.tick >= until_tick:
+                return None
             if self.tick >= self._max_rounds:
                 raise SimulationError(self._horizon_report())
             plane = self._batch
@@ -487,6 +534,12 @@ class EventKernel:
                         halted += 1
 
             self.tick += 1
+            if (
+                policy is not None
+                and halted < n
+                and self.tick % policy.every == 0
+            ):
+                policy.checkpoint(self)
 
         if self._calendar and getattr(self._delivery, "sweep_undelivered", False):
             # Envelopes still parked past the final tick (a defer-mode

@@ -254,6 +254,21 @@ class Protocol:
     sending) and :meth:`on_round` (invoked every round with the messages
     that arrived this round).  A protocol signals completion by calling
     ``ctx.halt()``; the runner ends the run when all nodes have halted.
+
+    Checkpointing (:mod:`repro.sim.snapshot`) captures protocols by
+    pickling the whole object by default — sufficient for anything whose
+    state is plain data.  A protocol holding state that must not travel
+    (an unpicklable cache, a shared handle) opts into the explicit hook
+    pair instead, by defining *both*::
+
+        def snapshot_state(self) -> Any: ...      # picklable value
+        def restore_state(self, state) -> None: ...  # rebuild from it
+
+    ``restore_state`` runs on an instance created with ``cls.__new__``
+    (no ``__init__``), so it must reconstruct every attribute the
+    protocol's methods read.  :func:`repro.sim.rng.capture_state` /
+    :func:`~repro.sim.rng.restore_state` are the helpers for any rng
+    streams such a protocol manages itself.
     """
 
     #: Whether the protocol can ingest a columnar
@@ -262,6 +277,28 @@ class Protocol:
     #: protocol without it simply materialises envelopes from the batch,
     #: so every protocol runs under the columnar engine either way.
     supports_batch_inbox = False
+
+    #: Parameter names a warm-started (snapshot-resumed) run may adjust
+    #: on this protocol via :meth:`retune`.  Only parameters whose value
+    #: the protocol has provably not yet *read* at the resume tick may
+    #: be listed — retuning must leave the suffix bit-for-bit identical
+    #: to a straight run constructed with the new value (the deadline of
+    #: a timeout FD qualifies; anything consulted every round does not).
+    tunable: frozenset = frozenset()
+
+    def retune(self, **params: Any) -> None:
+        """Adjust post-construction-tunable parameters after a resume.
+
+        The hook behind prefix-shared sweeps: fork a snapshot, retune
+        the sweep axis, finish the run.  Subclasses exposing an axis
+        list it in :attr:`tunable` and override this; the base rejects
+        everything.
+        """
+        if params:
+            raise ProtocolViolationError(
+                f"{type(self).__name__} accepts no retune parameters, "
+                f"got {sorted(params)}"
+            )
 
     def setup(self, ctx: NodeContext) -> None:
         """One-time initialisation before round 0.  Must not send."""

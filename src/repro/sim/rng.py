@@ -44,3 +44,51 @@ def instance_rng(
     instance streams can never collide with a node's plain streams.
     """
     return node_rng(master_seed, node, f"instance/{instance}/{purpose}")
+
+
+# -- stream state capture (checkpoint/resume) -----------------------------
+#
+# Snapshot audit: every ``random.Random`` a run consumes must live inside
+# the kernel's object graph so :mod:`repro.sim.snapshot` captures its
+# position.  The inventory —
+#
+# * node streams: ``NodeContext.rng`` (one per context, built here);
+# * instance streams: created via :func:`instance_rng` and held by the
+#   mux's per-instance contexts, which hang off the node protocols;
+# * link/fanout streams: the ``_links`` / ``_fanouts`` caches of
+#   ``_LinkStreamDelivery`` subclasses in :mod:`repro.sim.network`
+#   (instance state of the delivery model, never module globals);
+#
+# — all reachable from the :class:`~repro.sim.kernel.EventKernel`, so a
+# whole-graph pickle carries every stream position and no stream can
+# silently desync on resume.  Code introducing a *new* ad-hoc
+# ``random.Random`` must park it on an object the kernel reaches.
+#
+# Two construction sites are deliberately exempt, both outside run state:
+# ``repro.crypto.schnorr`` seeds a throwaway stream from the group's bit
+# sizes alone (a run-independent constant), and ``repro.crypto.numtheory``
+# falls back to an unseeded stream only for primality *witness* selection
+# when the caller passes none (the verdict, not the draws, is what's
+# consumed).
+
+
+def capture_state(rng: random.Random) -> tuple:
+    """The stream's full position as a picklable value.
+
+    A thin, named wrapper over ``Random.getstate()`` — the explicit
+    half of the snapshot contract, used by protocols implementing the
+    ``snapshot_state`` hook (:class:`repro.sim.node.Protocol`) for
+    streams they manage outside the kernel's object graph.
+    """
+    return rng.getstate()
+
+
+def restore_state(rng: random.Random, state: tuple) -> random.Random:
+    """Rewind ``rng`` to a :func:`capture_state` position; returns it.
+
+    After restoring, the stream emits exactly the draws the captured
+    stream would have emitted — the property the resume-equals-straight-
+    run tests pin bit-for-bit.
+    """
+    rng.setstate(state)
+    return rng

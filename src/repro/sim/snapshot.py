@@ -1,0 +1,326 @@
+"""Deterministic kernel checkpoint/resume.
+
+The kernel's determinism contract (run state is a pure function of the
+master seed plus the emission sequence — :mod:`repro.sim.kernel`) makes
+run state *snapshot-able*: everything the next tick depends on lives in
+one object graph rooted at the :class:`~repro.sim.kernel.EventKernel` —
+
+* the calendar queue and lock-step pending list (in-flight envelopes and
+  batch records, in emission order),
+* the tick counter and per-node ``_acted_at`` causality marks,
+* every node's protocol object and :class:`~repro.sim.node.NodeState`,
+* every rng stream position: node streams (``NodeContext.rng``),
+  instance streams (inside mux-owned contexts), and the per-link /
+  per-fanout ``random.Random`` caches of the jittered delivery models
+  (see the audit note in :mod:`repro.sim.rng`),
+* delivery-model state (partition epoch schedule position, parked
+  defer-mode records — which simply sit in the calendar),
+* metrics (settled first, so no live payload references inflate the
+  snapshot), the trace so far, recorded views, and the batch plane's
+  consumer registry (its per-tick arrays are dead at tick boundaries).
+
+A :class:`KernelSnapshot` is therefore one :func:`pickle.dumps` of the
+kernel taken at a tick boundary.  The single-pickle design is
+deliberate: shared references survive — the fanout rng lists alias the
+link streams, every ``AdaptiveCorruptible`` wrapper shares one
+``AdaptiveCoordinator``, contexts point back at the kernel — so the
+restored graph has exactly the original's aliasing structure, which is
+what makes resume-equals-straight-run hold *bit-for-bit*
+(``tests/sim/test_snapshot.py`` property-tests it across all four
+delivery families, random Byzantine and adaptive adversaries, and both
+mux engines).
+
+Protocols default to this whole-object capture.  A protocol holding
+state that must not travel (an unpicklable cache, a handle) opts into
+the explicit hook pair instead: ``snapshot_state()`` returning a
+picklable value and ``restore_state(state)`` rebuilding from it (see
+:class:`repro.sim.node.Protocol`); the capture swaps such protocols for
+``(class, state)`` placeholders before pickling and rebuilds them via
+``cls.__new__`` on restore.
+
+Checkpoint files and the policy hook
+------------------------------------
+:func:`save_snapshot` / :func:`load_snapshot` move snapshots through
+files with fail-fast validation (missing/corrupt/version-mismatched
+files raise :class:`~repro.errors.ConfigurationError`, which the CLI
+maps to exit 2).  :func:`set_checkpoint_policy` installs a process-wide
+"write a checkpoint every N ticks" policy that the kernel's run loop
+consults — how ``repro-fd run --checkpoint-every N --checkpoint-dir D``
+checkpoints *any* workload without threading new parameters through
+every entry point.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+from ..types import Round
+
+if TYPE_CHECKING:
+    from .kernel import EventKernel
+
+#: Snapshot format version.  Bumped whenever the kernel's pickled shape
+#: changes incompatibly; :func:`restore_kernel` refuses other versions.
+SNAPSHOT_VERSION = 1
+
+#: Conventional checkpoint-file suffix (documentation only — loading
+#: validates content, never the name).
+SNAPSHOT_SUFFIX = ".ckpt"
+
+
+@dataclass(frozen=True)
+class KernelSnapshot:
+    """One run's full state at a tick boundary, as a picklable value.
+
+    :ivar version: format version (see :data:`SNAPSHOT_VERSION`).
+    :ivar n: network size, for display and sanity checks.
+    :ivar seed: the run's master seed.
+    :ivar tick: the tick the snapshot was taken at — the resumed kernel
+        continues by *processing* this tick.
+    :ivar payload: the pickled kernel graph.
+    :ivar extras: caller-attached context (picklable) that must travel
+        with the snapshot — e.g. the scenario fingerprint and evaluation
+        inputs :func:`repro.harness.runner.run_fd_scenario` stores so a
+        forked suffix can finish and evaluate without re-deriving them.
+    """
+
+    version: int
+    n: int
+    seed: int | str
+    tick: Round
+    payload: bytes
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the pickled kernel graph (the bench column that keeps
+        snapshot bloat visible per PR)."""
+        return len(self.payload)
+
+
+class _HookedProtocolState:
+    """Placeholder for a protocol captured via its explicit hooks.
+
+    Takes the protocol's slot in the pickled ``_protocols`` list;
+    :func:`restore_kernel` swaps it back for
+    ``cls.__new__(cls).restore_state(state)``.
+    """
+
+    __slots__ = ("cls", "state")
+
+    def __init__(self, cls: type, state: Any) -> None:
+        self.cls = cls
+        self.state = state
+
+
+def capture_kernel(kernel: "EventKernel", extras: dict[str, Any] | None = None) -> KernelSnapshot:
+    """Snapshot a kernel at its current tick boundary.
+
+    Settles the metrics first (idempotent; byte totals are independent
+    of settle boundaries) so no payload references bloat the pickle,
+    then swaps hook-implementing protocols for their captured state and
+    pickles the whole graph in one call.
+    """
+    kernel._metrics.settle()
+    protocols = kernel._protocols
+    swapped: list[tuple[int, Any]] = []
+    for index, protocol in enumerate(protocols):
+        hook = getattr(protocol, "snapshot_state", None)
+        if hook is not None:
+            swapped.append((index, protocol))
+            protocols[index] = _HookedProtocolState(type(protocol), hook())
+    try:
+        payload = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"run state is not snapshot-able: {exc} — protocols holding "
+            "unpicklable state must implement the snapshot_state/"
+            "restore_state hook pair (see repro.sim.node.Protocol)"
+        ) from exc
+    finally:
+        for index, protocol in swapped:
+            protocols[index] = protocol
+    return KernelSnapshot(
+        version=SNAPSHOT_VERSION,
+        n=kernel.n,
+        seed=kernel.seed,
+        tick=kernel.tick,
+        payload=payload,
+        extras=dict(extras) if extras else {},
+    )
+
+
+def restore_kernel(snapshot: KernelSnapshot) -> "EventKernel":
+    """Rebuild a runnable kernel from a snapshot.
+
+    The restored kernel is a fresh object graph (resuming twice from one
+    snapshot yields two independent runs — the property warm-started
+    sweep forks rely on); calling ``run()`` on it continues the run
+    bit-for-bit where the snapshot was taken.
+    """
+    if not isinstance(snapshot, KernelSnapshot):
+        raise ConfigurationError(
+            f"expected a KernelSnapshot, got {type(snapshot).__name__} — "
+            "snapshots come from EventKernel.snapshot() / load_snapshot()"
+        )
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"snapshot version {snapshot.version} does not match this "
+            f"build's snapshot format (version {SNAPSHOT_VERSION}); "
+            "re-create the checkpoint with the current code"
+        )
+    try:
+        kernel = pickle.loads(snapshot.payload)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"snapshot payload is corrupt or from an incompatible build: {exc}"
+        ) from exc
+    protocols = kernel._protocols
+    for index, item in enumerate(protocols):
+        if isinstance(item, _HookedProtocolState):
+            protocol = item.cls.__new__(item.cls)
+            protocol.restore_state(item.state)
+            protocols[index] = protocol
+    return kernel
+
+
+def retune_protocols(protocols: list, **params: Any) -> dict[str, int]:
+    """Apply warm-fork parameter retunes across a resumed run's protocols.
+
+    For each ``name=value``, every protocol exposing ``name`` in its
+    ``tunable`` set (searched outermost-first through ``.inner`` wrapper
+    chains — crash/tamper behaviours, ``AdaptiveCorruptible``) is
+    retuned.  Returns ``{name: protocols retuned}``.
+
+    :raises ConfigurationError: when a parameter matches no protocol at
+        all — sweeping an axis nobody honours is a configuration bug,
+        not a silent no-op.
+    """
+    counts = dict.fromkeys(params, 0)
+    for protocol in protocols:
+        for name, value in params.items():
+            target = protocol
+            while target is not None:
+                if name in getattr(target, "tunable", ()):
+                    target.retune(**{name: value})
+                    counts[name] += 1
+                    break
+                target = getattr(target, "inner", None)
+    missing = sorted(name for name, count in counts.items() if count == 0)
+    if missing:
+        raise ConfigurationError(
+            f"retune parameter(s) {missing} match no protocol in the "
+            "resumed run — no protocol lists them as tunable"
+        )
+    return counts
+
+
+# -- file transport --------------------------------------------------------
+
+
+def save_snapshot(snapshot: KernelSnapshot, path: "str | Path") -> Path:
+    """Write a snapshot to ``path`` (parents created); returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+    return target
+
+
+def load_snapshot(path: "str | Path") -> KernelSnapshot:
+    """Read and validate a snapshot file.
+
+    :raises ConfigurationError: when the file is missing, unreadable,
+        not a pickled :class:`KernelSnapshot`, or carries a different
+        format version — each with a message naming the valid form, so
+        the CLI can map every bad checkpoint to exit 2.
+    """
+    source = Path(path)
+    try:
+        raw = source.read_bytes()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read checkpoint file {source}: {exc} — expected a "
+            f"file written by save_snapshot / --checkpoint-every"
+        ) from exc
+    try:
+        snapshot = pickle.loads(raw)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"checkpoint file {source} is corrupt (not a pickled "
+            f"KernelSnapshot): {exc}"
+        ) from exc
+    if not isinstance(snapshot, KernelSnapshot):
+        raise ConfigurationError(
+            f"checkpoint file {source} does not contain a KernelSnapshot "
+            f"(got {type(snapshot).__name__})"
+        )
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint file {source} has snapshot version "
+            f"{snapshot.version}, but this build reads version "
+            f"{SNAPSHOT_VERSION}; re-create it with the current code"
+        )
+    return snapshot
+
+
+# -- process-wide checkpoint policy ---------------------------------------
+
+
+class CheckpointPolicy:
+    """Write a checkpoint every ``every`` ticks into ``directory``.
+
+    Consulted by the kernel's run loop at each tick boundary.  Each
+    kernel run the policy sees gets its own file prefix (``run0-``,
+    ``run1-``, ...), so workloads that execute several kernels — a key
+    distribution phase before the protocol under test — never overwrite
+    each other's checkpoints.
+    """
+
+    def __init__(self, every: int, directory: "str | Path") -> None:
+        if every < 1:
+            raise ConfigurationError(
+                f"checkpoint interval must be a positive tick count, got {every}"
+            )
+        self.every = every
+        self.directory = Path(directory)
+        self._next_run = 0
+        self._labels: dict[int, int] = {}
+        self.written: list[Path] = []
+
+    def checkpoint(self, kernel: "EventKernel") -> None:
+        """Snapshot ``kernel`` now (kernel's tick is a multiple of
+        ``every``); file name carries the run index and the tick."""
+        label = self._labels.get(id(kernel))
+        if label is None:
+            label = self._labels[id(kernel)] = self._next_run
+            self._next_run += 1
+        path = self.directory / f"run{label}-tick{kernel.tick:06d}{SNAPSHOT_SUFFIX}"
+        self.written.append(save_snapshot(kernel.snapshot(), path))
+
+
+_ACTIVE_POLICY: CheckpointPolicy | None = None
+
+
+def set_checkpoint_policy(every: int, directory: "str | Path") -> CheckpointPolicy:
+    """Install a process-wide checkpoint policy (returns it).
+
+    :raises ConfigurationError: for a non-positive interval.
+    """
+    global _ACTIVE_POLICY
+    _ACTIVE_POLICY = CheckpointPolicy(every, directory)
+    return _ACTIVE_POLICY
+
+
+def clear_checkpoint_policy() -> None:
+    """Remove the active policy (kernels stop writing checkpoints)."""
+    global _ACTIVE_POLICY
+    _ACTIVE_POLICY = None
+
+
+def active_checkpoint_policy() -> CheckpointPolicy | None:
+    """The installed policy, or ``None`` — read once per ``run()``."""
+    return _ACTIVE_POLICY

@@ -166,6 +166,69 @@ class TestRunWorkload:
         assert "does not support --trace" in capsys.readouterr().err
 
 
+class TestCheckpointResume:
+    RUN = [
+        "run", "--workload", "e13-timeout-fd", "--param", "n=8",
+        "--param", "t=1", "--param", "delivery=bounded:2",
+        "--param", "seed=3",
+    ]
+
+    def test_checkpoints_written_and_resumable(self, capsys, tmp_path):
+        assert main(
+            self.RUN + ["--checkpoint-every", "3",
+                        "--checkpoint-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out
+        files = sorted(tmp_path.glob("*.ckpt"))
+        assert files, "no checkpoint files on disk"
+        assert main(["resume", str(files[0])]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at tick" in out
+        assert "rounds executed" in out
+
+    def test_non_positive_every_exits_2(self, capsys, tmp_path):
+        assert main(
+            self.RUN + ["--checkpoint-every", "0",
+                        "--checkpoint-dir", str(tmp_path)]
+        ) == 2
+        assert "positive tick count" in capsys.readouterr().err
+
+    def test_every_without_dir_exits_2(self, capsys):
+        assert main(self.RUN + ["--checkpoint-every", "4"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_dir_without_every_exits_2(self, capsys, tmp_path):
+        assert main(self.RUN + ["--checkpoint-dir", str(tmp_path)]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_resume_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nope.ckpt")]) == 2
+        assert "cannot read checkpoint" in capsys.readouterr().err
+
+    def test_resume_corrupt_file_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"garbage")
+        assert main(["resume", str(bad)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_resume_version_mismatch_exits_2(self, capsys, tmp_path):
+        import dataclasses
+        import pickle
+
+        from repro.harness import run_fd_scenario
+
+        snap = run_fd_scenario(
+            8, 1, "v", protocol="timeout", delivery="bounded:2", seed=3,
+            checkpoint_at=2,
+        )
+        stale = tmp_path / "stale.ckpt"
+        stale.write_bytes(pickle.dumps(dataclasses.replace(snap, version=0)))
+        assert main(["resume", str(stale)]) == 2
+        err = capsys.readouterr().err
+        assert "version" in err and "re-create" in err
+
+
 class TestDeliveryKnob:
     def test_fd_accepts_delivery_spec(self, capsys):
         assert main(
